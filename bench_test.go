@@ -1,0 +1,332 @@
+// Package flatnet_bench is the paper's benchmark harness: one testing.B
+// benchmark per table and figure, each regenerating the corresponding
+// experiment end to end over the shared synthetic environment.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report domain metrics via b.ReportMetric alongside timing so
+// that the headline numbers (reachability percentages, detour fractions,
+// FDR/FNR) appear in the bench output.
+package flatnet_bench
+
+import (
+	"sync"
+	"testing"
+
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/core"
+	"flatnet/internal/experiments"
+)
+
+// benchScale keeps a full -bench=. run in the minutes range; raise it to
+// approach the paper's full topology.
+const benchScale = 0.15
+
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = experiments.NewEnv(benchScale)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+func BenchmarkFig2Reachability(b *testing.B) {
+	e := benchEnv(b)
+	var googlePct float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := float64(e.In2020.Graph.NumASes() - 1)
+		for _, r := range rows {
+			if r.Name == "Google" {
+				googlePct = 100 * float64(r.HierarchyFree) / total
+			}
+		}
+	}
+	b.ReportMetric(googlePct, "google-hf-%")
+}
+
+func BenchmarkTable1TopReachability(b *testing.B) {
+	e := benchEnv(b)
+	var amazonRank float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(e, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		amazonRank = float64(res.CloudRanks2020["Amazon"].Rank)
+	}
+	b.ReportMetric(amazonRank, "amazon-2020-rank")
+}
+
+func BenchmarkFig3ReachVsCone(b *testing.B) {
+	e := benchEnv(b)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(res.HighReach) / float64(max(res.HighCone, 1))
+	}
+	b.ReportMetric(ratio, "highreach/highcone")
+}
+
+func BenchmarkFig4Unreachable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Reliance(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2TopReliance(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7LeakCDFs(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8GoogleLeak(b *testing.B) {
+	e := benchEnv(b)
+	var meanAll float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig8(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range fig.Curves {
+			if c.Scenario == bgpsim.AnnounceAll {
+				meanAll = c.MeanDetoured
+			}
+		}
+	}
+	b.ReportMetric(meanAll, "mean-detoured")
+}
+
+func BenchmarkFig9UserWeighted(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10LeakOverTime(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11PoPMap(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12PopulationCoverage(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13PathLengths(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3RDNS(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppASimVsTraced(b *testing.B) {
+	e := benchEnv(b)
+	var amazonContained float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AppA(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Cloud == "Amazon" {
+				amazonContained = r.Contained
+			}
+		}
+	}
+	b.ReportMetric(100*amazonContained, "amazon-contained-%")
+}
+
+func BenchmarkAppBTier1Reliance(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AppB(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec41PeerVisibility(b *testing.B) {
+	e := benchEnv(b)
+	var googleMissed float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sec41(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Cloud == "Google" {
+				googleMissed = 100 * r.MissedFrac
+			}
+		}
+	}
+	b.ReportMetric(googleMissed, "google-feed-missed-%")
+}
+
+func BenchmarkSec5Validation(b *testing.B) {
+	e := benchEnv(b)
+	var finalFNR float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sec5(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			finalFNR = 100 * r.FNR
+		}
+	}
+	b.ReportMetric(finalFNR, "last-FNR-%")
+}
+
+func BenchmarkAblationAugmentation(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the core engine, for performance tracking rather than
+// paper reproduction.
+
+func BenchmarkPropagationSingleOrigin(b *testing.B) {
+	e := benchEnv(b)
+	sim := bgpsim.New(e.In2020.Graph)
+	google := e.In2020.Clouds["Google"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReachabilityCount(bgpsim.Config{Origin: google}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropagationWithNextHops(b *testing.B) {
+	e := benchEnv(b)
+	sim := bgpsim.New(e.In2020.Graph)
+	google := e.In2020.Clouds["Google"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(bgpsim.Config{Origin: google, TrackNextHops: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchyFreeReachability(b *testing.B) {
+	e := benchEnv(b)
+	google := e.In2020.Clouds["Google"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.M2020.Reachability(google, core.HierarchyFree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkTiesAblation(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TiesAblation(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sensitivity(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHijackVsLeak(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Hijack(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+)
+
+// cmdLeaks runs the §8.2 route-leak scenario table for one origin AS.
+func cmdLeaks(args []string) error {
+	fs := flag.NewFlagSet("leaks", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale")
+	year := fs.Int("year", 2020, "preset year")
+	asn := fs.String("as", "15169", "origin ASN")
+	trials := fs.Int("trials", 300, "random leakers per scenario")
+	hijack := fs.Bool("hijack", false, "simulate forged originations (prefix hijacks) instead of leaks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(*asn, 10, 32)
+	if err != nil {
+		return fmt.Errorf("leaks: bad ASN %q", *asn)
+	}
+	origin := astopo.ASN(v)
+	in, err := genPreset(*scale, *year)
+	if err != nil {
+		return err
+	}
+	if _, ok := in.Graph.Index(origin); !ok {
+		return fmt.Errorf("leaks: AS%d not in the generated topology", origin)
+	}
+	leakers := bgpsim.SampleLeakers(in.Graph, origin, *trials, int64(origin))
+	kind := "route-leak"
+	if *hijack {
+		kind = "prefix-hijack"
+	}
+	fmt.Printf("%s exposure of %s (AS%d), %d random misconfigured ASes per scenario:\n\n",
+		kind, in.NameOf(origin), origin, len(leakers))
+	fmt.Printf("%-40s %12s %12s %14s\n", "scenario", "mean detour", "p95 detour", "worst detour")
+	for _, scen := range bgpsim.LeakScenarios() {
+		cfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, scen)
+		cfg.Hijack = *hijack
+		res, err := bgpsim.RunLeakTrials(in.Graph, cfg, leakers, nil)
+		if err != nil {
+			return err
+		}
+		var mean, worst float64
+		fracs := make([]float64, 0, len(res))
+		for _, tr := range res {
+			mean += tr.DetouredFrac
+			fracs = append(fracs, tr.DetouredFrac)
+			if tr.DetouredFrac > worst {
+				worst = tr.DetouredFrac
+			}
+		}
+		mean /= float64(len(res))
+		p95 := percentile(fracs, 0.95)
+		fmt.Printf("%-40s %11.2f%% %11.2f%% %13.2f%%\n", scen, 100*mean, 100*p95, 100*worst)
+	}
+	fmt.Fprintln(os.Stdout, "\n(detour = fraction of ASes with a tied-best route toward the leaker; erratum semantics)")
+	return nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

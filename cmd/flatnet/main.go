@@ -1,0 +1,365 @@
+// Command flatnet reproduces the experiments of "Cloud Provider
+// Connectivity in the Flat Internet" (IMC 2020) over synthetic Internet
+// topologies, and provides utilities for inspecting and exporting them.
+//
+// Usage:
+//
+//	flatnet list
+//	flatnet run [-scale 0.35] <experiment-id>... | all
+//	flatnet gen [-scale 0.35] [-year 2020] [-o topology.txt]
+//	flatnet stats [-scale 0.35] [-year 2020]
+//	flatnet reach [-scale 0.35] [-year 2020] -as 15169 [-kind hierarchy-free]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+	"flatnet/internal/experiments"
+	"flatnet/internal/population"
+	"flatnet/internal/topogen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "reach":
+		err = cmdReach(os.Args[2:])
+	case "leaks":
+		err = cmdLeaks(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "flatnet: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatnet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flatnet list                                  list experiments
+  flatnet run [-scale f] <id>... | all          run experiments
+  flatnet gen [-scale f] [-year y] [-o file]    export topology (CAIDA serial-1)
+  flatnet stats [-scale f] [-year y]            topology statistics
+  flatnet reach [-scale f] [-year y] -as n      reachability of one AS
+  flatnet leaks [-scale f] [-year y] -as n      route-leak scenario table
+  flatnet audit [-f file | -scale f -year y]    structural topology checks
+  flatnet collect [-vps n] [-o rib.mrt]         simulate collectors, write MRT
+  flatnet trace [-cloud C] [-o traces.json]     cloud traceroute campaign`)
+}
+
+func cmdList() error {
+	for _, r := range experiments.Registry {
+		fmt.Printf("%-10s %s\n", r.ID, r.Title)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
+	outdir := fs.String("outdir", "", "also write machine-readable CSV artifacts to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment ids given (try 'flatnet list' or 'flatnet run all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, r := range experiments.Registry {
+			ids = append(ids, r.ID)
+		}
+	}
+	start := time.Now()
+	env, err := experiments.NewEnv(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# generated 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) presets in %v\n",
+		env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
+		env.In2015.Graph.NumASes(), env.In2015.Graph.NumLinks(),
+		time.Since(start).Round(time.Millisecond))
+	for _, id := range ids {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("run: unknown experiment %q", id)
+		}
+		fmt.Printf("\n== %s — %s ==\n", r.ID, r.Title)
+		t0 := time.Now()
+		if err := r.Run(env, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if *outdir != "" && experiments.HasTables(r.ID) {
+			tables, err := experiments.Tables(env, r.ID)
+			if err != nil {
+				return fmt.Errorf("%s: CSV: %w", r.ID, err)
+			}
+			for _, tbl := range tables {
+				tbl := tbl
+				path := fmt.Sprintf("%s/%s.csv", *outdir, tbl.Name)
+				if err := writeToFile(path, func(f *os.File) error { return tbl.WriteCSV(f) }); err != nil {
+					return err
+				}
+				fmt.Printf("-- wrote %s\n", path)
+			}
+		}
+		fmt.Printf("-- %s done in %v\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func genPreset(scale float64, year int) (*topogen.Internet, error) {
+	switch year {
+	case 2020:
+		return topogen.Generate(topogen.Internet2020(scale))
+	case 2015:
+		return topogen.Generate(topogen.Internet2015(scale))
+	}
+	return nil, fmt.Errorf("unknown year %d (want 2015 or 2020)", year)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale")
+	year := fs.Int("year", 2020, "preset year (2015 or 2020)")
+	out := fs.String("o", "", "relationship output file (default stdout, CAIDA serial-1)")
+	cones := fs.String("cones", "", "also write customer cones (CAIDA ppdc-ases format)")
+	types := fs.String("types", "", "also write AS types (CAIDA as2type format)")
+	orgs := fs.String("orgs", "", "also write AS organizations (CAIDA as-org2info format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := genPreset(*scale, *year)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := astopo.WriteRelationships(w, in.Graph); err != nil {
+		return err
+	}
+	if *cones != "" {
+		coneMap := make(map[astopo.ASN][]astopo.ASN, in.Graph.NumASes())
+		for _, a := range in.Graph.ASes() {
+			coneMap[a] = in.Graph.CustomerCone(a)
+		}
+		if err := writeToFile(*cones, func(f *os.File) error {
+			return astopo.WritePPDCAses(f, coneMap)
+		}); err != nil {
+			return err
+		}
+	}
+	if *types != "" {
+		model := population.Build(in, 1.1)
+		records := make(map[astopo.ASN]astopo.AS2TypeRecord, in.Graph.NumASes())
+		for _, a := range in.Graph.ASes() {
+			var label astopo.ASTypeLabel
+			switch model.Type(a) {
+			case population.TypeContent:
+				label = astopo.TypeLabelContent
+			case population.TypeEnterprise:
+				label = astopo.TypeLabelEnterprise
+			default:
+				label = astopo.TypeLabelTransitAccess
+			}
+			records[a] = astopo.AS2TypeRecord{AS: a, Type: label}
+		}
+		if err := writeToFile(*types, func(f *os.File) error {
+			return astopo.WriteAS2Type(f, records)
+		}); err != nil {
+			return err
+		}
+	}
+	if *orgs != "" {
+		db := &astopo.OrgDB{Orgs: map[string]astopo.Org{}, ByAS: map[astopo.ASN]astopo.ASOrg{}}
+		for _, a := range in.Graph.ASes() {
+			id := fmt.Sprintf("ORG-AS%d", a)
+			db.Orgs[id] = astopo.Org{ID: id, Name: in.NameOf(a), Country: "ZZ", Source: "synthetic"}
+			db.ByAS[a] = astopo.ASOrg{AS: a, Name: in.NameOf(a), OrgID: id}
+		}
+		if err := writeToFile(*orgs, func(f *os.File) error {
+			return astopo.WriteASOrg(f, db)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	file := fs.String("f", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
+	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
+	year := fs.Int("year", 2020, "preset year (when generating)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *astopo.Graph
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = astopo.ReadRelationships(f); err != nil {
+			return err
+		}
+	} else {
+		in, err := genPreset(*scale, *year)
+		if err != nil {
+			return err
+		}
+		g = in.Graph
+	}
+	issues := astopo.Audit(g)
+	fmt.Printf("audited %d ASes, %d links: %d issue(s)\n", g.NumASes(), g.NumLinks(), len(issues))
+	for _, i := range issues {
+		fmt.Printf("  [%s] %s", i.Kind, i.Detail)
+		if len(i.ASes) > 0 && len(i.ASes) <= 8 {
+			fmt.Printf(" %v", i.ASes)
+		}
+		fmt.Println()
+	}
+	if len(issues) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func writeToFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale")
+	year := fs.Int("year", 2020, "preset year")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := genPreset(*scale, *year)
+	if err != nil {
+		return err
+	}
+	g := in.Graph
+	p2p, p2c := 0, 0
+	for _, l := range g.Links() {
+		if l.Rel == astopo.P2P {
+			p2p++
+		} else {
+			p2c++
+		}
+	}
+	fmt.Printf("preset %d at scale %.2f\n", *year, *scale)
+	fmt.Printf("ASes:  %d\n", g.NumASes())
+	fmt.Printf("links: %d (p2c %d, p2p %d)\n", g.NumLinks(), p2c, p2p)
+	fmt.Printf("tier1: %d, tier2: %d, IXPs: %d\n", len(in.Tier1), len(in.Tier2), len(in.IXPs))
+	byClass := map[topogen.ASClass]int{}
+	for _, a := range g.ASes() {
+		byClass[in.Class[a]]++
+	}
+	for _, c := range []topogen.ASClass{topogen.ClassTier1, topogen.ClassTier2, topogen.ClassTransit,
+		topogen.ClassAccess, topogen.ClassContent, topogen.ClassEnterprise, topogen.ClassCloud} {
+		fmt.Printf("  %-12s %6d\n", c, byClass[c])
+	}
+	for _, name := range experiments.Clouds() {
+		a := in.Clouds[name]
+		fmt.Printf("%-10s AS%-7d providers=%d peers=%d PoPs=%d\n",
+			name, a, len(g.Providers(a)), len(g.Peers(a)), len(in.PoPs[a]))
+	}
+	return nil
+}
+
+func cmdReach(args []string) error {
+	fs := flag.NewFlagSet("reach", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale")
+	year := fs.Int("year", 2020, "preset year")
+	asn := fs.String("as", "", "origin ASN (required)")
+	kind := fs.String("kind", "hierarchy-free", "full | provider-free | tier1-free | hierarchy-free")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asn == "" {
+		return fmt.Errorf("reach: -as is required")
+	}
+	v, err := strconv.ParseUint(*asn, 10, 32)
+	if err != nil {
+		return fmt.Errorf("reach: bad ASN %q", *asn)
+	}
+	var k core.Kind
+	switch *kind {
+	case "full":
+		k = core.Full
+	case "provider-free":
+		k = core.ProviderFree
+	case "tier1-free":
+		k = core.Tier1Free
+	case "hierarchy-free":
+		k = core.HierarchyFree
+	default:
+		return fmt.Errorf("reach: unknown kind %q", *kind)
+	}
+	in, err := genPreset(*scale, *year)
+	if err != nil {
+		return err
+	}
+	m := core.New(core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2})
+	n, err := m.Reachability(astopo.ASN(v), k)
+	if err != nil {
+		return err
+	}
+	total := in.Graph.NumASes() - 1
+	fmt.Printf("%s reachability of %s (AS%d): %d / %d ASes (%.1f%%)\n",
+		k, in.NameOf(astopo.ASN(v)), v, n, total, 100*float64(n)/float64(total))
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestGenPreset(t *testing.T) {
+	for _, year := range []int{2015, 2020} {
+		in, err := genPreset(0.1, year)
+		if err != nil {
+			t.Fatalf("year %d: %v", year, err)
+		}
+		if in.Graph.NumASes() < 500 {
+			t.Errorf("year %d: only %d ASes", year, in.Graph.NumASes())
+		}
+	}
+	if _, err := genPreset(0.1, 1999); err == nil {
+		t.Error("unknown year accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 0.1},
+		{0.5, 0.5},
+		{1, 0.9},
+	}
+	for _, c := range cases {
+		if got := percentile(xs, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 0.5 {
+		t.Error("percentile sorted its input in place")
+	}
+}

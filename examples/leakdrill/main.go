@@ -1,0 +1,91 @@
+// Leakdrill: a route-leak resilience drill for a network operator.
+//
+// The example attaches a synthetic "your network" AS to a generated
+// Internet with a configurable peering strategy, then measures — exactly as
+// the paper's §8 does for the clouds — what fraction of the Internet would
+// detour to a randomly misconfigured AS leaking your prefix, under each
+// announcement / peer-locking posture. It shows the paper's two findings
+// in an operator-facing form: rich peering is itself a defense, and peer
+// locking at your biggest neighbors caps even the worst leaks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/topogen"
+)
+
+func main() {
+	peers := flag.Int("peers", 150, "number of settlement-free peers for your network")
+	providers := flag.Int("providers", 2, "number of transit providers")
+	trials := flag.Int("trials", 300, "random leakers to simulate per scenario")
+	flag.Parse()
+
+	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := in.Graph.Clone()
+
+	// Attach "your network": transit from Tier-2s, peering spread over
+	// the biggest regional transit and access networks.
+	const you = astopo.ASN(64512)
+	t2 := in.Tier2.Slice()
+	for i := 0; i < *providers && i < len(t2); i++ {
+		g.MustAddLink(t2[i], you, astopo.P2C)
+	}
+	// Settlement-free peering with a few Tier-1s and Tier-2s (these are
+	// also where peer locking can be deployed for your prefixes)...
+	added := 0
+	for _, a := range in.Tier1.Slice()[:4] {
+		if g.AddPeerIfAbsent(you, a) {
+			added++
+		}
+	}
+	for _, a := range t2[len(t2)-4:] {
+		if g.AddPeerIfAbsent(you, a) {
+			added++
+		}
+	}
+	// ...and with regional transit and access networks up to the budget.
+	for _, a := range g.ASes() {
+		if added >= *peers {
+			break
+		}
+		switch in.Class[a] {
+		case topogen.ClassTransit, topogen.ClassAccess:
+			if g.AddPeerIfAbsent(you, a) {
+				added++
+			}
+		}
+	}
+	g.Freeze()
+	fmt.Printf("your network: AS%d with %d providers and %d peers on a %d-AS Internet\n\n",
+		you, *providers, added, g.NumASes())
+
+	leakers := bgpsim.SampleLeakers(g, you, *trials, 1)
+	fmt.Printf("%-40s %12s %12s\n", "posture", "mean detour", "worst detour")
+	for _, scen := range bgpsim.LeakScenarios() {
+		cfg := bgpsim.ScenarioConfig(g, you, in.Tier1, in.Tier2, scen)
+		res, err := bgpsim.RunLeakTrials(g, cfg, leakers, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mean, worst float64
+		for _, tr := range res {
+			mean += tr.DetouredFrac
+			if tr.DetouredFrac > worst {
+				worst = tr.DetouredFrac
+			}
+		}
+		mean /= float64(len(res))
+		fmt.Printf("%-40s %11.2f%% %11.2f%%\n", scen, 100*mean, 100*worst)
+	}
+	fmt.Println("\ninterpretation: 'announce to all' beats announcing only into the")
+	fmt.Println("hierarchy because every extra peer shortens your legitimate routes;")
+	fmt.Println("peer locking at Tier-1/Tier-2 neighbors bounds even the worst leak.")
+}

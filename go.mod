@@ -1,0 +1,3 @@
+module flatnet
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package alias implements MIDAR-style IP alias resolution (§4.2 of the
+// paper uses MIDAR to group router interfaces before learning hostname
+// conventions with sc_hoiho).
+//
+// The technique: most routers generate IP-ID values from a single shared
+// counter across all their interfaces. Probing two addresses in an
+// interleaved schedule and checking that the observed IP-ID samples form
+// one monotonic sequence (the Monotonic Bounds Test) indicates the
+// addresses share a counter — i.e. they are aliases. Addresses on
+// different routers produce interleaved samples from unrelated counters,
+// which violate monotonicity with overwhelming probability.
+//
+// The package provides both the prober-side inference (MBT + transitive
+// closure) and a simulated probe target set for testing and for driving
+// the rdns pipeline without real hardware.
+package alias
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// Prober answers IP-ID probes. Implementations must be safe for the
+// sequential probe schedules Resolve issues.
+type Prober interface {
+	// ProbeIPID returns the IP-ID of a reply elicited from addr, and
+	// false if the address does not respond.
+	ProbeIPID(addr netip.Addr) (uint16, bool)
+}
+
+// Options tune the resolution.
+type Options struct {
+	// Samples is the number of interleaved probes per pair (default 12).
+	Samples int
+	// MaxGap is the largest plausible counter advance between two
+	// consecutive samples of the same router (default 2000); larger
+	// jumps fail the monotonic bounds test even across uint16 wraps.
+	MaxGap uint16
+}
+
+func (o *Options) defaults() {
+	if o.Samples == 0 {
+		o.Samples = 12
+	}
+	if o.MaxGap == 0 {
+		o.MaxGap = 2000
+	}
+}
+
+// Resolve groups the given addresses into alias sets using interleaved
+// IP-ID probing. Unresponsive addresses are returned as singletons in the
+// second return value. The cost is O(n²) pairs in the worst case, pruned
+// by transitive closure (MIDAR's elimination stage).
+func Resolve(p Prober, addrs []netip.Addr, opts Options) (groups [][]netip.Addr, unresponsive []netip.Addr) {
+	opts.defaults()
+	var live []netip.Addr
+	for _, a := range addrs {
+		if _, ok := p.ProbeIPID(a); ok {
+			live = append(live, a)
+		} else {
+			unresponsive = append(unresponsive, a)
+		}
+	}
+	// Union-find over live addresses.
+	parent := make([]int, len(live))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if find(i) == find(j) {
+				continue // already known aliases transitively
+			}
+			if monotonicBoundsTest(p, live[i], live[j], opts) {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := map[int][]netip.Addr{}
+	for i, a := range live {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], a)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		groups = append(groups, byRoot[r])
+	}
+	return groups, unresponsive
+}
+
+// monotonicBoundsTest interleaves probes to a and b and checks the merged
+// sample sequence advances monotonically (mod 2^16) with bounded gaps.
+// Alternation alone is fooled by two independent counters that happen to
+// run in near-lockstep, so the test finishes with two burst rounds: a run
+// of probes to one address must be reflected in the other's next sample —
+// only a genuinely shared counter does that.
+func monotonicBoundsTest(p Prober, a, b netip.Addr, opts Options) bool {
+	prev, ok := p.ProbeIPID(a)
+	if !ok {
+		return false
+	}
+	cur := b
+	other := a
+	for i := 0; i < opts.Samples; i++ {
+		id, ok := p.ProbeIPID(cur)
+		if !ok {
+			return false
+		}
+		delta := id - prev // uint16 arithmetic handles wrap
+		if delta == 0 || delta > opts.MaxGap {
+			return false
+		}
+		prev = id
+		cur, other = other, cur
+	}
+	burst := func(spike, probe netip.Addr) bool {
+		for i := 0; i < opts.Samples; i++ {
+			id, ok := p.ProbeIPID(spike)
+			if !ok {
+				return false
+			}
+			delta := id - prev
+			if delta == 0 || delta > opts.MaxGap {
+				return false
+			}
+			prev = id
+		}
+		id, ok := p.ProbeIPID(probe)
+		if !ok {
+			return false
+		}
+		delta := id - prev
+		if delta == 0 || delta > opts.MaxGap {
+			return false
+		}
+		prev = id
+		return true
+	}
+	return burst(a, b) && burst(b, a)
+}
+
+// SimTarget is a simulated probe target set: routers with shared IP-ID
+// counters, per-interface responsiveness, and random per-probe counter
+// advance (background traffic).
+type SimTarget struct {
+	rng      *rand.Rand
+	counters []uint16
+	// owner maps each address to its router index; -1 = unresponsive.
+	owner map[netip.Addr]int
+	// MaxAdvance bounds the random counter advance per probe.
+	MaxAdvance int
+}
+
+// NewSimTarget builds a target set from router alias groups. Every address
+// in groups[i] shares router i's counter. Addresses listed in dead do not
+// respond.
+func NewSimTarget(seed int64, groups [][]netip.Addr, dead []netip.Addr) (*SimTarget, error) {
+	t := &SimTarget{
+		rng:        rand.New(rand.NewSource(seed)),
+		counters:   make([]uint16, len(groups)),
+		owner:      make(map[netip.Addr]int),
+		MaxAdvance: 40,
+	}
+	for i := range t.counters {
+		t.counters[i] = uint16(t.rng.Intn(1 << 16))
+	}
+	for i, g := range groups {
+		for _, a := range g {
+			if _, dup := t.owner[a]; dup {
+				return nil, fmt.Errorf("alias: address %v in multiple groups", a)
+			}
+			t.owner[a] = i
+		}
+	}
+	for _, a := range dead {
+		if _, dup := t.owner[a]; dup {
+			return nil, fmt.Errorf("alias: dead address %v also in a group", a)
+		}
+		t.owner[a] = -1
+	}
+	return t, nil
+}
+
+// ProbeIPID implements Prober.
+func (t *SimTarget) ProbeIPID(addr netip.Addr) (uint16, bool) {
+	r, ok := t.owner[addr]
+	if !ok || r < 0 {
+		return 0, false
+	}
+	// The shared counter advances with background traffic plus our probe.
+	t.counters[r] += uint16(1 + t.rng.Intn(t.MaxAdvance))
+	return t.counters[r], true
+}

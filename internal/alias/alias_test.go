@@ -1,0 +1,139 @@
+package alias
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1})
+}
+
+func groupsEqual(got [][]netip.Addr, want [][]netip.Addr) bool {
+	norm := func(gs [][]netip.Addr) []string {
+		var out []string
+		for _, g := range gs {
+			ss := make([]string, len(g))
+			for i, a := range g {
+				ss[i] = a.String()
+			}
+			sort.Strings(ss)
+			out = append(out, fmt.Sprint(ss))
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := norm(got), norm(want)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestResolveRecoversGroups(t *testing.T) {
+	truth := [][]netip.Addr{
+		{addr(1), addr(2), addr(3)},
+		{addr(10), addr(11)},
+		{addr(20)},
+	}
+	dead := []netip.Addr{addr(30)}
+	target, err := NewSimTarget(7, truth, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []netip.Addr
+	for _, g := range truth {
+		all = append(all, g...)
+	}
+	all = append(all, dead...)
+	groups, unresp := Resolve(target, all, Options{})
+	if !groupsEqual(groups, truth) {
+		t.Errorf("groups = %v, want %v", groups, truth)
+	}
+	if len(unresp) != 1 || unresp[0] != addr(30) {
+		t.Errorf("unresponsive = %v", unresp)
+	}
+}
+
+func TestResolveNoFalseMerges(t *testing.T) {
+	// Many singleton routers: no pair should merge.
+	var truth [][]netip.Addr
+	var all []netip.Addr
+	for i := 0; i < 12; i++ {
+		truth = append(truth, []netip.Addr{addr(100 + i)})
+		all = append(all, addr(100+i))
+	}
+	target, err := NewSimTarget(3, truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := Resolve(target, all, Options{})
+	if len(groups) != 12 {
+		t.Errorf("got %d groups, want 12 singletons: %v", len(groups), groups)
+	}
+}
+
+func TestNewSimTargetValidation(t *testing.T) {
+	a := addr(1)
+	if _, err := NewSimTarget(1, [][]netip.Addr{{a}, {a}}, nil); err == nil {
+		t.Error("duplicate address across groups accepted")
+	}
+	if _, err := NewSimTarget(1, [][]netip.Addr{{a}}, []netip.Addr{a}); err == nil {
+		t.Error("dead address overlapping a group accepted")
+	}
+}
+
+// Property: for random partitions of up to 16 addresses into routers,
+// Resolve recovers exactly the partition.
+func TestResolveRecoversRandomPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		nRouters := 1 + rng.Intn(5)
+		truth := make([][]netip.Addr, nRouters)
+		var all []netip.Addr
+		for i := 0; i < n; i++ {
+			r := rng.Intn(nRouters)
+			truth[r] = append(truth[r], addr(i))
+			all = append(all, addr(i))
+		}
+		var nonEmpty [][]netip.Addr
+		for _, g := range truth {
+			if len(g) > 0 {
+				nonEmpty = append(nonEmpty, g)
+			}
+		}
+		target, err := NewSimTarget(seed, nonEmpty, nil)
+		if err != nil {
+			return false
+		}
+		groups, unresp := Resolve(target, all, Options{})
+		return len(unresp) == 0 && groupsEqual(groups, nonEmpty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The MBT must survive uint16 counter wraparound.
+func TestMonotonicBoundsTestWrap(t *testing.T) {
+	truth := [][]netip.Addr{{addr(1), addr(2)}}
+	target, err := NewSimTarget(11, truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target.counters[0] = 0xFFF0 // about to wrap
+	groups, _ := Resolve(target, []netip.Addr{addr(1), addr(2)}, Options{})
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Errorf("wraparound broke alias detection: %v", groups)
+	}
+}

@@ -1,0 +1,252 @@
+// Package asrel infers AS business relationships from observed BGP paths,
+// in the spirit of Gao's classic algorithm (the lineage behind AS-Rank and
+// ProbLink, which produce the dataset the paper consumes).
+//
+// The inference uses the valley-free structure: on any path, ASes climb
+// toward a "top provider" and then descend, so the highest-degree AS on a
+// path splits it into an uphill (c2p) segment and a downhill (p2c) segment.
+// Accumulated transit votes classify each link; links with balanced or no
+// transit evidence between similar-degree ASes become peers.
+package asrel
+
+import (
+	"sort"
+
+	"flatnet/internal/astopo"
+)
+
+// Inferred is the output relationship set keyed by canonical AS pair
+// (smaller ASN first). The relationship is expressed from the first AS's
+// perspective: P2C means pair[0] is the provider.
+type Inferred map[[2]astopo.ASN]astopo.Rel
+
+// Options tune the inference.
+type Options struct {
+	// PeerDegreeRatio bounds how dissimilar two ASes' degrees may be for
+	// a peer inference (Gao's R parameter). Default 8.
+	PeerDegreeRatio float64
+	// TransitThreshold is the minimum one-way vote margin to call a link
+	// p2c when votes exist in both directions (Gao's L parameter).
+	// Default 2.
+	TransitThreshold int
+	// PeakPeerRatio bounds the degree ratio under which a peak-adjacent
+	// edge is treated as a peering candidate. Default 4.
+	PeakPeerRatio float64
+}
+
+func (o *Options) defaults() {
+	if o.PeerDegreeRatio == 0 {
+		o.PeerDegreeRatio = 8
+	}
+	if o.TransitThreshold == 0 {
+		o.TransitThreshold = 3
+	}
+	if o.PeakPeerRatio == 0 {
+		o.PeakPeerRatio = 10
+	}
+}
+
+func canonKey(a, b astopo.ASN) [2]astopo.ASN {
+	if a < b {
+		return [2]astopo.ASN{a, b}
+	}
+	return [2]astopo.ASN{b, a}
+}
+
+// Infer classifies every link appearing on the given AS paths (each path
+// collector-side first, origin last).
+func Infer(paths [][]astopo.ASN, opts Options) Inferred {
+	opts.defaults()
+
+	// Pass 1: degrees from path adjacencies.
+	neigh := make(map[astopo.ASN]map[astopo.ASN]bool)
+	addAdj := func(a, b astopo.ASN) {
+		if neigh[a] == nil {
+			neigh[a] = make(map[astopo.ASN]bool)
+		}
+		neigh[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 1; i < len(p); i++ {
+			addAdj(p[i-1], p[i])
+			addAdj(p[i], p[i-1])
+		}
+	}
+	degree := func(a astopo.ASN) int { return len(neigh[a]) }
+
+	// Pass 2: transit votes, with Gao's phase-3 refinement folded in: a
+	// peak-adjacent edge between ASes of similar degree is a *peering
+	// candidate* rather than transit evidence, because a valley-free
+	// path's single p2p link sits exactly at its peak and connects
+	// networks of comparable size. votes[x][y] counts evidence that y
+	// transits for x.
+	votes := make(map[[2]astopo.ASN]int)
+	peerCand := make(map[[2]astopo.ASN]int)
+	vote := func(customer, provider astopo.ASN) {
+		votes[[2]astopo.ASN{customer, provider}]++
+	}
+	similar := func(a, b astopo.ASN) bool {
+		da, db := float64(degree(a)), float64(degree(b))
+		if da == 0 || db == 0 {
+			return false
+		}
+		r := da / db
+		if r < 1 {
+			r = 1 / r
+		}
+		return r <= opts.PeakPeerRatio
+	}
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if degree(p[i]) > degree(p[top]) {
+				top = i
+			}
+		}
+		for i := 1; i < len(p); i++ {
+			peakAdjacent := i == top || i == top+1
+			if peakAdjacent && similar(p[i-1], p[i]) {
+				peerCand[canonKey(p[i-1], p[i])]++
+				continue
+			}
+			if i <= top {
+				vote(p[i-1], p[i]) // climbing: p[i] provides for p[i-1]
+			} else {
+				vote(p[i], p[i-1]) // descending: p[i-1] provides for p[i]
+			}
+		}
+	}
+
+	// Pass 3: classify each observed adjacency. Transit votes dominate;
+	// edges seen only as similar-degree peaks become peers.
+	out := make(Inferred)
+	for a, ns := range neigh {
+		for b := range ns {
+			if a >= b {
+				continue
+			}
+			key := [2]astopo.ASN{a, b}
+			aProvides := votes[[2]astopo.ASN{b, a}] // votes that a transits for b
+			bProvides := votes[[2]astopo.ASN{a, b}]
+			peers := peerCand[key]
+			switch {
+			case peers > 0 && peers >= (aProvides+bProvides)*opts.TransitThreshold:
+				out[key] = astopo.P2P
+			case aProvides > 0 && bProvides == 0:
+				out[key] = astopo.P2C
+			case bProvides > 0 && aProvides == 0:
+				out[key] = astopo.C2P // pair[0] is the customer
+			case aProvides == 0 && bProvides == 0:
+				out[key] = astopo.P2P
+			case aProvides >= bProvides*opts.TransitThreshold:
+				out[key] = astopo.P2C
+			case bProvides >= aProvides*opts.TransitThreshold:
+				out[key] = astopo.C2P
+			default:
+				out[key] = astopo.P2P
+			}
+		}
+	}
+
+	// Pass 4: peer sanity — a "peer" between wildly unequal degrees with
+	// any transit evidence becomes p2c toward the bigger AS.
+	for key, rel := range out {
+		if rel != astopo.P2P {
+			continue
+		}
+		da, db := float64(degree(key[0])), float64(degree(key[1]))
+		if da == 0 || db == 0 {
+			continue
+		}
+		ratio := da / db
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > opts.PeerDegreeRatio {
+			if da > db {
+				out[key] = astopo.P2C
+			} else {
+				out[key] = astopo.C2P
+			}
+		}
+	}
+	return out
+}
+
+// BuildGraph converts the inferred relationships into a topology graph.
+func (inf Inferred) BuildGraph() (*astopo.Graph, error) {
+	g := astopo.NewGraph(0, len(inf))
+	keys := make([][2]astopo.ASN, 0, len(inf))
+	for k := range inf {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		var err error
+		switch inf[k] {
+		case astopo.P2P:
+			err = g.AddLink(k[0], k[1], astopo.P2P)
+		case astopo.P2C:
+			err = g.AddLink(k[0], k[1], astopo.P2C)
+		case astopo.C2P:
+			err = g.AddLink(k[1], k[0], astopo.P2C)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Score compares inferred relationships against ground truth for the links
+// both know about.
+type Score struct {
+	Total, Correct int
+	// P2CAccuracy and P2PAccuracy break accuracy down per true class.
+	P2CCorrect, P2CTotal int
+	P2PCorrect, P2PTotal int
+}
+
+// Accuracy returns Correct/Total (0 when empty).
+func (s Score) Accuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Total)
+}
+
+// Evaluate scores the inference against the true graph.
+func Evaluate(inf Inferred, truth *astopo.Graph) Score {
+	var s Score
+	for key, rel := range inf {
+		trueRel, ok := truth.HasLink(key[0], key[1])
+		if !ok {
+			continue
+		}
+		s.Total++
+		correct := rel == trueRel
+		if trueRel == astopo.P2P {
+			s.P2PTotal++
+			if correct {
+				s.P2PCorrect++
+			}
+		} else {
+			s.P2CTotal++
+			if correct {
+				s.P2CCorrect++
+			}
+		}
+		if correct {
+			s.Correct++
+		}
+	}
+	return s
+}

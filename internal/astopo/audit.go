@@ -1,0 +1,213 @@
+package astopo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Audit checks a topology for the structural problems that corrupt
+// reachability analysis on real-world relationship files: provider cycles
+// (A transits for B transits for ... transits for A), disconnected
+// components, and an inconsistent clique. The paper's pipeline depends on
+// these properties holding (footnote 3 describes CAIDA's Cloudflare/IBM
+// misclassification breaking exactly this kind of assumption).
+
+// Issue is one audit finding.
+type Issue struct {
+	// Kind is a stable identifier: "p2c-cycle", "island", "clique-gap".
+	Kind string
+	// Detail is a human-readable description.
+	Detail string
+	// ASes lists the implicated networks.
+	ASes []ASN
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.Kind, i.Detail) }
+
+// Audit inspects the graph and returns its findings (empty for a clean
+// topology).
+func Audit(g *Graph) []Issue {
+	g.Freeze()
+	var issues []Issue
+	issues = append(issues, auditP2CCycles(g)...)
+	issues = append(issues, auditIslands(g)...)
+	issues = append(issues, auditClique(g)...)
+	return issues
+}
+
+// auditP2CCycles finds strongly connected components of size > 1 in the
+// provider→customer digraph (a customer chain that loops back is
+// economically impossible and breaks cone computations).
+func auditP2CCycles(g *Graph) []Issue {
+	n := g.NumASes()
+	// Iterative Tarjan SCC over customer edges.
+	const undef = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	var stack []int32
+	var issues []Issue
+	var counter int32
+
+	type frame struct {
+		v    int32
+		edge int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != undef {
+			continue
+		}
+		callStack := []frame{{v: int32(start)}}
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			customers := g.CustomersOf(int(v))
+			advanced := false
+			for f.edge < len(customers) {
+				w := customers[f.edge]
+				f.edge++
+				if index[w] == undef {
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Done with v: pop and propagate lowlink.
+			if low[v] == index[v] {
+				var comp []ASN
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, g.ASNAt(int(w)))
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+					issues = append(issues, Issue{
+						Kind:   "p2c-cycle",
+						Detail: fmt.Sprintf("%d ASes form a provider cycle", len(comp)),
+						ASes:   comp,
+					})
+				}
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return issues
+}
+
+// auditIslands reports connected components (over all links, undirected)
+// beyond the largest one.
+func auditIslands(g *Graph) []Issue {
+	n := g.NumASes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	var queue []int32
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := int32(len(sizes))
+		comp[start] = id
+		queue = append(queue[:0], int32(start))
+		size := 0
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			visit := func(ws []int32) {
+				for _, w := range ws {
+					if comp[w] == -1 {
+						comp[w] = id
+						queue = append(queue, w)
+					}
+				}
+			}
+			visit(g.ProvidersOf(int(v)))
+			visit(g.CustomersOf(int(v)))
+			visit(g.PeersOf(int(v)))
+		}
+		sizes = append(sizes, size)
+	}
+	if len(sizes) <= 1 {
+		return nil
+	}
+	largest := 0
+	for i, s := range sizes {
+		if s > sizes[largest] {
+			largest = i
+		}
+	}
+	var issues []Issue
+	for id, s := range sizes {
+		if id == largest {
+			continue
+		}
+		var members []ASN
+		for i := 0; i < n && len(members) < 8; i++ {
+			if comp[i] == int32(id) {
+				members = append(members, g.ASNAt(i))
+			}
+		}
+		issues = append(issues, Issue{
+			Kind:   "island",
+			Detail: fmt.Sprintf("component of %d ASes disconnected from the main graph", s),
+			ASes:   members,
+		})
+	}
+	return issues
+}
+
+// auditClique verifies that the detected provider-free clique members all
+// peer with each other; gaps break the global-reachability assumption the
+// hierarchy rests on (§2.1).
+func auditClique(g *Graph) []Issue {
+	var providerFree []ASN
+	for i, a := range g.ASes() {
+		if len(g.ProvidersOf(i)) == 0 && len(g.CustomersOf(i)) > 0 {
+			providerFree = append(providerFree, a)
+		}
+	}
+	clique := NewASSet(g.Clique()...)
+	var issues []Issue
+	for _, a := range providerFree {
+		if clique.Has(a) {
+			continue
+		}
+		issues = append(issues, Issue{
+			Kind: "clique-gap",
+			Detail: fmt.Sprintf("AS%d has no providers but does not peer with the full clique "+
+				"(PCCW/Liberty-Global-style provider-free non-Tier-1, or a data error)", a),
+			ASes: []ASN{a},
+		})
+	}
+	return issues
+}

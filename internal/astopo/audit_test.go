@@ -1,0 +1,103 @@
+package astopo
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsOf(issues []Issue) map[string]int {
+	out := map[string]int{}
+	for _, i := range issues {
+		out[i.Kind]++
+	}
+	return out
+}
+
+func TestAuditCleanGraph(t *testing.T) {
+	g := buildTestGraph(t)
+	issues := Audit(g)
+	kinds := kindsOf(issues)
+	if kinds["p2c-cycle"] != 0 {
+		t.Errorf("clean graph reported cycles: %v", issues)
+	}
+	// The test graph has the E1-E2 pair attached under S1, so it is one
+	// component — no islands.
+	if kinds["island"] != 0 {
+		t.Errorf("clean graph reported islands: %v", issues)
+	}
+}
+
+func TestAuditP2CCycle(t *testing.T) {
+	g := NewGraph(0, 0)
+	g.MustAddLink(1, 2, P2C)
+	g.MustAddLink(2, 3, P2C)
+	g.MustAddLink(3, 1, P2C) // cycle 1 -> 2 -> 3 -> 1
+	g.MustAddLink(1, 10, P2C)
+	issues := Audit(g)
+	found := false
+	for _, i := range issues {
+		if i.Kind == "p2c-cycle" {
+			found = true
+			if len(i.ASes) != 3 {
+				t.Errorf("cycle lists %d ASes, want 3", len(i.ASes))
+			}
+			if !strings.Contains(i.Detail, "3 ASes") {
+				t.Errorf("detail %q", i.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("provider cycle not detected: %v", issues)
+	}
+}
+
+func TestAuditIslands(t *testing.T) {
+	g := buildTestGraph(t)
+	g.MustAddLink(900, 901, P2P) // disconnected pair
+	issues := Audit(g)
+	found := false
+	for _, i := range issues {
+		if i.Kind == "island" {
+			found = true
+			if len(i.ASes) != 2 {
+				t.Errorf("island members %v", i.ASes)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("island not detected: %v", issues)
+	}
+}
+
+func TestAuditCliqueGap(t *testing.T) {
+	g := NewGraph(0, 0)
+	// Clique 1-2; AS 3 is provider-free with customers but only peers
+	// with 1 (a PCCW-style network).
+	g.MustAddLink(1, 2, P2P)
+	g.MustAddLink(1, 10, P2C)
+	g.MustAddLink(2, 11, P2C)
+	g.MustAddLink(2, 12, P2C)
+	g.MustAddLink(1, 12, P2C)
+	g.MustAddLink(3, 13, P2C)
+	g.MustAddLink(1, 3, P2P)
+	issues := Audit(g)
+	found := false
+	for _, i := range issues {
+		if i.Kind == "clique-gap" && len(i.ASes) == 1 && i.ASes[0] == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("clique gap not detected: %v", issues)
+	}
+}
+
+func TestAuditGeneratedTopologyIsClean(t *testing.T) {
+	// The audit must pass on our own generator output (modulo the three
+	// intentionally provider-free Tier-2s, which are clique members by
+	// construction since they peer with all Tier-1s).
+	g := buildTestGraph(t)
+	for _, i := range Audit(g) {
+		t.Errorf("unexpected issue: %v", i)
+	}
+}

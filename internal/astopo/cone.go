@@ -1,0 +1,160 @@
+package astopo
+
+// CustomerCone returns the customer cone of a: the set of ASes reachable
+// from a by following only provider-to-customer links, including a itself.
+// This is the AS-Rank customer cone definition the paper compares
+// hierarchy-free reachability against (§6.6).
+func (g *Graph) CustomerCone(a ASN) []ASN {
+	g.Freeze()
+	start, ok := g.idx[a]
+	if !ok {
+		return nil
+	}
+	seen := make([]bool, len(g.nodes))
+	seen[start] = true
+	queue := []int32{int32(start)}
+	var cone []ASN
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		cone = append(cone, g.nodes[v])
+		for _, c := range g.customers[v] {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return cone
+}
+
+// ConeSizes returns the customer cone size (including the AS itself) for
+// every AS, indexed by dense index. It runs one upward propagation per AS in
+// reverse topological-ish order is not possible in general (the p2c graph
+// may not be a DAG in broken datasets), so it performs a BFS per AS but
+// reuses one visited-epoch buffer; O(V * E_c) worst case, fast in practice
+// because most cones are tiny.
+func (g *Graph) ConeSizes() []int {
+	g.Freeze()
+	n := len(g.nodes)
+	sizes := make([]int, n)
+	epoch := make([]int32, n)
+	for i := range epoch {
+		epoch[i] = -1
+	}
+	queue := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		epoch[s] = int32(s)
+		count := 0
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			count++
+			for _, c := range g.customers[v] {
+				if epoch[c] != int32(s) {
+					epoch[c] = int32(s)
+					queue = append(queue, c)
+				}
+			}
+		}
+		sizes[s] = count
+	}
+	return sizes
+}
+
+// Clique returns the set of ASes with no providers whose members all peer
+// with each other, computed greedily from the given candidate list ordered
+// by transit degree. This mirrors how the Tier-1 clique is identified in
+// AS-Rank-style processing: start from the highest-transit-degree
+// provider-free AS and keep candidates that peer with every AS already in
+// the clique.
+func (g *Graph) Clique() []ASN {
+	g.Freeze()
+	var cands []ASN
+	for i, a := range g.nodes {
+		if len(g.providers[i]) == 0 && len(g.customers[i]) > 0 {
+			cands = append(cands, a)
+		}
+	}
+	// Order by transit degree, highest first.
+	sortByTransitDegree(g, cands)
+	var clique []ASN
+	for _, c := range cands {
+		ok := true
+		for _, m := range clique {
+			if rel, has := g.HasLink(c, m); !has || rel != P2P {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, c)
+		}
+	}
+	return clique
+}
+
+func sortByTransitDegree(g *Graph, asns []ASN) {
+	deg := make(map[ASN]int, len(asns))
+	for _, a := range asns {
+		deg[a] = g.TransitDegree(a)
+	}
+	// Insertion-stable ordering: by degree descending, ASN ascending.
+	for i := 1; i < len(asns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := asns[j-1], asns[j]
+			if deg[b] > deg[a] || (deg[b] == deg[a] && b < a) {
+				asns[j-1], asns[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// ASSet is a set of ASNs with convenience constructors, used to describe
+// the Tier-1 and Tier-2 exclusion sets.
+type ASSet map[ASN]struct{}
+
+// NewASSet builds a set from the listed ASNs.
+func NewASSet(asns ...ASN) ASSet {
+	s := make(ASSet, len(asns))
+	for _, a := range asns {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ASSet) Has(a ASN) bool { _, ok := s[a]; return ok }
+
+// Add inserts a.
+func (s ASSet) Add(a ASN) { s[a] = struct{}{} }
+
+// Union returns a new set containing both operands' members.
+func (s ASSet) Union(t ASSet) ASSet {
+	u := make(ASSet, len(s)+len(t))
+	for a := range s {
+		u[a] = struct{}{}
+	}
+	for a := range t {
+		u[a] = struct{}{}
+	}
+	return u
+}
+
+// Slice returns the members in ascending order.
+func (s ASSet) Slice() []ASN {
+	out := make([]ASN, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package astopo_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"flatnet/internal/astopo"
+)
+
+// Example parses a CAIDA serial-1 relationship file and inspects the
+// topology — the entry point for running the metrics on real data.
+func Example() {
+	const data = `# a tiny serial-1 dataset
+1|2|0
+1|11|-1
+2|12|-1
+11|12|0
+11|101|-1
+`
+	g, err := astopo.ReadRelationships(strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d ASes, %d links\n", g.NumASes(), g.NumLinks())
+	fmt.Printf("AS11 providers: %v\n", g.Providers(11))
+	fmt.Printf("AS1 customer cone: %d ASes\n", len(g.CustomerCone(1)))
+	fmt.Printf("clique: %v\n", g.Clique())
+	// Output:
+	// 5 ASes, 5 links
+	// AS11 providers: [1]
+	// AS1 customer cone: 3 ASes
+	// clique: [1 2]
+}
+
+// ExampleAudit shows the structural checks run before trusting a dataset.
+func ExampleAudit() {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(1, 2, astopo.P2C)
+	g.MustAddLink(2, 3, astopo.P2C)
+	g.MustAddLink(3, 1, astopo.P2C) // impossible: a provider cycle
+	for _, issue := range astopo.Audit(g) {
+		fmt.Println(issue)
+	}
+	// Output:
+	// p2c-cycle: 3 ASes form a provider cycle
+}

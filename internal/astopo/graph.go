@@ -1,0 +1,317 @@
+// Package astopo models the AS-level topology of the Internet: autonomous
+// systems, the business relationships between them (peer-to-peer and
+// customer-to-provider), and the derived structures the paper's analysis
+// needs — customer cones, transit degrees, and the Tier-1/Tier-2 sets.
+//
+// The package reads and writes the CAIDA AS-relationship file formats
+// (serial-1 and serial-2) so real datasets can be substituted for the
+// synthetic topologies produced by package topogen.
+package astopo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Rel is the business relationship of a link, from the perspective of the
+// first AS in the pair.
+type Rel int8
+
+const (
+	// P2C marks a provider-to-customer link: the first AS sells transit
+	// to the second. CAIDA serial-1 encodes this as -1.
+	P2C Rel = -1
+	// P2P marks a settlement-free peer-to-peer link. CAIDA serial-1
+	// encodes this as 0.
+	P2P Rel = 0
+	// C2P marks a customer-to-provider view of a link. It is never stored
+	// (links are stored provider-first as P2C) but is returned by queries
+	// such as HasLink when the queried AS is the customer.
+	C2P Rel = 1
+)
+
+func (r Rel) String() string {
+	switch r {
+	case P2C:
+		return "p2c"
+	case P2P:
+		return "p2p"
+	case C2P:
+		return "c2p"
+	}
+	return fmt.Sprintf("rel(%d)", int8(r))
+}
+
+// Link is one inter-AS adjacency with its relationship. For P2C links A is
+// the provider and B the customer; for P2P links the order carries no
+// meaning but is preserved from the source data.
+type Link struct {
+	A, B ASN
+	Rel  Rel
+}
+
+// Graph is an AS-level topology. The zero value is an empty graph ready to
+// use. Graphs are cheap to query but are built incrementally; call Freeze
+// (or any query that requires indexes) after the last mutation to build the
+// adjacency indexes.
+type Graph struct {
+	links []Link
+
+	// index state, built lazily by Freeze.
+	frozen    bool
+	nodes     []ASN           // sorted unique ASNs
+	idx       map[ASN]int     // ASN -> dense index
+	providers [][]int32       // dense index -> provider dense indexes
+	customers [][]int32       // dense index -> customer dense indexes
+	peers     [][]int32       // dense index -> peer dense indexes
+	linkSet   map[[2]ASN]Rel  // canonical (min,max) -> rel as stored
+	linkDir   map[[2]ASN]bool // canonical pair -> true if stored order was (min,max)
+}
+
+// NewGraph returns an empty graph with capacity hints for n ASes and m links.
+func NewGraph(n, m int) *Graph {
+	return &Graph{links: make([]Link, 0, m)}
+}
+
+// AddLink records a link. Duplicate pairs are rejected; a pair may appear
+// only once regardless of direction. Self-links are rejected.
+func (g *Graph) AddLink(a, b ASN, rel Rel) error {
+	if a == b {
+		return fmt.Errorf("astopo: self link on AS%d", a)
+	}
+	if rel != P2P && rel != P2C {
+		return fmt.Errorf("astopo: invalid relationship %d for AS%d-AS%d", rel, a, b)
+	}
+	if g.linkSet == nil {
+		g.linkSet = make(map[[2]ASN]Rel)
+		g.linkDir = make(map[[2]ASN]bool)
+	}
+	key := canonPair(a, b)
+	if _, dup := g.linkSet[key]; dup {
+		return fmt.Errorf("astopo: duplicate link AS%d-AS%d", a, b)
+	}
+	g.linkSet[key] = rel
+	g.linkDir[key] = key[0] == a
+	g.links = append(g.links, Link{A: a, B: b, Rel: rel})
+	g.frozen = false
+	return nil
+}
+
+// MustAddLink is AddLink for construction code where a duplicate or invalid
+// link indicates a programming error.
+func (g *Graph) MustAddLink(a, b ASN, rel Rel) {
+	if err := g.AddLink(a, b, rel); err != nil {
+		panic(err)
+	}
+}
+
+// AddPeerIfAbsent adds a p2p link between a and b unless any link between
+// them already exists. It reports whether a link was added. This is the
+// operation used to augment a BGP-feed topology with traceroute-discovered
+// cloud neighbors: per §4.1 of the paper, a pre-existing link's type is
+// never modified.
+func (g *Graph) AddPeerIfAbsent(a, b ASN) bool {
+	if a == b {
+		return false
+	}
+	if g.linkSet != nil {
+		if _, ok := g.linkSet[canonPair(a, b)]; ok {
+			return false
+		}
+	}
+	g.MustAddLink(a, b, P2P)
+	return true
+}
+
+// HasLink reports whether any link exists between a and b, and its
+// relationship from a's perspective: P2C means a is b's provider, C2P means
+// a is b's customer, P2P means they peer.
+func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
+	if g.linkSet == nil {
+		return 0, false
+	}
+	key := canonPair(a, b)
+	rel, ok := g.linkSet[key]
+	if !ok {
+		return 0, false
+	}
+	if rel == P2P {
+		return P2P, true
+	}
+	// linkDir true means the stored (provider-first) order was
+	// (key[0], key[1]), so key[0] is the provider.
+	provider := key[1]
+	if g.linkDir[key] {
+		provider = key[0]
+	}
+	if provider == a {
+		return P2C, true
+	}
+	return C2P, true
+}
+
+// Clone returns a deep copy of the graph. The copy is unfrozen.
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph(len(g.nodes), len(g.links))
+	ng.links = append(ng.links, g.links...)
+	ng.linkSet = make(map[[2]ASN]Rel, len(g.linkSet))
+	ng.linkDir = make(map[[2]ASN]bool, len(g.linkDir))
+	for k, v := range g.linkSet {
+		ng.linkSet[k] = v
+	}
+	for k, v := range g.linkDir {
+		ng.linkDir[k] = v
+	}
+	return ng
+}
+
+// Links returns the graph's links. The returned slice is shared; callers
+// must not modify it.
+func (g *Graph) Links() []Link { return g.links }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Freeze builds the adjacency indexes. It is idempotent and is called
+// automatically by queries that need indexes; exposed so callers can choose
+// when to pay the cost.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	seen := make(map[ASN]struct{}, len(g.links)*2)
+	for _, l := range g.links {
+		seen[l.A] = struct{}{}
+		seen[l.B] = struct{}{}
+	}
+	g.nodes = g.nodes[:0]
+	for a := range seen {
+		g.nodes = append(g.nodes, a)
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	g.idx = make(map[ASN]int, len(g.nodes))
+	for i, a := range g.nodes {
+		g.idx[a] = i
+	}
+	n := len(g.nodes)
+	g.providers = make([][]int32, n)
+	g.customers = make([][]int32, n)
+	g.peers = make([][]int32, n)
+	for _, l := range g.links {
+		ai, bi := int32(g.idx[l.A]), int32(g.idx[l.B])
+		switch l.Rel {
+		case P2P:
+			g.peers[ai] = append(g.peers[ai], bi)
+			g.peers[bi] = append(g.peers[bi], ai)
+		case P2C:
+			g.customers[ai] = append(g.customers[ai], bi)
+			g.providers[bi] = append(g.providers[bi], ai)
+		}
+	}
+	g.frozen = true
+}
+
+// NumASes returns the number of ASes appearing in at least one link.
+func (g *Graph) NumASes() int {
+	g.Freeze()
+	return len(g.nodes)
+}
+
+// ASes returns the sorted list of ASNs in the graph. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) ASes() []ASN {
+	g.Freeze()
+	return g.nodes
+}
+
+// Index returns the dense index of an ASN and whether it is present.
+// Dense indexes are stable for a frozen graph and are the currency of the
+// propagation code in package bgpsim.
+func (g *Graph) Index(a ASN) (int, bool) {
+	g.Freeze()
+	i, ok := g.idx[a]
+	return i, ok
+}
+
+// ASNAt returns the ASN at a dense index.
+func (g *Graph) ASNAt(i int) ASN {
+	g.Freeze()
+	return g.nodes[i]
+}
+
+// ProvidersOf returns the dense indexes of i's transit providers.
+func (g *Graph) ProvidersOf(i int) []int32 {
+	g.Freeze()
+	return g.providers[i]
+}
+
+// CustomersOf returns the dense indexes of i's customers.
+func (g *Graph) CustomersOf(i int) []int32 {
+	g.Freeze()
+	return g.customers[i]
+}
+
+// PeersOf returns the dense indexes of i's settlement-free peers.
+func (g *Graph) PeersOf(i int) []int32 {
+	g.Freeze()
+	return g.peers[i]
+}
+
+// Providers returns the ASNs of a's transit providers, sorted.
+func (g *Graph) Providers(a ASN) []ASN {
+	return g.relASNs(a, func(i int) []int32 { return g.providers[i] })
+}
+
+// Customers returns the ASNs of a's customers, sorted.
+func (g *Graph) Customers(a ASN) []ASN {
+	return g.relASNs(a, func(i int) []int32 { return g.customers[i] })
+}
+
+// Peers returns the ASNs of a's peers, sorted.
+func (g *Graph) Peers(a ASN) []ASN { return g.relASNs(a, func(i int) []int32 { return g.peers[i] }) }
+
+func (g *Graph) relASNs(a ASN, pick func(int) []int32) []ASN {
+	g.Freeze()
+	i, ok := g.idx[a]
+	if !ok {
+		return nil
+	}
+	rows := pick(i)
+	out := make([]ASN, len(rows))
+	for k, r := range rows {
+		out[k] = g.nodes[r]
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+// Degree returns the total number of neighbors of a.
+func (g *Graph) Degree(a ASN) int {
+	g.Freeze()
+	i, ok := g.idx[a]
+	if !ok {
+		return 0
+	}
+	return len(g.providers[i]) + len(g.customers[i]) + len(g.peers[i])
+}
+
+// TransitDegree returns the number of unique neighbors that appear on either
+// side of a in transit (p2c) links — the AS-Rank transit degree metric.
+func (g *Graph) TransitDegree(a ASN) int {
+	g.Freeze()
+	i, ok := g.idx[a]
+	if !ok {
+		return 0
+	}
+	return len(g.providers[i]) + len(g.customers[i])
+}
+
+func canonPair(a, b ASN) [2]ASN {
+	if a < b {
+		return [2]ASN{a, b}
+	}
+	return [2]ASN{b, a}
+}

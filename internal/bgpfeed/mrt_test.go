@@ -1,0 +1,181 @@
+package bgpfeed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/netdb"
+)
+
+func tinyView() *View {
+	return &View{
+		VPs: []astopo.ASN{100, 200},
+		Paths: [][]astopo.ASN{
+			{100, 10, 1},
+			{200, 20, 1},
+			{100, 10, 2},
+		},
+	}
+}
+
+func tinyPrefixOf(o astopo.ASN) (netip.Prefix, bool) {
+	switch o {
+	case 1:
+		return netip.MustParsePrefix("192.0.2.0/24"), true
+	case 2:
+		return netip.MustParsePrefix("198.51.100.0/24"), true
+	}
+	return netip.Prefix{}, false
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	v := tinyView()
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, v, tinyPrefixOf, 1600000000); err != nil {
+		t.Fatal(err)
+	}
+	rib, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rib.Peers, v.VPs) {
+		t.Errorf("peers = %v, want %v", rib.Peers, v.VPs)
+	}
+	if len(rib.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(rib.Entries))
+	}
+	wantPaths := map[string][][]astopo.ASN{
+		"192.0.2.0/24":    {{100, 10, 1}, {200, 20, 1}},
+		"198.51.100.0/24": {{100, 10, 2}},
+	}
+	got := map[string][][]astopo.ASN{}
+	for _, e := range rib.Entries {
+		got[e.Prefix.String()] = append(got[e.Prefix.String()], e.ASPath)
+		if e.ASPath[0] != rib.Peers[e.PeerIndex] {
+			t.Errorf("entry path %v does not start at its peer AS%d", e.ASPath, rib.Peers[e.PeerIndex])
+		}
+	}
+	if !reflect.DeepEqual(got, wantPaths) {
+		t.Errorf("paths = %v, want %v", got, wantPaths)
+	}
+}
+
+// Golden bytes for the common header and peer table of a minimal dump, so
+// the wire format stays RFC-6396-compatible.
+func TestMRTGoldenHeader(t *testing.T) {
+	v := &View{VPs: []astopo.ASN{65000}, Paths: [][]astopo.ASN{{65000, 7}}}
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, v, func(astopo.ASN) (netip.Prefix, bool) {
+		return netip.MustParsePrefix("10.0.0.0/8"), true
+	}, 0x5F000000); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Common header: ts, type 13, subtype 1, length.
+	if ts := binary.BigEndian.Uint32(b[0:4]); ts != 0x5F000000 {
+		t.Errorf("timestamp = %#x", ts)
+	}
+	if typ := binary.BigEndian.Uint16(b[4:6]); typ != 13 {
+		t.Errorf("type = %d, want 13 (TABLE_DUMP_V2)", typ)
+	}
+	if sub := binary.BigEndian.Uint16(b[6:8]); sub != 1 {
+		t.Errorf("subtype = %d, want 1 (PEER_INDEX_TABLE)", sub)
+	}
+	bodyLen := binary.BigEndian.Uint32(b[8:12])
+	// collector(4) + viewlen(2) + count(2) + peer(1+4+4+4) = 21
+	if bodyLen != 21 {
+		t.Errorf("peer table length = %d, want 21", bodyLen)
+	}
+	// Second record: RIB_IPV4_UNICAST.
+	second := b[12+bodyLen:]
+	if sub := binary.BigEndian.Uint16(second[6:8]); sub != 2 {
+		t.Errorf("second subtype = %d, want 2", sub)
+	}
+}
+
+func TestMRTRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		// Truncated header.
+		{0, 0, 0, 0, 0, 13},
+		// Header declaring a body that never arrives.
+		{0, 0, 0, 0, 0, 13, 0, 1, 0, 0, 0, 99},
+	}
+	for i, in := range cases {
+		if _, err := ReadMRT(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+	// Unknown MRT types are skipped, not errors.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 0, 99, 0, 1, 0, 0, 0, 2, 0xAA, 0xBB})
+	rib, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatalf("unknown type not skipped: %v", err)
+	}
+	if len(rib.Entries) != 0 || len(rib.Peers) != 0 {
+		t.Error("unknown type produced data")
+	}
+}
+
+// End to end: a collector view over a generated Internet survives the MRT
+// round trip with every path intact.
+func TestMRTOnGeneratedView(t *testing.T) {
+	in, view := collectView(t, 0.1, 6)
+	plan, err := netdb.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = WriteMRT(&buf, view, func(o astopo.ASN) (netip.Prefix, bool) {
+		p, ok := plan.ASPrefix[o]
+		return p, ok
+	}, 1700000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rib.Entries) != len(view.Paths) {
+		t.Fatalf("entries = %d, want %d", len(rib.Entries), len(view.Paths))
+	}
+	// Path multiset must match.
+	key := func(p []astopo.ASN) string {
+		s := ""
+		for _, a := range p {
+			s += astopoItoa(a) + " "
+		}
+		return s
+	}
+	want := map[string]int{}
+	for _, p := range view.Paths {
+		want[key(p)]++
+	}
+	for _, e := range rib.Entries {
+		want[key(e.ASPath)]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			t.Fatalf("path multiset mismatch at %q (%+d)", k, n)
+		}
+	}
+}
+
+func astopoItoa(a astopo.ASN) string {
+	if a == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for a > 0 {
+		i--
+		buf[i] = byte('0' + a%10)
+		a /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,236 @@
+package bgpsim
+
+// propagate runs the three-stage Gao–Rexford propagation for the given
+// seeds. Stage A spreads customer-learned routes up customer→provider
+// edges; stage B grants peer-learned routes (one p2p hop from any
+// customer-route holder or seed); stage C spreads provider-learned routes
+// down provider→customer edges in increasing path-length order. All stages
+// use a dial (bucket) queue keyed by path length so that multiple seeds
+// with different initial lengths compete correctly.
+// It fills the Simulator's class/dist/flags buffers (valid until the next
+// propagation) and returns the next-hop DAG when track is set.
+func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, breakTies bool) [][]int32 {
+	n := s.n
+	g := s.g
+	class := s.class
+	dist := s.dist
+	flags := s.flags
+	for i := 0; i < n; i++ {
+		class[i] = ClassNone
+		dist[i] = -1
+		flags[i] = 0
+	}
+	var nh [][]int32
+	if track {
+		nh = make([][]int32, n)
+	}
+
+	origin := seeds[0].idx
+	for _, sd := range seeds {
+		class[sd.idx] = ClassOrigin
+		dist[sd.idx] = sd.dist0
+		flags[sd.idx] |= sd.flag
+	}
+
+	// Tentative per-stage state, reused across runs.
+	tent := s.tent
+	tflags := s.tflags
+	var vias [][]int32
+	if track {
+		vias = make([][]int32, n)
+	}
+	for i := range tent {
+		tent[i] = -1
+	}
+	s.buckets = s.buckets[:0]
+
+	// accept reports whether `receiver` may install a route announced to
+	// it by `sender`. Excluded ASes take no routes; seeds never replace
+	// their origination; peer-locking ASes accept the prefix only
+	// directly from the legitimate origin.
+	accept := func(receiver, sender int32) bool {
+		if exclude != nil && exclude[receiver] {
+			return false
+		}
+		if class[receiver] == ClassOrigin {
+			return false
+		}
+		if locking != nil && locking[receiver] && sender != origin {
+			return false
+		}
+		return true
+	}
+
+	push := func(node, d int32, f uint8, via int32) {
+		if s.leakBlocked != nil && s.leakBlocked[node] {
+			f &^= ViaLeak // loop detection drops leaked copies here
+			if f == 0 {
+				return
+			}
+		}
+		switch {
+		case tent[node] == -1 || d < tent[node]:
+			tent[node] = d
+			tflags[node] = f
+			if track {
+				vias[node] = append(vias[node][:0], via)
+			}
+			for int(d) >= len(s.buckets) {
+				s.buckets = append(s.buckets, nil)
+			}
+			s.buckets[d] = append(s.buckets[d], node)
+		case d == tent[node] && !breakTies:
+			tflags[node] |= f
+			if track {
+				vias[node] = append(vias[node], via)
+			}
+		}
+	}
+
+	settle := func(node int32, c Class) {
+		class[node] = c
+		dist[node] = tent[node]
+		flags[node] |= tflags[node]
+		if track {
+			nh[node] = append([]int32(nil), vias[node]...)
+		}
+	}
+
+	// ---- Stage A: customer routes ----
+	for _, sd := range seeds {
+		for _, p := range g.ProvidersOf(int(sd.idx)) {
+			if !sd.exportAll && !sd.policy.allows(p) {
+				continue
+			}
+			if !accept(p, sd.idx) {
+				continue
+			}
+			push(p, sd.dist0+1, sd.flag, sd.idx)
+		}
+	}
+	for d := 0; d < len(s.buckets); d++ {
+		for _, u := range s.buckets[d] {
+			if class[u] != ClassNone || tent[u] != int32(d) {
+				continue // stale entry or already settled
+			}
+			settle(u, ClassCustomer)
+			for _, p := range g.ProvidersOf(int(u)) {
+				if !accept(p, u) {
+					continue
+				}
+				push(p, int32(d)+1, tflags[u], u)
+			}
+		}
+	}
+
+	// ---- Stage B: peer routes ----
+	// Reset tentative state for nodes still unclassed; classed nodes are
+	// skipped by the class check, so only clear what stage B can touch.
+	for i := 0; i < n; i++ {
+		if class[i] == ClassNone {
+			tent[i] = -1
+			tflags[i] = 0
+			if track {
+				vias[i] = vias[i][:0]
+			}
+		}
+	}
+	peerContribute := func(pe, d int32, f uint8, via int32) {
+		if class[pe] != ClassNone {
+			return
+		}
+		if !accept(pe, via) {
+			return
+		}
+		if s.leakBlocked != nil && s.leakBlocked[pe] {
+			f &^= ViaLeak
+			if f == 0 {
+				return
+			}
+		}
+		switch {
+		case tent[pe] == -1 || d < tent[pe]:
+			tent[pe] = d
+			tflags[pe] = f
+			if track {
+				vias[pe] = append(vias[pe][:0], via)
+			}
+		case d == tent[pe] && !breakTies:
+			tflags[pe] |= f
+			if track {
+				vias[pe] = append(vias[pe], via)
+			}
+		}
+	}
+	for _, sd := range seeds {
+		for _, pe := range g.PeersOf(int(sd.idx)) {
+			if !sd.exportAll && !sd.policy.allows(pe) {
+				continue
+			}
+			peerContribute(pe, sd.dist0+1, sd.flag, sd.idx)
+		}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		if class[u] != ClassCustomer {
+			continue
+		}
+		for _, pe := range g.PeersOf(int(u)) {
+			peerContribute(pe, dist[u]+1, flags[u], u)
+		}
+	}
+	for i := int32(0); i < int32(n); i++ {
+		if class[i] == ClassNone && tent[i] >= 0 {
+			settle(i, ClassPeer)
+		}
+	}
+
+	// ---- Stage C: provider routes ----
+	for i := 0; i < n; i++ {
+		if class[i] == ClassNone {
+			tent[i] = -1
+			tflags[i] = 0
+			if track {
+				vias[i] = vias[i][:0]
+			}
+		}
+	}
+	s.buckets = s.buckets[:0]
+	downPush := func(c, d int32, f uint8, via int32) {
+		if class[c] != ClassNone {
+			return
+		}
+		if !accept(c, via) {
+			return
+		}
+		push(c, d, f, via)
+	}
+	for _, sd := range seeds {
+		for _, c := range g.CustomersOf(int(sd.idx)) {
+			if !sd.exportAll && !sd.policy.allows(c) {
+				continue
+			}
+			downPush(c, sd.dist0+1, sd.flag, sd.idx)
+		}
+	}
+	for u := int32(0); u < int32(n); u++ {
+		if class[u] != ClassCustomer && class[u] != ClassPeer {
+			continue
+		}
+		for _, c := range g.CustomersOf(int(u)) {
+			downPush(c, dist[u]+1, flags[u], u)
+		}
+	}
+	for d := 0; d < len(s.buckets); d++ {
+		for _, u := range s.buckets[d] {
+			if class[u] != ClassNone || tent[u] != int32(d) {
+				continue
+			}
+			settle(u, ClassProvider)
+			for _, c := range g.CustomersOf(int(u)) {
+				downPush(c, int32(d)+1, tflags[u], u)
+			}
+		}
+	}
+
+	return nh
+}

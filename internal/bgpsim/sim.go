@@ -1,0 +1,450 @@
+// Package bgpsim simulates BGP route propagation over an AS-level topology
+// under the Gao–Rexford routing model the paper uses (§6.1):
+//
+//   - valley-free export: an AS exports routes learned from customers (or
+//     originated by itself) to everyone, but exports routes learned from
+//     peers or providers only to its customers;
+//   - preference: customer-learned routes over peer-learned over
+//     provider-learned, then shortest AS-path length;
+//   - all routes tied for best are kept, without tie-breaking.
+//
+// One propagation computes, for every AS, the class and length of its best
+// routes toward an origin, optionally the full tied-best next-hop DAG, and —
+// for route-leak experiments (§8) — whether any tied-best route leads to a
+// misconfigured leaker instead of the legitimate origin.
+//
+// Propagation over a graph with V ASes and E links costs O(V+E): customer
+// routes spread by a bucketed BFS up customer→provider edges, peer routes
+// take a single peer hop from customer-route holders, and provider routes
+// spread down provider→customer edges in best-length order.
+package bgpsim
+
+import (
+	"fmt"
+	"sort"
+
+	"flatnet/internal/astopo"
+)
+
+// Class describes how an AS learned its best routes toward the origin, in
+// increasing order of preference.
+type Class uint8
+
+const (
+	// ClassNone marks an AS with no route (unreachable origin).
+	ClassNone Class = iota
+	// ClassProvider marks routes learned from a transit provider.
+	ClassProvider
+	// ClassPeer marks routes learned from a settlement-free peer.
+	ClassPeer
+	// ClassCustomer marks routes learned from a customer.
+	ClassCustomer
+	// ClassOrigin marks the origin itself (and, in leak simulations, the
+	// leaker's synthetic origination of the leaked route).
+	ClassOrigin
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassProvider:
+		return "provider"
+	case ClassPeer:
+		return "peer"
+	case ClassCustomer:
+		return "customer"
+	case ClassOrigin:
+		return "origin"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Route-source flag bits used by leak simulations.
+const (
+	// ViaLegit marks routes whose announcement chain starts at the
+	// legitimate origin's own announcement.
+	ViaLegit uint8 = 1 << 0
+	// ViaLeak marks routes whose chain passes through the leaker's
+	// re-announcement.
+	ViaLeak uint8 = 1 << 1
+)
+
+// Policy restricts which of the origin's neighbors receive its announcement.
+// A nil *Policy announces to all neighbors.
+type Policy struct {
+	allowed map[int32]bool
+}
+
+// NewPolicy builds a policy allowing announcements only to the given
+// neighbor ASNs of the origin. ASNs not present in the graph are ignored.
+func NewPolicy(g *astopo.Graph, neighbors []astopo.ASN) *Policy {
+	p := &Policy{allowed: make(map[int32]bool, len(neighbors))}
+	for _, a := range neighbors {
+		if i, ok := g.Index(a); ok {
+			p.allowed[int32(i)] = true
+		}
+	}
+	return p
+}
+
+func (p *Policy) allows(n int32) bool {
+	if p == nil {
+		return true
+	}
+	return p.allowed[n]
+}
+
+// Config describes one propagation.
+type Config struct {
+	// Origin is the AS originating the prefix.
+	Origin astopo.ASN
+	// Policy restricts the origin's announcement; nil announces to all
+	// neighbors.
+	Policy *Policy
+	// Exclude masks ASes (by dense graph index) that routes may not
+	// enter or traverse — the subgraph device behind provider-free,
+	// Tier-1-free, and hierarchy-free reachability. May be nil.
+	Exclude []bool
+	// TrackNextHops records, for every AS, the dense indexes of the
+	// neighbors providing its tied-best routes. Required for path and
+	// reliance analysis; costs memory proportional to the DAG.
+	TrackNextHops bool
+
+	// Leaker, if nonzero, designates a misconfigured AS that re-announces
+	// the origin's prefix to all its neighbors (a route leak, §8.1). The
+	// leaked announcement carries the leaker's legitimate best path, so
+	// it competes with the true routes at the leaker's best length.
+	Leaker astopo.ASN
+	// Hijack turns the leak into a forged origination (§8.1's "prefix
+	// hijacks, which are intentional malicious route leaks"): the leaker
+	// announces the prefix as its own, competing at AS-path length zero
+	// with no upstream path for loop detection to reject.
+	Hijack bool
+	// Locking marks ASes (by dense index) deploying peer locking for the
+	// origin's prefixes: they accept the prefix only directly from the
+	// origin and discard every other announcement of it (the erratum's
+	// corrected semantics). May be nil.
+	Locking []bool
+
+	// BreakTies keeps only the first tied-best route at every AS instead
+	// of all of them. The paper deliberately keeps ties ("a worst case
+	// analysis", §8.1); this switch exists for the ablation that
+	// quantifies how much that choice matters.
+	BreakTies bool
+}
+
+// Result holds the outcome of one propagation. Slices are indexed by the
+// graph's dense AS indexes.
+type Result struct {
+	Graph  *astopo.Graph
+	Origin int32
+
+	// Class and Dist describe the best routes of each AS; Dist is the
+	// AS-path length in inter-AS hops (origin = 0). Dist is -1 where
+	// Class is ClassNone.
+	Class []Class
+	Dist  []int32
+
+	// NextHops is the tied-best next-hop DAG (only when TrackNextHops).
+	NextHops [][]int32
+
+	// Flags carries ViaLegit/ViaLeak bits (only for leak simulations).
+	Flags []uint8
+
+	// LeakerIdx is the dense index of the leaker, or -1.
+	LeakerIdx int32
+}
+
+// Reachable counts ASes other than the origin (and leaker, if any) holding
+// at least one route.
+func (r *Result) Reachable() int {
+	n := 0
+	for i, c := range r.Class {
+		if c == ClassNone || int32(i) == r.Origin || int32(i) == r.LeakerIdx {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ReachableSet returns the ASNs counted by Reachable.
+func (r *Result) ReachableSet() []astopo.ASN {
+	out := make([]astopo.ASN, 0, len(r.Class))
+	for i, c := range r.Class {
+		if c == ClassNone || int32(i) == r.Origin || int32(i) == r.LeakerIdx {
+			continue
+		}
+		out = append(out, r.Graph.ASNAt(i))
+	}
+	return out
+}
+
+// Detoured counts ASes with at least one tied-best route via the leak,
+// excluding the origin and the leaker themselves.
+func (r *Result) Detoured() int {
+	if r.Flags == nil {
+		return 0
+	}
+	n := 0
+	for i, f := range r.Flags {
+		if int32(i) == r.Origin || int32(i) == r.LeakerIdx {
+			continue
+		}
+		if f&ViaLeak != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DetouredWeight sums w[i] over detoured ASes; used for the user-population
+// weighting of Fig. 9.
+func (r *Result) DetouredWeight(w []float64) float64 {
+	if r.Flags == nil {
+		return 0
+	}
+	var s float64
+	for i, f := range r.Flags {
+		if int32(i) == r.Origin || int32(i) == r.LeakerIdx {
+			continue
+		}
+		if f&ViaLeak != 0 {
+			s += w[i]
+		}
+	}
+	return s
+}
+
+// Simulator runs propagations over one graph, reusing internal buffers
+// across runs. It is not safe for concurrent use; create one Simulator per
+// goroutine (they share the frozen graph safely).
+type Simulator struct {
+	g *astopo.Graph
+	n int
+
+	class  []Class
+	dist   []int32
+	flags  []uint8
+	tent   []int32
+	tflags []uint8
+
+	// leakBlocked marks ASes whose BGP loop detection rejects every
+	// leaked copy (set by prepare for leak runs, nil otherwise).
+	leakBlocked []bool
+
+	buckets [][]int32 // dial queue, indexed by distance
+}
+
+// New returns a Simulator for g. The graph is frozen by the call and must
+// not be mutated afterwards.
+func New(g *astopo.Graph) *Simulator {
+	g.Freeze()
+	n := g.NumASes()
+	return &Simulator{
+		g:      g,
+		n:      n,
+		class:  make([]Class, n),
+		dist:   make([]int32, n),
+		flags:  make([]uint8, n),
+		tent:   make([]int32, n),
+		tflags: make([]uint8, n),
+	}
+}
+
+// Run executes one propagation and returns a Result owning its own state
+// (independent of the Simulator's reusable buffers).
+func (s *Simulator) Run(cfg Config) (*Result, error) {
+	seeds, leakerIdx, err := s.prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if seeds == nil {
+		// Leak configured but the leaker holds no route: the leak-free
+		// state with everything marked legitimate is the outcome.
+		res, err := s.Run(Config{
+			Origin:        cfg.Origin,
+			Policy:        cfg.Policy,
+			Exclude:       cfg.Exclude,
+			Locking:       cfg.Locking,
+			TrackNextHops: cfg.TrackNextHops,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.LeakerIdx = leakerIdx
+		res.Flags = make([]uint8, s.n)
+		for i, c := range res.Class {
+			if c != ClassNone {
+				res.Flags[i] = ViaLegit
+			}
+		}
+		return res, nil
+	}
+
+	nh := s.propagate(seeds, cfg.Exclude, cfg.Locking, cfg.TrackNextHops, cfg.BreakTies)
+	res := &Result{
+		Graph:     s.g,
+		Origin:    seeds[0].idx,
+		LeakerIdx: leakerIdx,
+		Class:     append([]Class(nil), s.class...),
+		Dist:      append([]int32(nil), s.dist...),
+		NextHops:  nh,
+	}
+	if cfg.Leaker != 0 {
+		res.Flags = append([]uint8(nil), s.flags...)
+	}
+	return res, nil
+}
+
+// ReachabilityCount runs cfg and returns only the number of ASes, excluding
+// the origin, that receive a route. It avoids materializing a Result and is
+// the fast path for whole-Internet sweeps.
+func (s *Simulator) ReachabilityCount(cfg Config) (int, error) {
+	seeds, _, err := s.prepare(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if seeds == nil {
+		return 0, fmt.Errorf("bgpsim: ReachabilityCount does not support leak configs")
+	}
+	s.propagate(seeds, cfg.Exclude, cfg.Locking, false, cfg.BreakTies)
+	n := 0
+	for i, c := range s.class {
+		if c != ClassNone && int32(i) != seeds[0].idx {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// prepare validates cfg and builds the propagation seeds. For leak configs
+// whose leaker holds no legitimate route it returns (nil, leakerIdx, nil).
+func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
+	s.leakBlocked = nil
+	oi, ok := s.g.Index(cfg.Origin)
+	if !ok {
+		return nil, -1, fmt.Errorf("bgpsim: origin AS%d not in graph", cfg.Origin)
+	}
+	if cfg.Exclude != nil && len(cfg.Exclude) != s.n {
+		return nil, -1, fmt.Errorf("bgpsim: Exclude mask has %d entries, graph has %d ASes", len(cfg.Exclude), s.n)
+	}
+	if cfg.Locking != nil && len(cfg.Locking) != s.n {
+		return nil, -1, fmt.Errorf("bgpsim: Locking mask has %d entries, graph has %d ASes", len(cfg.Locking), s.n)
+	}
+	if cfg.Exclude != nil && cfg.Exclude[oi] {
+		return nil, -1, fmt.Errorf("bgpsim: origin AS%d is excluded by the mask", cfg.Origin)
+	}
+
+	seeds := []seed{{idx: int32(oi), dist0: 0, flag: ViaLegit, policy: cfg.Policy}}
+	leakerIdx := int32(-1)
+	if cfg.Leaker != 0 {
+		li, ok := s.g.Index(cfg.Leaker)
+		if !ok {
+			return nil, -1, fmt.Errorf("bgpsim: leaker AS%d not in graph", cfg.Leaker)
+		}
+		if cfg.Leaker == cfg.Origin {
+			return nil, -1, fmt.Errorf("bgpsim: leaker equals origin AS%d", cfg.Origin)
+		}
+		if cfg.Exclude != nil && cfg.Exclude[li] {
+			return nil, -1, fmt.Errorf("bgpsim: leaker AS%d is excluded by the mask", cfg.Leaker)
+		}
+		leakerIdx = int32(li)
+		if cfg.Hijack {
+			// Forged origination: length zero, no upstream path.
+			seeds = append(seeds, seed{
+				idx:       leakerIdx,
+				dist0:     0,
+				flag:      ViaLeak,
+				exportAll: true,
+			})
+			return seeds, leakerIdx, nil
+		}
+		// The leaked announcement carries the leaker's legitimate best
+		// path; find its length with a leak-free pre-pass, tracking
+		// next hops so that loop detection (below) can be computed.
+		nh := s.propagate(seeds, cfg.Exclude, cfg.Locking, true, cfg.BreakTies)
+		if s.class[li] == ClassNone {
+			return nil, leakerIdx, nil // nothing to leak
+		}
+		// BGP loop detection: every copy of the leaked announcement
+		// carries the leaker's AS path toward the origin, so any AS
+		// that appears on *all* of the leaker's tied-best paths will
+		// reject every leaked copy. Mark those ASes so propagation
+		// strips the leak flag at them.
+		s.leakBlocked = s.onAllLeakerPaths(nh, int32(li))
+		seeds = append(seeds, seed{
+			idx:       leakerIdx,
+			dist0:     s.dist[li],
+			flag:      ViaLeak,
+			exportAll: true,
+		})
+	}
+	return seeds, leakerIdx, nil
+}
+
+// onAllLeakerPaths returns the dense mask of ASes appearing on every
+// tied-best path from the leaker toward the origin, given the pre-pass
+// next-hop DAG. Uses path-count products: with N(w) DAG paths from w to the
+// origin and A(w) DAG paths from the leaker to w, node w lies on all
+// leaker paths iff A(w)·N(w) equals the leaker's total path count.
+func (s *Simulator) onAllLeakerPaths(nh [][]int32, leaker int32) []bool {
+	n := s.n
+	// Order classed nodes by distance.
+	order := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if s.class[i] != ClassNone {
+			order = append(order, int32(i))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return s.dist[order[i]] < s.dist[order[j]] })
+
+	counts := make([]float64, n) // N(w): DAG paths w -> origin
+	for _, v := range order {
+		if s.class[v] == ClassOrigin && s.dist[v] == 0 {
+			counts[v] = 1
+			continue
+		}
+		var c float64
+		for _, u := range nh[v] {
+			c += counts[u]
+		}
+		counts[v] = c
+	}
+	reach := make([]float64, n) // A(w): DAG paths leaker -> w
+	reach[leaker] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if reach[v] == 0 {
+			continue
+		}
+		for _, u := range nh[v] {
+			reach[u] += reach[v]
+		}
+	}
+	total := counts[leaker]
+	blocked := make([]bool, n)
+	if total == 0 {
+		return blocked
+	}
+	for i := 0; i < n; i++ {
+		if int32(i) == leaker {
+			continue
+		}
+		p := reach[i] * counts[i]
+		if p > 0 && p >= total*(1-1e-9) {
+			blocked[i] = true
+		}
+	}
+	return blocked
+}
+
+// seed is one announcement source in a propagation.
+type seed struct {
+	idx       int32
+	dist0     int32
+	flag      uint8
+	exportAll bool    // leak: export to every neighbor regardless of class
+	policy    *Policy // announcement filter (legitimate origin only)
+}

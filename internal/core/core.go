@@ -1,0 +1,269 @@
+// Package core implements the paper's primary contribution: the
+// hierarchy-free reachability metric and its companions (§6–§7).
+//
+// For an origin AS o over an AS-level topology I, the metrics are defined
+// by route propagation (package bgpsim) over subgraphs of I:
+//
+//	provider-free reachability   reach(o, I \ P_o)            (§6.2)
+//	Tier-1-free reachability     reach(o, I \ P_o \ T1)       (§6.3)
+//	hierarchy-free reachability  reach(o, I \ P_o \ T1 \ T2)  (§6.4)
+//
+// where P_o is the set of o's transit providers and T1/T2 are the Tier-1
+// and Tier-2 ISP sets. Reliance (§7.1) measures, for each other AS a, the
+// expected number of destinations whose tied-best paths toward o traverse
+// a. The package works over any Dataset — synthetic topologies from
+// package topogen or real CAIDA relationship files parsed by package
+// astopo.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+)
+
+// Dataset is the input to the metrics: a topology plus the Tier-1 and
+// Tier-2 exclusion sets (the paper takes them from ProbLink/AS-Rank; the
+// synthetic generator defines them by construction).
+type Dataset struct {
+	Graph        *astopo.Graph
+	Tier1, Tier2 astopo.ASSet
+}
+
+// Kind selects the exclusion set of a reachability computation.
+type Kind int
+
+const (
+	// Full excludes nothing (baseline reachability).
+	Full Kind = iota
+	// ProviderFree excludes the origin's transit providers.
+	ProviderFree
+	// Tier1Free additionally excludes the Tier-1 clique.
+	Tier1Free
+	// HierarchyFree additionally excludes the Tier-2 ISPs — the paper's
+	// headline metric.
+	HierarchyFree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Full:
+		return "full"
+	case ProviderFree:
+		return "provider-free"
+	case Tier1Free:
+		return "tier1-free"
+	case HierarchyFree:
+		return "hierarchy-free"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Metrics computes the paper's metrics over one dataset. It is safe for
+// concurrent use; internal simulators are pooled per goroutine.
+type Metrics struct {
+	ds   Dataset
+	pool sync.Pool
+}
+
+// New returns a Metrics over ds. The graph is frozen.
+func New(ds Dataset) *Metrics {
+	ds.Graph.Freeze()
+	m := &Metrics{ds: ds}
+	m.pool.New = func() any { return bgpsim.New(ds.Graph) }
+	return m
+}
+
+// Dataset returns the dataset the metrics operate on.
+func (m *Metrics) Dataset() Dataset { return m.ds }
+
+// Mask builds the dense exclusion mask for (o, kind): the origin itself is
+// never masked even when it belongs to T1/T2 (a Tier-1 origin is not
+// excluded from its own propagation).
+func (m *Metrics) Mask(o astopo.ASN, kind Kind) []bool {
+	g := m.ds.Graph
+	mask := make([]bool, g.NumASes())
+	if kind == Full {
+		return mask
+	}
+	set := func(a astopo.ASN) {
+		if a == o {
+			return
+		}
+		if i, ok := g.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	for _, p := range g.Providers(o) {
+		set(p)
+	}
+	if kind >= Tier1Free {
+		for a := range m.ds.Tier1 {
+			set(a)
+		}
+	}
+	if kind >= HierarchyFree {
+		for a := range m.ds.Tier2 {
+			set(a)
+		}
+	}
+	return mask
+}
+
+// Reachability returns reach(o, kind): the number of ASes receiving o's
+// announcement over the subgraph.
+func (m *Metrics) Reachability(o astopo.ASN, kind Kind) (int, error) {
+	sim := m.pool.Get().(*bgpsim.Simulator)
+	defer m.pool.Put(sim)
+	return sim.ReachabilityCount(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind)})
+}
+
+// ReachabilityPct returns reachability as a fraction of all other ASes.
+func (m *Metrics) ReachabilityPct(o astopo.ASN, kind Kind) (float64, error) {
+	n, err := m.Reachability(o, kind)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / float64(m.ds.Graph.NumASes()-1), nil
+}
+
+// Propagate runs a full propagation for (o, kind), exposing classes,
+// lengths, and (optionally) the tied-best next-hop DAG.
+func (m *Metrics) Propagate(o astopo.ASN, kind Kind, trackNextHops bool) (*bgpsim.Result, error) {
+	sim := m.pool.Get().(*bgpsim.Simulator)
+	defer m.pool.Put(sim)
+	return sim.Run(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind), TrackNextHops: trackNextHops})
+}
+
+// ReachabilityAll computes reach(o, kind) for every AS in the graph,
+// in parallel. Results are indexed by dense graph index.
+func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
+	g := m.ds.Graph
+	n := g.NumASes()
+	out := make([]int, n)
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim := m.pool.Get().(*bgpsim.Simulator)
+			defer m.pool.Put(sim)
+			for i := range work {
+				o := g.ASNAt(i)
+				cnt, err := sim.ReachabilityCount(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind)})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = cnt
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RelianceEntry pairs an AS with its reliance value.
+type RelianceEntry struct {
+	AS    astopo.ASN
+	Value float64
+}
+
+// Reliance computes rely(o, a) for all a under the given kind's subgraph,
+// returning entries for every AS with nonzero reliance, unsorted. The
+// origin itself and per-destination self-reliance are included, matching
+// §7.1's definition.
+func (m *Metrics) Reliance(o astopo.ASN, kind Kind) ([]RelianceEntry, error) {
+	res, err := m.Propagate(o, kind, true)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := res.Reliance()
+	if err != nil {
+		return nil, err
+	}
+	g := m.ds.Graph
+	out := make([]RelianceEntry, 0, len(vals)/2)
+	for i, v := range vals {
+		if v > 0 {
+			out = append(out, RelianceEntry{AS: g.ASNAt(i), Value: v})
+		}
+	}
+	return out, nil
+}
+
+// TopReliance returns the k ASes (excluding the origin itself) on which o
+// relies most, sorted descending — Table 2's rows.
+func (m *Metrics) TopReliance(o astopo.ASN, kind Kind, k int) ([]RelianceEntry, error) {
+	entries, err := m.Reliance(o, kind)
+	if err != nil {
+		return nil, err
+	}
+	filtered := entries[:0]
+	for _, e := range entries {
+		if e.AS != o {
+			filtered = append(filtered, e)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool {
+		if filtered[i].Value != filtered[j].Value {
+			return filtered[i].Value > filtered[j].Value
+		}
+		return filtered[i].AS < filtered[j].AS
+	})
+	if k > len(filtered) {
+		k = len(filtered)
+	}
+	return filtered[:k], nil
+}
+
+// Unreachable returns the ASes that receive no route from o under the
+// kind's subgraph, excluding o itself and the masked ASes (they are not in
+// the subgraph at all) — the Fig. 4 population.
+func (m *Metrics) Unreachable(o astopo.ASN, kind Kind) ([]astopo.ASN, error) {
+	res, err := m.Propagate(o, kind, false)
+	if err != nil {
+		return nil, err
+	}
+	g := m.ds.Graph
+	mask := m.Mask(o, kind)
+	var out []astopo.ASN
+	for i, c := range res.Class {
+		if c != bgpsim.ClassNone || mask[i] {
+			continue
+		}
+		if a := g.ASNAt(i); a != o {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// ConeVsReach pairs each AS's customer-cone size with its hierarchy-free
+// reachability (Fig. 3's two axes), indexed by dense graph index.
+func (m *Metrics) ConeVsReach() (cones []int, reach []int, err error) {
+	reach, err = m.ReachabilityAll(HierarchyFree)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.ds.Graph.ConeSizes(), reach, nil
+}

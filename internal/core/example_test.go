@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+)
+
+// Example reproduces the paper's Fig. 1 walkthrough: a cloud provider with
+// one transit provider, peerings with a Tier-1, a Tier-2, and two user
+// ISPs, and one customer ISP behind each of the Tier-1 and Tier-2.
+func Example() {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(1, 100, astopo.P2C) // Tier-1 P sells transit to cloud 100
+	g.MustAddLink(100, 2, astopo.P2P) // cloud peers a Tier-1...
+	g.MustAddLink(100, 3, astopo.P2P) // ...a Tier-2...
+	g.MustAddLink(100, 4, astopo.P2P) // ...and user ISPs
+	g.MustAddLink(100, 5, astopo.P2P)
+	g.MustAddLink(2, 6, astopo.P2C) // ISP-A behind the Tier-1
+	g.MustAddLink(3, 7, astopo.P2C) // ISP-B behind the Tier-2
+	g.MustAddLink(1, 2, astopo.P2P) // the Tier-1 clique
+
+	m := core.New(core.Dataset{
+		Graph: g,
+		Tier1: astopo.NewASSet(1, 2),
+		Tier2: astopo.NewASSet(3),
+	})
+	for _, kind := range []core.Kind{core.ProviderFree, core.Tier1Free, core.HierarchyFree} {
+		n, err := m.Reachability(100, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d ASes\n", kind, n)
+	}
+	// Output:
+	// provider-free: 6 ASes
+	// tier1-free: 4 ASes
+	// hierarchy-free: 2 ASes
+}
+
+// ExampleMetrics_TopReliance shows who the cloud's traffic would
+// concentrate on when the hierarchy is bypassed.
+func ExampleMetrics_TopReliance() {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(100, 10, astopo.P2P) // cloud peers a regional transit
+	g.MustAddLink(10, 11, astopo.P2C)  // which serves two stubs
+	g.MustAddLink(10, 12, astopo.P2C)
+	m := core.New(core.Dataset{Graph: g})
+	top, err := m.TopReliance(100, core.HierarchyFree, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AS%d rely=%.0f\n", top[0].AS, top[0].Value)
+	// Output:
+	// AS10 rely=3
+}

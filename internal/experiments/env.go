@@ -1,0 +1,201 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation over the synthetic Internet presets. Each experiment has a
+// typed runner returning the same rows/series the paper reports, a text
+// renderer, and an entry in the Registry used by cmd/flatnet and the
+// benchmark harness.
+//
+// Absolute values differ from the paper's — the substrate is a 1:7-scaled
+// synthetic topology, not the authors' measurement testbed — but the
+// shapes (who wins, by what factor, where curves cross) are the
+// reproduction targets. EXPERIMENTS.md records paper-vs-measured values
+// for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"flatnet/internal/core"
+	"flatnet/internal/netdb"
+	"flatnet/internal/population"
+	"flatnet/internal/rdns"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+// Env bundles the datasets experiments run over. Heavy artifacts (address
+// plans, traceroute corpora) are built lazily and cached.
+type Env struct {
+	Scale float64
+
+	In2020, In2015   *topogen.Internet
+	M2020, M2015     *core.Metrics
+	Pop2020, Pop2015 *population.Model
+
+	mu        sync.Mutex
+	plan2020  *netdb.Plan
+	plan2015  *netdb.Plan
+	rdns2020  *rdns.Corpus
+	traces    map[traceKey][][]tracesim.Traceroute
+	tracesErr map[traceKey]error
+}
+
+type traceKey struct {
+	year  int
+	cloud string
+	nVMs  int
+}
+
+// NewEnv generates both presets at the given scale (1.0 ≈ 9,900 ASes for
+// 2020). The experiments' default is 0.35, which keeps the whole-Internet
+// sweeps under a minute on a laptop.
+func NewEnv(scale float64) (*Env, error) {
+	in2020, err := topogen.Generate(topogen.Internet2020(scale))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating 2020 preset: %w", err)
+	}
+	in2015, err := topogen.Generate(topogen.Internet2015(scale))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating 2015 preset: %w", err)
+	}
+	return &Env{
+		Scale:   scale,
+		In2020:  in2020,
+		In2015:  in2015,
+		M2020:   core.New(core.Dataset{Graph: in2020.Graph, Tier1: in2020.Tier1, Tier2: in2020.Tier2}),
+		M2015:   core.New(core.Dataset{Graph: in2015.Graph, Tier1: in2015.Tier1, Tier2: in2015.Tier2}),
+		Pop2020: population.Build(in2020, 1.1),
+		Pop2015: population.Build(in2015, 1.1),
+	}, nil
+}
+
+// Plan2020 lazily builds the 2020 address plan.
+func (e *Env) Plan2020() (*netdb.Plan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.plan2020 == nil {
+		p, err := netdb.Build(e.In2020)
+		if err != nil {
+			return nil, err
+		}
+		e.plan2020 = p
+	}
+	return e.plan2020, nil
+}
+
+// Plan2015 lazily builds the 2015 address plan.
+func (e *Env) Plan2015() (*netdb.Plan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.plan2015 == nil {
+		p, err := netdb.Build(e.In2015)
+		if err != nil {
+			return nil, err
+		}
+		e.plan2015 = p
+	}
+	return e.plan2015, nil
+}
+
+// RDNS2020 lazily synthesizes the 2020 rDNS corpus.
+func (e *Env) RDNS2020() (*rdns.Corpus, error) {
+	plan, err := e.Plan2020()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rdns2020 == nil {
+		e.rdns2020 = rdns.Synthesize(plan, 20200901)
+	}
+	return e.rdns2020, nil
+}
+
+// Traces returns the cached traceroute corpus for one cloud (nVMs <= 0 uses
+// the paper's §4.1 VM counts).
+func (e *Env) Traces(year int, cloud string, nVMs int) ([][]tracesim.Traceroute, error) {
+	var plan *netdb.Plan
+	var err error
+	switch year {
+	case 2020:
+		plan, err = e.Plan2020()
+	case 2015:
+		plan, err = e.Plan2015()
+	default:
+		return nil, fmt.Errorf("experiments: unknown year %d", year)
+	}
+	if err != nil {
+		return nil, err
+	}
+	key := traceKey{year, cloud, nVMs}
+	e.mu.Lock()
+	if e.traces == nil {
+		e.traces = make(map[traceKey][][]tracesim.Traceroute)
+		e.tracesErr = make(map[traceKey]error)
+	}
+	if tr, ok := e.traces[key]; ok {
+		err := e.tracesErr[key]
+		e.mu.Unlock()
+		return tr, err
+	}
+	e.mu.Unlock()
+
+	engine := tracesim.New(plan, tracesim.DefaultOptions(int64(year)))
+	vms, err := engine.VMs(cloud, nVMs)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := engine.TraceAll(vms)
+
+	e.mu.Lock()
+	e.traces[key] = tr
+	e.tracesErr[key] = err
+	e.mu.Unlock()
+	return tr, err
+}
+
+// Clouds lists the four providers in the paper's usual order.
+func Clouds() []string { return []string{"Google", "Microsoft", "IBM", "Amazon"} }
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID, Title string
+	Run       func(*Env, io.Writer) error
+}
+
+// Registry lists all experiments in paper order.
+var Registry = []Runner{
+	{"fig2", "Fig. 2: reachability under provider-free / Tier-1-free / hierarchy-free constraints", runFig2},
+	{"table1", "Table 1: top-20 hierarchy-free reachability, 2015 vs 2020", runTable1},
+	{"fig3", "Fig. 3: hierarchy-free reachability vs customer cone, all ASes", runFig3},
+	{"fig4", "Fig. 4: unreachable ASes by type under hierarchy-free constraints", runFig4},
+	{"fig6", "Fig. 6: reliance histogram per cloud", runFig6},
+	{"table2", "Table 2: top-3 reliance per cloud", runTable2},
+	{"fig7", "Fig. 7: route-leak detour CDFs (Microsoft, Amazon, IBM, Facebook)", runFig7},
+	{"fig8", "Fig. 8: route-leak detour CDFs (Google)", runFig8},
+	{"fig9", "Fig. 9: user-weighted route-leak detour CDFs (Google)", runFig9},
+	{"fig10", "Fig. 10: Google leak resilience, 2015 vs 2020", runFig10},
+	{"fig11", "Fig. 11: cloud vs transit PoP deployments", runFig11},
+	{"fig12", "Fig. 12: population coverage within 500/700/1000 km of PoPs", runFig12},
+	{"fig13", "Fig. 13 (App. E): path lengths over time, three weightings", runFig13},
+	{"table3", "Table 3 (App. C): PoPs and rDNS confirmation per network", runTable3},
+	{"appA", "Appendix A: simulated paths vs traced paths", runAppA},
+	{"appB", "Appendix B: Sprint and Deutsche Telekom reliance on Tier-2s", runAppB},
+	{"sec41", "§4.1: BGP-feed-visible vs combined cloud neighbor counts", runSec41},
+	{"sec5", "§5: neighbor-inference FDR/FNR per methodology stage", runSec5},
+	{"ablation", "Ablation: metrics on feed-only vs augmented vs ground-truth graphs", runAblation},
+	{"ablation-ties", "Ablation: worst-case (all ties) vs tie-broken leak exposure", runTiesAblation},
+	{"sensitivity", "Sensitivity: hierarchy-free reachability vs fraction of peerings missed", runSensitivity},
+	{"hijack", "Extension: accidental leaks vs forged originations (prefix hijacks)", runHijack},
+}
+
+// ByID finds a registered experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flatnet/internal/bgpsim"
+)
+
+// HijackRow compares a cloud's exposure to accidental leaks and to forged
+// originations (prefix hijacks), which §8.1 calls "intentional malicious
+// route leaks".
+type HijackRow struct {
+	Cloud                  string
+	LeakMean, HijackMean   float64
+	LeakWorst, HijackWorst float64
+	// LockedHijackMean is the hijack exposure with Tier-1+Tier-2 peer
+	// locking deployed — how much the paper's §8.2 defense helps against
+	// deliberate attacks.
+	LockedHijackMean float64
+}
+
+// Hijack runs the comparison for every cloud.
+func Hijack(env *Env) ([]HijackRow, error) {
+	in := env.In2020
+	var rows []HijackRow
+	for _, cloud := range Clouds() {
+		origin := in.Clouds[cloud]
+		leakers := bgpsim.SampleLeakers(in.Graph, origin, leakTrialsPerConfig/2, int64(origin)+7)
+		row := HijackRow{Cloud: cloud}
+		run := func(cfg bgpsim.Config) (mean, worst float64, err error) {
+			trials, err := bgpsim.RunLeakTrials(in.Graph, cfg, leakers, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, tr := range trials {
+				mean += tr.DetouredFrac
+				if tr.DetouredFrac > worst {
+					worst = tr.DetouredFrac
+				}
+			}
+			return mean / float64(len(trials)), worst, nil
+		}
+		var err error
+		if row.LeakMean, row.LeakWorst, err = run(bgpsim.Config{Origin: origin}); err != nil {
+			return nil, err
+		}
+		if row.HijackMean, row.HijackWorst, err = run(bgpsim.Config{Origin: origin, Hijack: true}); err != nil {
+			return nil, err
+		}
+		lockCfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, bgpsim.AnnounceAllLockT1T2)
+		lockCfg.Hijack = true
+		if row.LockedHijackMean, _, err = run(lockCfg); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runHijack(env *Env, w io.Writer) error {
+	rows, err := Hijack(env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "accidental leaks vs forged originations (prefix hijacks), announce-to-all")
+	fmt.Fprintf(w, "%-10s %11s %13s %12s %14s %18s\n",
+		"cloud", "leak mean", "hijack mean", "leak worst", "hijack worst", "hijack+T1T2 lock")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10.2f%% %12.2f%% %11.2f%% %13.2f%% %17.2f%%\n",
+			r.Cloud, 100*r.LeakMean, 100*r.HijackMean, 100*r.LeakWorst, 100*r.HijackWorst,
+			100*r.LockedHijackMean)
+	}
+	return nil
+}

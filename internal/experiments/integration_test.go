@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+)
+
+// TestSerial1RoundTripPreservesMetrics exercises the "drop in real CAIDA
+// data" path end to end: export the synthetic topology in serial-1 format,
+// re-parse it as a fresh dataset, and verify the paper's metrics are
+// bit-identical — the guarantee a user replacing our generator with a real
+// .as-rel file relies on.
+func TestSerial1RoundTripPreservesMetrics(t *testing.T) {
+	env := getEnv(t)
+	in := env.In2020
+
+	var buf bytes.Buffer
+	if err := astopo.WriteRelationships(&buf, in.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := astopo.ReadRelationships(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumASes() != in.Graph.NumASes() || g2.NumLinks() != in.Graph.NumLinks() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumASes(), g2.NumLinks(), in.Graph.NumASes(), in.Graph.NumLinks())
+	}
+	m2 := core.New(core.Dataset{Graph: g2, Tier1: in.Tier1, Tier2: in.Tier2})
+	for _, cloud := range Clouds() {
+		asn := in.Clouds[cloud]
+		for _, kind := range []core.Kind{core.ProviderFree, core.Tier1Free, core.HierarchyFree} {
+			want, err := env.M2020.Reachability(asn, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m2.Reachability(asn, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s %v: %d after round trip, want %d", cloud, kind, got, want)
+			}
+		}
+	}
+}
+
+// TestCliqueRecoveryFromGraph verifies that the AS-Rank-style clique
+// detection recovers the constructed Tier-1 set from the bare graph — i.e.
+// a user with only a relationship file can derive the exclusion sets.
+func TestCliqueRecoveryFromGraph(t *testing.T) {
+	env := getEnv(t)
+	in := env.In2020
+	clique := in.Graph.Clique()
+	found := astopo.NewASSet(clique...)
+	missing := 0
+	for a := range in.Tier1 {
+		if !found.Has(a) {
+			missing++
+			t.Logf("Tier-1 AS%d (%s) not recovered", a, in.NameOf(a))
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d Tier-1s not recovered by clique detection", missing, len(in.Tier1))
+	}
+	// The provider-free Tier-2s (HE, PCCW, Liberty Global) peer with the
+	// whole clique, so they may legitimately be absorbed into it; anything
+	// else is a false member.
+	allowed := astopo.NewASSet(6939, 3491, 6830)
+	for _, a := range clique {
+		if !in.Tier1.Has(a) && !allowed.Has(a) {
+			t.Errorf("clique contains unexpected AS%d (%s)", a, in.NameOf(a))
+		}
+	}
+}
+
+// TestProviderFreeDominatesCone checks a true containment invariant: the
+// customer cone reaches its members over pure p2c chains that can never
+// pass through the origin's own transit providers (that would be a p2c
+// cycle), so provider-free reachability >= cone size - 1 for every AS.
+// (Hierarchy-free reachability does NOT dominate the cone: a Tier-2 ISP
+// can sit inside a large transit's cone, and excluding it cuts off its
+// single-homed subtree — the effect Appendix B studies.)
+func TestProviderFreeDominatesCone(t *testing.T) {
+	env := getEnv(t)
+	all, err := env.M2020.ReachabilityAll(core.ProviderFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cones := env.In2020.Graph.ConeSizes()
+	viol := 0
+	for i := range cones {
+		// Cone includes the AS itself; reach does not.
+		if all[i] < cones[i]-1 {
+			viol++
+			if viol <= 5 {
+				t.Errorf("AS%d: provider-free reach %d < cone-1 %d",
+					env.In2020.Graph.ASNAt(i), all[i], cones[i]-1)
+			}
+		}
+	}
+	if viol > 5 {
+		t.Errorf("... and %d more violations", viol-5)
+	}
+}

@@ -1,0 +1,403 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+	"flatnet/internal/population"
+	"flatnet/internal/topogen"
+)
+
+// Fig2Row is one network's stacked bar in Fig. 2.
+type Fig2Row struct {
+	Name          string
+	AS            astopo.ASN
+	Group         string // "cloud", "tier1", "tier2"
+	ProviderFree  int
+	Tier1Free     int
+	HierarchyFree int
+}
+
+// Fig2 computes reachability for the clouds, Tier-1s, and Tier-2s under
+// the three subgraph constraints, sorted by descending hierarchy-free
+// reachability like the paper's figure.
+func Fig2(env *Env) ([]Fig2Row, error) {
+	in, m := env.In2020, env.M2020
+	var rows []Fig2Row
+	add := func(a astopo.ASN, group string) error {
+		row := Fig2Row{Name: in.NameOf(a), AS: a, Group: group}
+		var err error
+		if row.ProviderFree, err = m.Reachability(a, core.ProviderFree); err != nil {
+			return err
+		}
+		if row.Tier1Free, err = m.Reachability(a, core.Tier1Free); err != nil {
+			return err
+		}
+		if row.HierarchyFree, err = m.Reachability(a, core.HierarchyFree); err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	for _, c := range Clouds() {
+		if err := add(in.Clouds[c], "cloud"); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range in.Tier1.Slice() {
+		if err := add(a, "tier1"); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range in.Tier2.Slice() {
+		if err := add(a, "tier2"); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].HierarchyFree > rows[j].HierarchyFree })
+	return rows, nil
+}
+
+func runFig2(env *Env, w io.Writer) error {
+	rows, err := Fig2(env)
+	if err != nil {
+		return err
+	}
+	total := env.In2020.Graph.NumASes() - 1
+	fmt.Fprintf(w, "%-18s %-6s %12s %12s %15s\n", "network", "group", "provider-free", "tier1-free", "hierarchy-free")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-6s %7d (%3.0f%%) %6d (%3.0f%%) %8d (%3.0f%%)\n",
+			r.Name, r.Group,
+			r.ProviderFree, 100*float64(r.ProviderFree)/float64(total),
+			r.Tier1Free, 100*float64(r.Tier1Free)/float64(total),
+			r.HierarchyFree, 100*float64(r.HierarchyFree)/float64(total))
+	}
+	return nil
+}
+
+// Table1Row is one rank entry of Table 1.
+type Table1Row struct {
+	Rank  int
+	Name  string
+	AS    astopo.ASN
+	Reach int
+	Pct   float64
+	// PctChange is the 2020-vs-2015 percentage-point change (2020 side
+	// only; NaN when the AS is absent in 2015).
+	PctChange float64
+}
+
+// Table1Result holds both years' rankings plus the clouds' ranks even when
+// outside the top k (the paper annotates Microsoft #62 and Amazon #206 in
+// 2015).
+type Table1Result struct {
+	Top2015, Top2020 []Table1Row
+	CloudRanks2015   map[string]Table1Row
+	CloudRanks2020   map[string]Table1Row
+}
+
+// Table1 ranks every AS by hierarchy-free reachability in both presets.
+func Table1(env *Env, topK int) (*Table1Result, error) {
+	rank := func(m *core.Metrics, in *topogen.Internet) ([]Table1Row, map[string]Table1Row, error) {
+		all, err := m.ReachabilityAll(core.HierarchyFree)
+		if err != nil {
+			return nil, nil, err
+		}
+		g := in.Graph
+		total := float64(g.NumASes() - 1)
+		rows := make([]Table1Row, g.NumASes())
+		for i, n := range all {
+			a := g.ASNAt(i)
+			rows[i] = Table1Row{Name: in.NameOf(a), AS: a, Reach: n, Pct: 100 * float64(n) / total}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Reach != rows[j].Reach {
+				return rows[i].Reach > rows[j].Reach
+			}
+			return rows[i].AS < rows[j].AS
+		})
+		clouds := make(map[string]Table1Row)
+		for i := range rows {
+			rows[i].Rank = i + 1
+			for _, c := range Clouds() {
+				if rows[i].AS == in.Clouds[c] {
+					clouds[c] = rows[i]
+				}
+			}
+		}
+		return rows, clouds, nil
+	}
+	r15, c15, err := rank(env.M2015, env.In2015)
+	if err != nil {
+		return nil, err
+	}
+	r20, c20, err := rank(env.M2020, env.In2020)
+	if err != nil {
+		return nil, err
+	}
+	// Percentage change for the 2020 rows relative to the same AS' 2015
+	// percentage.
+	pct15 := make(map[astopo.ASN]float64, len(r15))
+	for _, r := range r15 {
+		pct15[r.AS] = r.Pct
+	}
+	for i := range r20 {
+		if p, ok := pct15[r20[i].AS]; ok {
+			r20[i].PctChange = r20[i].Pct - p
+		} else {
+			r20[i].PctChange = math.NaN()
+		}
+	}
+	if topK > len(r15) {
+		topK = len(r15)
+	}
+	if topK > len(r20) {
+		topK = len(r20)
+	}
+	return &Table1Result{
+		Top2015:        r15[:topK],
+		Top2020:        r20[:topK],
+		CloudRanks2015: c15,
+		CloudRanks2020: c20,
+	}, nil
+}
+
+func runTable1(env *Env, w io.Writer) error {
+	res, err := Table1(env, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-4s %-20s %10s %8s   |   %-20s %10s %8s %8s\n",
+		"#", "2015 network", "reach", "%", "2020 network", "reach", "%", "Δ%")
+	for i := range res.Top2020 {
+		r15, r20 := res.Top2015[i], res.Top2020[i]
+		fmt.Fprintf(w, "%-4d %-20s %10d %7.1f%%   |   %-20s %10d %7.1f%% %+7.1f\n",
+			i+1, r15.Name, r15.Reach, r15.Pct, r20.Name, r20.Reach, r20.Pct, r20.PctChange)
+	}
+	fmt.Fprintln(w, "cloud ranks:")
+	for _, c := range Clouds() {
+		fmt.Fprintf(w, "  %-10s 2015: #%-5d (%.1f%%)   2020: #%-5d (%.1f%%)\n",
+			c, res.CloudRanks2015[c].Rank, res.CloudRanks2015[c].Pct,
+			res.CloudRanks2020[c].Rank, res.CloudRanks2020[c].Pct)
+	}
+	return nil
+}
+
+// Fig3Point is one AS in the cone-vs-reach scatter.
+type Fig3Point struct {
+	AS    astopo.ASN
+	Cone  int
+	Reach int
+	Type  population.ASType
+	Class topogen.ASClass
+}
+
+// Fig3Result carries the scatter plus the paper's summary statistics.
+type Fig3Result struct {
+	Points []Fig3Point
+	// HighReach counts ASes with hierarchy-free reachability >= the
+	// threshold; HighCone the same for customer cone (the paper: 8,374
+	// vs 51 at >= 1,000 on the 69,488-AS graph).
+	Threshold           int
+	HighReach, HighCone int
+	SpearmanRho         float64
+}
+
+// Fig3 computes hierarchy-free reachability and customer cone for every AS.
+func Fig3(env *Env) (*Fig3Result, error) {
+	cones, reach, err := env.M2020.ConeVsReach()
+	if err != nil {
+		return nil, err
+	}
+	in := env.In2020
+	g := in.Graph
+	res := &Fig3Result{Points: make([]Fig3Point, g.NumASes())}
+	// Scale the paper's >= 1000 threshold to our graph size.
+	res.Threshold = int(1000 * float64(g.NumASes()) / 69488)
+	if res.Threshold < 1 {
+		res.Threshold = 1
+	}
+	for i := range res.Points {
+		a := g.ASNAt(i)
+		res.Points[i] = Fig3Point{AS: a, Cone: cones[i], Reach: reach[i], Type: env.Pop2020.Type(a), Class: in.Class[a]}
+		if reach[i] >= res.Threshold {
+			res.HighReach++
+		}
+		if cones[i] >= res.Threshold {
+			res.HighCone++
+		}
+	}
+	res.SpearmanRho = spearman(cones, reach)
+	return res, nil
+}
+
+func runFig3(env *Env, w io.Writer) error {
+	res, err := Fig3(env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ASes: %d; threshold (scaled from paper's 1000): %d\n", len(res.Points), res.Threshold)
+	fmt.Fprintf(w, "ASes with hierarchy-free reach >= threshold: %d\n", res.HighReach)
+	fmt.Fprintf(w, "ASes with customer cone >= threshold:        %d\n", res.HighCone)
+	fmt.Fprintf(w, "Spearman rank correlation (cone vs reach):   %.3f\n", res.SpearmanRho)
+	fmt.Fprintln(w, "scatter summary (cone bucket -> mean reach, count):")
+	type bucket struct {
+		sum, n int
+	}
+	buckets := map[int]*bucket{}
+	for _, p := range res.Points {
+		b := 0
+		for c := p.Cone; c > 1; c /= 10 {
+			b++
+		}
+		if buckets[b] == nil {
+			buckets[b] = &bucket{}
+		}
+		buckets[b].sum += p.Reach
+		buckets[b].n++
+	}
+	for b := 0; b < 6; b++ {
+		if bk := buckets[b]; bk != nil {
+			fmt.Fprintf(w, "  cone ~10^%d: mean reach %7.1f over %d ASes\n", b, float64(bk.sum)/float64(bk.n), bk.n)
+		}
+	}
+	// Named spot checks the paper calls out (Sprint's rank collapse).
+	sprintRank, coneRank := rankOf(res.Points, 1239)
+	fmt.Fprintf(w, "Sprint: cone rank #%d vs hierarchy-free rank #%d\n", coneRank, sprintRank)
+	return nil
+}
+
+// rankOf returns (reach rank, cone rank) of an AS, 1-indexed.
+func rankOf(points []Fig3Point, a astopo.ASN) (reachRank, coneRank int) {
+	var target Fig3Point
+	found := false
+	for _, p := range points {
+		if p.AS == a {
+			target, found = p, true
+			break
+		}
+	}
+	if !found {
+		return 0, 0
+	}
+	reachRank, coneRank = 1, 1
+	for _, p := range points {
+		if p.Reach > target.Reach {
+			reachRank++
+		}
+		if p.Cone > target.Cone {
+			coneRank++
+		}
+	}
+	return reachRank, coneRank
+}
+
+func spearman(xs, ys []int) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var num, dx, dy float64
+	for i := 0; i < n; i++ {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+func ranks(xs []int) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// Fig4Row breaks down one network's hierarchy-free-unreachable ASes by
+// type.
+type Fig4Row struct {
+	Name        string
+	AS          astopo.ASN
+	Unreachable int
+	ByType      map[population.ASType]int
+}
+
+// Fig4Networks is the paper's x-axis: the top four clouds and eight transit
+// providers.
+func Fig4Networks(in *topogen.Internet) []astopo.ASN {
+	return []astopo.ASN{
+		3356, 6939, in.Clouds["Google"], in.Clouds["Microsoft"], in.Clouds["IBM"],
+		174, 6461, 1299, 3257, 2914, 7713, in.Clouds["Amazon"],
+	}
+}
+
+// Fig4 tallies unreachable-AS types per provider.
+func Fig4(env *Env) ([]Fig4Row, error) {
+	in, m := env.In2020, env.M2020
+	var rows []Fig4Row
+	for _, a := range Fig4Networks(in) {
+		un, err := m.Unreachable(a, core.HierarchyFree)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{
+			Name:        in.NameOf(a),
+			AS:          a,
+			Unreachable: len(un),
+			ByType:      env.Pop2020.CountByType(un),
+		})
+	}
+	return rows, nil
+}
+
+func runFig4(env *Env, w io.Writer) error {
+	rows, err := Fig4(env)
+	if err != nil {
+		return err
+	}
+	types := []population.ASType{population.TypeContent, population.TypeTransit, population.TypeAccess, population.TypeEnterprise}
+	fmt.Fprintf(w, "%-18s %12s %9s %9s %9s %10s\n", "network", "unreachable", "content", "transit", "access", "enterprise")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %12d", r.Name, r.Unreachable)
+		for _, t := range types {
+			pct := 0.0
+			if r.Unreachable > 0 {
+				pct = 100 * float64(r.ByType[t]) / float64(r.Unreachable)
+			}
+			fmt.Fprintf(w, " %7.1f%%", pct)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

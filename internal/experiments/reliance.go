@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/core"
+)
+
+// Fig6Result is the reliance histogram for one cloud: bin width 25 (as in
+// the paper) over reliance values of all other ASes, plus the top entries.
+type Fig6Result struct {
+	Cloud string
+	// Bins maps bin start (0, 25, 50, ...) to the number of ASes whose
+	// reliance falls in [start, start+25).
+	Bins map[int]int
+	// MaxReliance and MaxAS identify the most relied-upon network.
+	MaxReliance float64
+	MaxAS       astopo.ASN
+	// RelyOne counts ASes with reliance in [1, 2): the "completely flat"
+	// signature (§7.2).
+	RelyOne int
+}
+
+const fig6BinWidth = 25
+
+// Fig6 computes the per-cloud reliance histograms under hierarchy-free
+// propagation.
+func Fig6(env *Env) ([]Fig6Result, error) {
+	var out []Fig6Result
+	for _, c := range Clouds() {
+		asn := env.In2020.Clouds[c]
+		entries, err := env.M2020.Reliance(asn, core.HierarchyFree)
+		if err != nil {
+			return nil, err
+		}
+		res := Fig6Result{Cloud: c, Bins: make(map[int]int)}
+		for _, e := range entries {
+			if e.AS == asn {
+				continue
+			}
+			bin := int(e.Value) / fig6BinWidth * fig6BinWidth
+			res.Bins[bin]++
+			if e.Value > res.MaxReliance {
+				res.MaxReliance = e.Value
+				res.MaxAS = e.AS
+			}
+			if e.Value >= 1 && e.Value < 2 {
+				res.RelyOne++
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runFig6(env *Env, w io.Writer) error {
+	results, err := Fig6(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s: max reliance %.1f on %s; ASes with reliance in [1,2): %d\n",
+			r.Cloud, r.MaxReliance, env.In2020.NameOf(r.MaxAS), r.RelyOne)
+		bins := make([]int, 0, len(r.Bins))
+		for b := range r.Bins {
+			bins = append(bins, b)
+		}
+		sort.Ints(bins)
+		for _, b := range bins {
+			if b > 400 {
+				fmt.Fprintf(w, "  [tail: bins above 400 omitted]\n")
+				break
+			}
+			fmt.Fprintf(w, "  [%4d,%4d): %6d ASes\n", b, b+fig6BinWidth, r.Bins[b])
+		}
+	}
+	return nil
+}
+
+// Table2Row is one cloud's top-3 reliance entries.
+type Table2Row struct {
+	Cloud string
+	Top   []core.RelianceEntry
+}
+
+// Table2 extracts each cloud's three most relied-upon networks.
+func Table2(env *Env) ([]Table2Row, error) {
+	var out []Table2Row
+	for _, c := range Clouds() {
+		top, err := env.M2020.TopReliance(env.In2020.Clouds[c], core.HierarchyFree, 3)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table2Row{Cloud: c, Top: top})
+	}
+	return out, nil
+}
+
+func runTable2(env *Env, w io.Writer) error {
+	rows, err := Table2(env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-28s %-28s %-28s\n", "cloud", "#1 (AS, rely)", "#2", "#3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Cloud)
+		for _, e := range r.Top {
+			label := env.In2020.NameOf(e.AS)
+			if !strings.HasPrefix(label, "AS") {
+				label = fmt.Sprintf("%s (AS%d)", label, e.AS)
+			}
+			fmt.Fprintf(w, " %-28s", fmt.Sprintf("%s %.1f", label, e.Value))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// AppBResult examines one hierarchy-reliant Tier-1 (Appendix B): its
+// Tier-1-free reachability, the Tier-2s it relies on most, and the
+// counterfactual reachability when just those Tier-2s are bypassed.
+type AppBResult struct {
+	Name                string
+	AS                  astopo.ASN
+	Tier1FreeReach      int
+	HierarchyFreeReach  int
+	TopTier2            []core.RelianceEntry
+	BypassTopTier2Reach int
+}
+
+// AppB runs the case study for Sprint (1239) and Deutsche Telekom (3320).
+func AppB(env *Env) ([]AppBResult, error) {
+	m, in := env.M2020, env.In2020
+	var out []AppBResult
+	for _, a := range []astopo.ASN{1239, 3320} {
+		r := AppBResult{Name: in.NameOf(a), AS: a}
+		var err error
+		if r.Tier1FreeReach, err = m.Reachability(a, core.Tier1Free); err != nil {
+			return nil, err
+		}
+		if r.HierarchyFreeReach, err = m.Reachability(a, core.HierarchyFree); err != nil {
+			return nil, err
+		}
+		// Reliance under Tier-1-free propagation, filtered to Tier-2s.
+		entries, err := m.TopReliance(a, core.Tier1Free, in.Graph.NumASes())
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if in.Tier2.Has(e.AS) {
+				r.TopTier2 = append(r.TopTier2, e)
+				if len(r.TopTier2) == 6 {
+					break
+				}
+			}
+		}
+		// Counterfactual: bypass only those six Tier-2s (plus the
+		// Tier-1s and own providers).
+		mask := m.Mask(a, core.Tier1Free)
+		for _, e := range r.TopTier2 {
+			if i, ok := in.Graph.Index(e.AS); ok {
+				mask[i] = true
+			}
+		}
+		sim := bgpsim.New(in.Graph)
+		if r.BypassTopTier2Reach, err = sim.ReachabilityCount(bgpsim.Config{Origin: a, Exclude: mask}); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runAppB(env *Env, w io.Writer) error {
+	results, err := AppB(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s (AS%d): Tier-1-free reach %d -> hierarchy-free %d\n",
+			r.Name, r.AS, r.Tier1FreeReach, r.HierarchyFreeReach)
+		fmt.Fprintf(w, "  top Tier-2 reliance:")
+		for _, e := range r.TopTier2 {
+			fmt.Fprintf(w, " %s(%.0f)", env.In2020.NameOf(e.AS), e.Value)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  bypassing just those %d Tier-2s: reach %d (vs full hierarchy-free %d)\n",
+			len(r.TopTier2), r.BypassTopTier2Reach, r.HierarchyFreeReach)
+	}
+	return nil
+}

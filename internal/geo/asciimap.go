@@ -1,0 +1,76 @@
+package geo
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderASCIIMap draws an equirectangular text map of the gazetteer with
+// per-city markers — the terminal rendering of the paper's Fig. 11. Cities
+// without a marker print as '·'; marked cities print their rune, with later
+// map entries NOT overriding earlier drawn cells (callers order markers by
+// priority by drawing the most important last via the priority list).
+//
+// width is the number of character columns (height follows at roughly 2:1
+// to compensate for terminal glyph aspect). Latitudes outside [-60, 75] are
+// clamped; that band covers every gazetteer city.
+func RenderASCIIMap(w io.Writer, markers map[CityID]rune, priority []rune, width int) error {
+	if width < 40 {
+		width = 40
+	}
+	height := width * 30 / 100
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	const (
+		latTop, latBot = 75.0, -60.0
+		lonL, lonR     = -180.0, 180.0
+	)
+	cell := func(c City) (row, col int) {
+		lat := c.Lat
+		if lat > latTop {
+			lat = latTop
+		}
+		if lat < latBot {
+			lat = latBot
+		}
+		row = int((latTop - lat) / (latTop - latBot) * float64(height-1))
+		col = int((c.Lon - lonL) / (lonR - lonL) * float64(width-1))
+		return row, col
+	}
+	rank := func(r rune) int {
+		for i, p := range priority {
+			if p == r {
+				return len(priority) - i
+			}
+		}
+		return 0
+	}
+	best := make([][]rune, height)
+	for i := range best {
+		best[i] = make([]rune, width)
+	}
+	for i, c := range gazetteer {
+		m, ok := markers[CityID(i)]
+		if !ok {
+			m = '·'
+		}
+		row, col := cell(c)
+		if rank(m) >= rank(best[row][col]) || best[row][col] == 0 || best[row][col] == '·' {
+			if best[row][col] == 0 || rank(m) >= rank(best[row][col]) {
+				best[row][col] = m
+				grid[row][col] = m
+			}
+		}
+	}
+	for _, line := range grid {
+		if _, err := fmt.Fprintln(w, string(line)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

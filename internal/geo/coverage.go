@@ -1,0 +1,109 @@
+package geo
+
+// This file computes the §9 population-coverage quantities: the share of
+// population within a radius of a PoP deployment (Fig. 12) and the
+// cloud-vs-transit deployment comparison (Fig. 11).
+
+// PaperRadiiKm are the radii the paper evaluates: large providers use 500,
+// 700, and 1000 km as benchmarks for directing users to a nearby PoP.
+var PaperRadiiKm = []float64{500, 700, 1000}
+
+// Covered reports, for every gazetteer city, whether it lies within
+// radiusKm of any PoP in the set.
+func Covered(pops []CityID, radiusKm float64) []bool {
+	out := make([]bool, len(gazetteer))
+	for i := range gazetteer {
+		for _, p := range pops {
+			if CityDistanceKm(CityID(i), p) <= radiusKm {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CoveragePct returns the percentage (0–100) of world population within
+// radiusKm of the PoP set.
+func CoveragePct(pops []CityID, radiusKm float64) float64 {
+	cov := Covered(pops, radiusKm)
+	var covered, total float64
+	for i, c := range gazetteer {
+		total += c.PopM
+		if cov[i] {
+			covered += c.PopM
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * covered / total
+}
+
+// CoverageByContinent returns, per continent, the percentage (0–100) of
+// that continent's population within radiusKm of the PoP set.
+func CoverageByContinent(pops []CityID, radiusKm float64) map[Continent]float64 {
+	cov := Covered(pops, radiusKm)
+	covered := make(map[Continent]float64)
+	total := make(map[Continent]float64)
+	for i, c := range gazetteer {
+		total[c.Continent] += c.PopM
+		if cov[i] {
+			covered[c.Continent] += c.PopM
+		}
+	}
+	out := make(map[Continent]float64, len(total))
+	for cont, tot := range total {
+		if tot > 0 {
+			out[cont] = 100 * covered[cont] / tot
+		}
+	}
+	return out
+}
+
+// Union merges PoP sets, de-duplicating cities.
+func Union(sets ...[]CityID) []CityID {
+	seen := make(map[CityID]bool)
+	var out []CityID
+	for _, s := range sets {
+		for _, id := range s {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// DeploymentMap classifies PoP cities into the three Fig. 11 categories.
+type DeploymentMap struct {
+	CloudOnly   []CityID
+	TransitOnly []CityID
+	Both        []CityID
+}
+
+// CompareDeployments classifies the union of cloud and transit PoP cities:
+// cities hosting only cloud PoPs, only transit PoPs, or both.
+func CompareDeployments(cloud, transit []CityID) DeploymentMap {
+	inCloud := make(map[CityID]bool, len(cloud))
+	for _, id := range cloud {
+		inCloud[id] = true
+	}
+	inTransit := make(map[CityID]bool, len(transit))
+	for _, id := range transit {
+		inTransit[id] = true
+	}
+	var dm DeploymentMap
+	for _, id := range Union(cloud, transit) {
+		switch {
+		case inCloud[id] && inTransit[id]:
+			dm.Both = append(dm.Both, id)
+		case inCloud[id]:
+			dm.CloudOnly = append(dm.CloudOnly, id)
+		default:
+			dm.TransitOnly = append(dm.TransitOnly, id)
+		}
+	}
+	return dm
+}

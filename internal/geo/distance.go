@@ -1,0 +1,26 @@
+package geo
+
+import "math"
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance in kilometers between two
+// (latitude, longitude) points given in degrees.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	phi1 := lat1 * degToRad
+	phi2 := lat2 * degToRad
+	dPhi := (lat2 - lat1) * degToRad
+	dLam := (lon2 - lon1) * degToRad
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// CityDistanceKm returns the great-circle distance between two gazetteer
+// cities.
+func CityDistanceKm(a, b CityID) float64 {
+	ca, cb := gazetteer[a], gazetteer[b]
+	return HaversineKm(ca.Lat, ca.Lon, cb.Lat, cb.Lon)
+}

@@ -1,0 +1,208 @@
+package geo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b        string
+		wantKm      float64
+		toleranceKm float64
+	}{
+		{"jfk", "lhr", 5540, 60},  // New York - London
+		{"lax", "nrt", 8770, 100}, // Los Angeles - Tokyo
+		{"syd", "akl", 2150, 60},  // Sydney - Auckland
+		{"fra", "ams", 360, 30},   // Frankfurt - Amsterdam
+	}
+	for _, c := range cases {
+		ai, bi := CityByIATA(c.a), CityByIATA(c.b)
+		if ai < 0 || bi < 0 {
+			t.Fatalf("missing city %s or %s", c.a, c.b)
+		}
+		got := CityDistanceKm(ai, bi)
+		if math.Abs(got-c.wantKm) > c.toleranceKm {
+			t.Errorf("dist(%s,%s) = %.0f km, want %.0f±%.0f", c.a, c.b, got, c.wantKm, c.toleranceKm)
+		}
+	}
+}
+
+func TestHaversineMetricProperties(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		// Clamp into valid ranges.
+		clampLat := func(x float64) float64 { return math.Mod(math.Abs(x), 180) - 90 }
+		clampLon := func(x float64) float64 { return math.Mod(math.Abs(x), 360) - 180 }
+		a1, o1 := clampLat(lat1), clampLon(lon1)
+		a2, o2 := clampLat(lat2), clampLon(lon2)
+		d12 := HaversineKm(a1, o1, a2, o2)
+		d21 := HaversineKm(a2, o2, a1, o1)
+		dSelf := HaversineKm(a1, o1, a1, o1)
+		const maxDist = math.Pi * EarthRadiusKm
+		return d12 >= 0 && d12 <= maxDist+1 &&
+			math.Abs(d12-d21) < 1e-6 &&
+			dSelf < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGazetteerIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cities() {
+		if c.Lat < -90 || c.Lat > 90 || c.Lon < -180 || c.Lon > 180 {
+			t.Errorf("%s: bad coordinates (%v, %v)", c.Name, c.Lat, c.Lon)
+		}
+		if c.PopM <= 0 {
+			t.Errorf("%s: nonpositive population", c.Name)
+		}
+		if len(c.IATA) != 3 {
+			t.Errorf("%s: bad IATA %q", c.Name, c.IATA)
+		}
+		if seen[c.IATA] {
+			t.Errorf("duplicate IATA %q", c.IATA)
+		}
+		seen[c.IATA] = true
+	}
+	if len(Cities()) < 120 {
+		t.Errorf("gazetteer has %d cities, want >= 120", len(Cities()))
+	}
+	// All continents populated.
+	byCont := ContinentPopulationM()
+	for _, cont := range Continents() {
+		if byCont[cont] <= 0 {
+			t.Errorf("continent %v empty", cont)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	// Empty PoP set covers nothing.
+	if got := CoveragePct(nil, 500); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+	// The whole gazetteer as PoPs covers everything.
+	all := make([]CityID, len(Cities()))
+	for i := range all {
+		all[i] = CityID(i)
+	}
+	if got := CoveragePct(all, 1); got < 99.9 {
+		t.Errorf("full coverage = %v", got)
+	}
+	// Coverage grows with radius.
+	pops := []CityID{CityByIATA("fra"), CityByIATA("jfk"), CityByIATA("sin")}
+	c500 := CoveragePct(pops, 500)
+	c1000 := CoveragePct(pops, 1000)
+	if !(c500 > 0 && c1000 >= c500 && c1000 < 100) {
+		t.Errorf("coverage not monotone/sane: 500km=%v 1000km=%v", c500, c1000)
+	}
+	// A Frankfurt PoP covers Europe far better than Africa.
+	byCont := CoverageByContinent([]CityID{CityByIATA("fra")}, 1000)
+	if byCont[Europe] <= byCont[Africa] {
+		t.Errorf("Frankfurt covers Africa (%v) >= Europe (%v)", byCont[Africa], byCont[Europe])
+	}
+}
+
+func TestCompareDeployments(t *testing.T) {
+	fra, jfk, sin := CityByIATA("fra"), CityByIATA("jfk"), CityByIATA("sin")
+	dm := CompareDeployments([]CityID{fra, jfk}, []CityID{jfk, sin})
+	if len(dm.CloudOnly) != 1 || dm.CloudOnly[0] != fra {
+		t.Errorf("CloudOnly = %v", dm.CloudOnly)
+	}
+	if len(dm.TransitOnly) != 1 || dm.TransitOnly[0] != sin {
+		t.Errorf("TransitOnly = %v", dm.TransitOnly)
+	}
+	if len(dm.Both) != 1 || dm.Both[0] != jfk {
+		t.Errorf("Both = %v", dm.Both)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := []CityID{1, 2, 3}
+	b := []CityID{3, 4}
+	u := Union(a, b)
+	if len(u) != 4 {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestRenderASCIIMap(t *testing.T) {
+	var buf bytes.Buffer
+	markers := map[CityID]rune{
+		CityByIATA("jfk"): 'B',
+		CityByIATA("fra"): 'T',
+		CityByIATA("syd"): 'C',
+	}
+	if err := RenderASCIIMap(&buf, markers, []rune{'B', 'T', 'C'}, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range []string{"B", "T", "C", "·"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("map missing marker %q", m)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Errorf("map has %d rows, want 30 at width 100", len(lines))
+	}
+	for i, l := range lines {
+		if len([]rune(l)) != 100 {
+			t.Errorf("row %d has %d columns", i, len([]rune(l)))
+		}
+	}
+	// New York is in the upper-left quadrant, Sydney lower-right.
+	findMarker := func(m rune) (row, col int) {
+		for r, l := range lines {
+			for c, ch := range []rune(l) {
+				if ch == m {
+					return r, c
+				}
+			}
+		}
+		return -1, -1
+	}
+	br, bc := findMarker('B')
+	cr, cc := findMarker('C')
+	if !(br < cr && bc < cc) {
+		t.Errorf("geometry wrong: B at (%d,%d), C at (%d,%d)", br, bc, cr, cc)
+	}
+	// Tiny width is clamped rather than failing.
+	var small bytes.Buffer
+	if err := RenderASCIIMap(&small, nil, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() == 0 {
+		t.Error("clamped map empty")
+	}
+}
+
+func TestContinentsStable(t *testing.T) {
+	conts := Continents()
+	if len(conts) != 6 {
+		t.Fatalf("got %d continents", len(conts))
+	}
+	seen := map[string]bool{}
+	for _, c := range conts {
+		if c.String() == "Unknown" {
+			t.Errorf("continent %d has no name", c)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate continent %s", c)
+		}
+		seen[c.String()] = true
+	}
+	if Continent(99).String() != "Unknown" {
+		t.Error("out-of-range continent not Unknown")
+	}
+	if TotalPopulationM() < 500 {
+		t.Errorf("world metro population %.0fM implausibly low", TotalPopulationM())
+	}
+	if CityByIATA("zzz") != -1 {
+		t.Error("unknown IATA resolved")
+	}
+}

@@ -1,0 +1,132 @@
+package ipasn
+
+import (
+	"net/netip"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/netdb"
+)
+
+// Resolver maps an IP address to the AS it should be attributed to.
+type Resolver interface {
+	// Resolve returns the AS for addr, or ok=false when the source has
+	// no answer.
+	Resolve(addr netip.Addr) (astopo.ASN, bool)
+	// Name identifies the data source in diagnostics.
+	Name() string
+}
+
+// Cymru is the Team-Cymru-style resolver: longest-prefix match over the
+// prefixes announced in BGP. Addresses in unannounced space (most IXP LANs,
+// by design) fail; addresses in *announced* IXP LANs resolve to the
+// exchange's route-server ASN — the wrong answer for border mapping, which
+// is why the paper's final methodology prefers PeeringDB (§5).
+type Cymru struct {
+	trie Trie
+}
+
+// NewCymru indexes the announced prefixes.
+func NewCymru(prefixes []netdb.PrefixOrigin) (*Cymru, error) {
+	c := &Cymru{}
+	for _, po := range prefixes {
+		if err := c.trie.Insert(po.Prefix, po.Origin); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Resolve implements Resolver.
+func (c *Cymru) Resolve(addr netip.Addr) (astopo.ASN, bool) { return c.trie.Lookup(addr) }
+
+// Name implements Resolver.
+func (c *Cymru) Name() string { return "cymru" }
+
+// PeeringDB resolves exchange LAN addresses to the member AS holding them
+// (the netixlan table). It answers only for addresses it has records for.
+type PeeringDB struct {
+	byAddr map[netip.Addr]astopo.ASN
+}
+
+// NewPeeringDB indexes the IXP LANs' member addresses, applying the
+// stale-row errors the operator database carries.
+func NewPeeringDB(lans []netdb.IXPLan) *PeeringDB {
+	p := &PeeringDB{byAddr: make(map[netip.Addr]astopo.ASN)}
+	for _, lan := range lans {
+		for member, addr := range lan.MemberAddr {
+			p.byAddr[addr] = member
+		}
+		for addr, wrong := range lan.StaleEntries {
+			p.byAddr[addr] = wrong
+		}
+	}
+	return p
+}
+
+// Resolve implements Resolver.
+func (p *PeeringDB) Resolve(addr netip.Addr) (astopo.ASN, bool) {
+	a, ok := p.byAddr[addr]
+	return a, ok
+}
+
+// Name implements Resolver.
+func (p *PeeringDB) Name() string { return "peeringdb" }
+
+// Whois resolves via address allocations: any address inside an AS's
+// allocated block maps to that AS. IXP LANs are registered to exchange
+// operators, which are organizations rather than routed ASes, so Whois
+// reports no AS for them (the paper then falls through to PeeringDB).
+type Whois struct {
+	trie Trie
+}
+
+// NewWhois indexes the per-AS allocations of the plan (announced or not),
+// including unannounced infrastructure blocks.
+func NewWhois(plan *netdb.Plan) (*Whois, error) {
+	w := &Whois{}
+	for asn, pfx := range plan.ASPrefix {
+		if err := w.trie.Insert(pfx, asn); err != nil {
+			return nil, err
+		}
+	}
+	for asn, pfx := range plan.Infra {
+		if err := w.trie.Insert(pfx, asn); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Resolve implements Resolver.
+func (w *Whois) Resolve(addr netip.Addr) (astopo.ASN, bool) { return w.trie.Lookup(addr) }
+
+// Name implements Resolver.
+func (w *Whois) Name() string { return "whois" }
+
+// Chain tries resolvers in order, returning the first answer. The order is
+// the §5 methodology knob: the naive stage is Cymru-only; the improved
+// stage adds PeeringDB and whois after Cymru; the final stage puts
+// PeeringDB first so announced IXP LANs resolve to members, not exchange
+// ASNs.
+type Chain struct {
+	resolvers []Resolver
+	name      string
+}
+
+// NewChain builds an ordered chain.
+func NewChain(name string, rs ...Resolver) *Chain {
+	return &Chain{resolvers: rs, name: name}
+}
+
+// Resolve implements Resolver.
+func (c *Chain) Resolve(addr netip.Addr) (astopo.ASN, bool) {
+	for _, r := range c.resolvers {
+		if a, ok := r.Resolve(addr); ok {
+			return a, ok
+		}
+	}
+	return 0, false
+}
+
+// Name implements Resolver.
+func (c *Chain) Name() string { return c.name }

@@ -1,0 +1,90 @@
+// Package ipasn implements IP→AS resolution the way the paper's pipeline
+// does (§4.1, §5): a Team-Cymru-style longest-prefix match over announced
+// prefixes, a PeeringDB lookup for IXP LAN addresses, a whois fallback over
+// address allocations, and resolver chains reproducing each methodology
+// stage the paper iterated through.
+package ipasn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"flatnet/internal/astopo"
+)
+
+// Trie is a binary radix tree over IPv4 prefixes supporting longest-prefix
+// match. The zero value is an empty trie ready for use.
+type Trie struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	asn   astopo.ASN
+	set   bool
+}
+
+// Insert associates a prefix with an origin AS. Inserting the same prefix
+// twice overwrites the origin (last announcement wins, like a routing
+// table).
+func (t *Trie) Insert(p netip.Prefix, asn astopo.ASN) error {
+	if !p.Addr().Is4() {
+		return fmt.Errorf("ipasn: prefix %v is not IPv4", p)
+	}
+	if p.Bits() < 0 || p.Bits() > 32 {
+		return fmt.Errorf("ipasn: invalid prefix length %d", p.Bits())
+	}
+	v := addrUint32(p.Addr())
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
+	cur := t.root
+	for i := 0; i < p.Bits(); i++ {
+		bit := (v >> (31 - uint(i))) & 1
+		if cur.child[bit] == nil {
+			cur.child[bit] = &trieNode{}
+		}
+		cur = cur.child[bit]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.asn = asn
+	cur.set = true
+	return nil
+}
+
+// Lookup returns the origin AS of the longest matching prefix.
+func (t *Trie) Lookup(a netip.Addr) (astopo.ASN, bool) {
+	if t.root == nil || !a.Is4() {
+		return 0, false
+	}
+	v := addrUint32(a)
+	var best astopo.ASN
+	found := false
+	cur := t.root
+	for i := 0; i <= 32; i++ {
+		if cur.set {
+			best, found = cur.asn, true
+		}
+		if i == 32 {
+			break
+		}
+		bit := (v >> (31 - uint(i))) & 1
+		if cur.child[bit] == nil {
+			break
+		}
+		cur = cur.child[bit]
+	}
+	return best, found
+}
+
+// Len returns the number of distinct prefixes stored.
+func (t *Trie) Len() int { return t.n }
+
+func addrUint32(a netip.Addr) uint32 {
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}

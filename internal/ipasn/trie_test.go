@@ -1,0 +1,150 @@
+package ipasn
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"flatnet/internal/astopo"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	var tr Trie
+	inserts := []struct {
+		p   string
+		asn astopo.ASN
+	}{
+		{"10.0.0.0/8", 1},
+		{"10.1.0.0/16", 2},
+		{"10.1.2.0/24", 3},
+		{"0.0.0.0/0", 99},
+	}
+	for _, in := range inserts {
+		if err := tr.Insert(mustPrefix(t, in.p), in.asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		addr string
+		want astopo.ASN
+	}{
+		{"10.1.2.3", 3},
+		{"10.1.3.1", 2},
+		{"10.9.9.9", 1},
+		{"11.0.0.1", 99},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d,%v, want %d", c.addr, got, ok, c.want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieEmptyAndMisses(t *testing.T) {
+	var tr Trie
+	if _, ok := tr.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty trie returned a match")
+	}
+	if err := tr.Insert(mustPrefix(t, "192.168.0.0/16"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Error("miss returned a match")
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("IPv6 lookup returned a match")
+	}
+	if err := tr.Insert(netip.MustParsePrefix("2001:db8::/32"), 7); err == nil {
+		t.Error("IPv6 insert accepted")
+	}
+}
+
+func TestTrieOverwrite(t *testing.T) {
+	var tr Trie
+	p := mustPrefix(t, "10.0.0.0/8")
+	if err := tr.Insert(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Lookup(netip.MustParseAddr("10.0.0.1")); got != 2 {
+		t.Errorf("overwrite: got %d", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", tr.Len())
+	}
+}
+
+// Property: trie lookup equals a linear scan picking the longest matching
+// prefix (highest bits wins, last-inserted wins ties).
+func TestTrieMatchesLinearScan(t *testing.T) {
+	type entry struct {
+		p   netip.Prefix
+		asn astopo.ASN
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trie
+		var entries []entry
+		for i := 0; i < 50; i++ {
+			bits := rng.Intn(25) + 8
+			v := rng.Uint32() &^ (1<<(32-uint(bits)) - 1)
+			var b [4]byte
+			b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+			p := netip.PrefixFrom(netip.AddrFrom4(b), bits)
+			asn := astopo.ASN(rng.Intn(1000) + 1)
+			if err := tr.Insert(p, asn); err != nil {
+				return false
+			}
+			entries = append(entries, entry{p, asn})
+		}
+		for i := 0; i < 100; i++ {
+			var b [4]byte
+			rng.Read(b[:])
+			addr := netip.AddrFrom4(b)
+			var want astopo.ASN
+			bestBits := -1
+			for _, e := range entries {
+				if e.p.Contains(addr) && e.p.Bits() >= bestBits {
+					// >= so the LAST inserted equal-length prefix
+					// wins, matching Insert's overwrite.
+					if e.p.Bits() > bestBits {
+						bestBits = e.p.Bits()
+						want = e.asn
+					} else {
+						want = e.asn
+					}
+				}
+			}
+			got, ok := tr.Lookup(addr)
+			if bestBits < 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package neighbors
+
+import (
+	"bytes"
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/netdb"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+type fixture struct {
+	in     *topogen.Internet
+	plan   *netdb.Plan
+	engine *tracesim.Engine
+	res    Resolvers
+}
+
+func newFixture(t testing.TB, scale float64) *fixture {
+	t.Helper()
+	in, err := topogen.Generate(topogen.Internet2020(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := netdb.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResolvers(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		in:     in,
+		plan:   plan,
+		engine: tracesim.New(plan, tracesim.DefaultOptions(7)),
+		res:    res,
+	}
+}
+
+func (f *fixture) infer(t testing.TB, cloud string, nVMs int, stage Stage) (Inference, Validation) {
+	t.Helper()
+	vms, err := f.engine.VMs(cloud, nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := f.engine.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := f.in.Clouds[cloud]
+	inf := Infer(traces, asn, f.res, stage)
+	truth := append(append(f.in.Graph.Peers(asn), f.in.Graph.Providers(asn)...), f.in.Graph.Customers(asn)...)
+	return inf, Validate(inf.Neighbors, truth)
+}
+
+// The §5 story: the naive stage has a much higher FDR than the final
+// methodology, and the final methodology keeps FDR low while FNR stays
+// moderate (more neighbors exist than measurements can see).
+func TestMethodologyStagesImproveFDR(t *testing.T) {
+	f := newFixture(t, 0.15)
+	_, vNaive := f.infer(t, "Google", 6, StageNaive)
+	_, vDiscard := f.infer(t, "Google", 6, StageDiscard)
+	_, vFinal := f.infer(t, "Google", 6, StageFinal)
+	t.Logf("naive: FDR=%.3f FNR=%.3f; discard: FDR=%.3f FNR=%.3f; final: FDR=%.3f FNR=%.3f",
+		vNaive.FDR, vNaive.FNR, vDiscard.FDR, vDiscard.FNR, vFinal.FDR, vFinal.FNR)
+	if vNaive.FDR <= vFinal.FDR {
+		t.Errorf("naive FDR (%.3f) should exceed final FDR (%.3f)", vNaive.FDR, vFinal.FDR)
+	}
+	if vFinal.FDR > 0.20 {
+		t.Errorf("final FDR = %.3f, want <= 0.20 (paper: 11-15%%)", vFinal.FDR)
+	}
+	if vFinal.FNR > 0.45 {
+		t.Errorf("final FNR = %.3f, want <= 0.45 (paper: ~21%%)", vFinal.FNR)
+	}
+	if vDiscard.FDR > vNaive.FDR {
+		t.Errorf("discard stage FDR (%.3f) should not exceed naive (%.3f)", vDiscard.FDR, vNaive.FDR)
+	}
+}
+
+// More VM locations uncover more neighbors (lower FNR), §5.
+func TestMoreVMsLowerFNR(t *testing.T) {
+	f := newFixture(t, 0.15)
+	_, v2 := f.infer(t, "Google", 2, StageFinal)
+	_, v12 := f.infer(t, "Google", 12, StageFinal)
+	t.Logf("2 VMs: FNR=%.3f; 12 VMs: FNR=%.3f", v2.FNR, v12.FNR)
+	if v12.FNR >= v2.FNR {
+		t.Errorf("12 VMs FNR (%.3f) should be below 2 VMs FNR (%.3f)", v12.FNR, v2.FNR)
+	}
+}
+
+func TestInferredNeighborsMostlyReal(t *testing.T) {
+	f := newFixture(t, 0.15)
+	inf, v := f.infer(t, "Microsoft", 0, StageFinal)
+	if len(inf.Neighbors) == 0 {
+		t.Fatal("no neighbors inferred")
+	}
+	if inf.Retained == 0 || inf.Discarded == 0 {
+		t.Errorf("retained=%d discarded=%d; expected both nonzero", inf.Retained, inf.Discarded)
+	}
+	if v.TP < 50 {
+		t.Errorf("only %d true positives", v.TP)
+	}
+}
+
+func TestValidateArithmetic(t *testing.T) {
+	inferred := astopo.NewASSet(1, 2, 3, 4)
+	truth := []astopo.ASN{1, 2, 5, 6, 7}
+	v := Validate(inferred, truth)
+	if v.TP != 2 || v.FP != 2 || v.FN != 3 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d, want 2/2/3", v.TP, v.FP, v.FN)
+	}
+	if v.FDR != 0.5 {
+		t.Errorf("FDR = %v", v.FDR)
+	}
+	if v.FNR != 0.6 {
+		t.Errorf("FNR = %v", v.FNR)
+	}
+	empty := Validate(astopo.NewASSet(), nil)
+	if empty.FDR != 0 || empty.FNR != 0 {
+		t.Error("empty validation should be zero")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(10, 20, astopo.P2C) // 10 is provider of cloud 20
+	added := Augment(g, 20, astopo.NewASSet(10, 30, 40))
+	if added != 2 {
+		t.Errorf("added = %d, want 2 (existing p2c preserved)", added)
+	}
+	if rel, _ := g.HasLink(10, 20); rel != astopo.P2C {
+		t.Error("existing link type modified")
+	}
+	for _, n := range []astopo.ASN{30, 40} {
+		if rel, ok := g.HasLink(20, n); !ok || rel != astopo.P2P {
+			t.Errorf("AS%d not added as peer", n)
+		}
+	}
+}
+
+// The inference pipeline must work from observable data alone: running it
+// on traceroutes that round-tripped through the scamper JSON wire format
+// (which strips every ground-truth field) must give identical neighbor
+// sets.
+func TestInferWorksFromWireFormat(t *testing.T) {
+	f := newFixture(t, 0.1)
+	vms, err := f.engine.VMs("Google", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := f.engine.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := f.in.Clouds["Google"]
+	direct := Infer(traces, asn, f.res, StageFinal)
+
+	var stripped [][]tracesim.Traceroute
+	for _, group := range traces {
+		var buf bytes.Buffer
+		if err := tracesim.WriteJSON(&buf, group); err != nil {
+			t.Fatal(err)
+		}
+		back, err := tracesim.ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripped = append(stripped, back)
+	}
+	fromWire := Infer(stripped, asn, f.res, StageFinal)
+	if len(fromWire.Neighbors) != len(direct.Neighbors) {
+		t.Fatalf("wire-format inference found %d neighbors, direct %d",
+			len(fromWire.Neighbors), len(direct.Neighbors))
+	}
+	for a := range direct.Neighbors {
+		if !fromWire.Neighbors.Has(a) {
+			t.Errorf("AS%d missing from wire-format inference", a)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package netdb
+
+import (
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/topogen"
+)
+
+func buildPlan(t testing.TB) (*topogen.Internet, *Plan) {
+	t.Helper()
+	in, err := topogen.Generate(topogen.Internet2020(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, p
+}
+
+func TestEveryASHasDistinctPrefix(t *testing.T) {
+	in, p := buildPlan(t)
+	seen := map[string]astopo.ASN{}
+	for _, a := range in.Graph.ASes() {
+		pfx, ok := p.ASPrefix[a]
+		if !ok {
+			t.Fatalf("AS%d has no prefix", a)
+		}
+		if pfx.Bits() != 16 {
+			t.Errorf("AS%d prefix %v is not a /16", a, pfx)
+		}
+		if prev, dup := seen[pfx.String()]; dup {
+			t.Errorf("prefix %v shared by AS%d and AS%d", pfx, prev, a)
+		}
+		seen[pfx.String()] = a
+	}
+}
+
+func TestEveryLinkNumbered(t *testing.T) {
+	in, p := buildPlan(t)
+	for _, l := range in.Graph.Links() {
+		num, ok := p.LinkInfo(l.A, l.B)
+		if !ok {
+			t.Fatalf("link %v unnumbered", l)
+		}
+		if !num.AAddr.IsValid() || !num.BAddr.IsValid() {
+			t.Fatalf("link %v has invalid addrs", l)
+		}
+		if num.AAddr == num.BAddr {
+			t.Errorf("link %v: both sides share address %v", l, num.AAddr)
+		}
+		switch {
+		case num.IXP >= 0:
+			lan := p.Lans[num.IXP]
+			if !lan.Prefix.Contains(num.AAddr) || !lan.Prefix.Contains(num.BAddr) {
+				t.Errorf("link %v: IXP addrs outside LAN %v", l, lan.Prefix)
+			}
+		default:
+			if num.Owner == 0 {
+				t.Fatalf("link %v: no owner and no IXP", l)
+			}
+			owner := p.ASPrefix[num.Owner]
+			if !owner.Contains(num.AAddr) || !owner.Contains(num.BAddr) {
+				t.Errorf("link %v: addrs outside owner AS%d space", l, num.Owner)
+			}
+		}
+		if l.Rel == astopo.P2C && num.IXP < 0 && num.Owner != l.A {
+			t.Errorf("p2c link %v: subnet owned by AS%d, want provider AS%d", l, num.Owner, l.A)
+		}
+	}
+}
+
+func TestLinkAddrOrientation(t *testing.T) {
+	in, p := buildPlan(t)
+	for _, l := range in.Graph.Links()[:200] {
+		a1, b1, ok := p.LinkAddr(l.A, l.B)
+		if !ok {
+			t.Fatal("missing link")
+		}
+		b2, a2, ok := p.LinkAddr(l.B, l.A)
+		if !ok || a1 != a2 || b1 != b2 {
+			t.Fatalf("LinkAddr not symmetric for %v: (%v,%v) vs (%v,%v)", l, a1, b1, a2, b2)
+		}
+	}
+	if _, _, ok := p.LinkAddr(1, 2); ok {
+		// ASes 1 and 2 are not in the generated graph
+		t.Error("nonexistent link resolved")
+	}
+}
+
+func TestSomeLinksUseIXPLans(t *testing.T) {
+	in, p := buildPlan(t)
+	nIXP, nP2P := 0, 0
+	for _, l := range in.Graph.Links() {
+		if l.Rel != astopo.P2P {
+			continue
+		}
+		nP2P++
+		if num, _ := p.LinkInfo(l.A, l.B); num.IXP >= 0 {
+			nIXP++
+		}
+	}
+	if nIXP == 0 {
+		t.Fatal("no p2p links numbered from IXP LANs")
+	}
+	frac := float64(nIXP) / float64(nP2P)
+	if frac < 0.2 {
+		t.Errorf("only %.2f of p2p links at IXPs, expected a substantial share", frac)
+	}
+}
+
+func TestAnnouncedPrefixes(t *testing.T) {
+	in, p := buildPlan(t)
+	anns := p.AnnouncedPrefixes()
+	nLanAnnounced := 0
+	for _, lan := range p.Lans {
+		if lan.Announced {
+			nLanAnnounced++
+			if lan.OperatorASN < ixpOperatorASNBase {
+				t.Errorf("announced LAN has bad operator ASN %d", lan.OperatorASN)
+			}
+		}
+	}
+	if nLanAnnounced == 0 {
+		t.Error("no IXP LANs announced; the §5 Cymru artifact cannot occur")
+	}
+	if nLanAnnounced == len(p.Lans) {
+		t.Error("all IXP LANs announced; the unannounced-LAN artifact cannot occur")
+	}
+	nExtra := 0
+	for _, e := range p.Extra {
+		nExtra += len(e)
+	}
+	want := in.Graph.NumASes() + nExtra + nLanAnnounced
+	if len(anns) != want {
+		t.Errorf("announced %d prefixes, want %d", len(anns), want)
+	}
+}
+
+func TestInternalAddr(t *testing.T) {
+	in, p := buildPlan(t)
+	a := in.Clouds["Google"]
+	addr, ok := p.InternalAddr(a, 3)
+	if !ok {
+		t.Fatal("no internal addr")
+	}
+	if !p.ASPrefix[a].Contains(addr) {
+		t.Errorf("internal addr %v outside AS%d prefix %v", addr, a, p.ASPrefix[a])
+	}
+	if _, ok := p.InternalAddr(a, -1); ok {
+		t.Error("negative index accepted")
+	}
+	if _, ok := p.InternalAddr(9999999, 0); ok {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	in, err := topogen.Generate(topogen.Internet2020(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v1 := range p1.Links {
+		if v2 := p2.Links[k]; v1 != v2 {
+			t.Fatalf("nondeterministic numbering for %v: %v vs %v", k, v1, v2)
+		}
+	}
+}

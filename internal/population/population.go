@@ -1,0 +1,151 @@
+// Package population assigns the two per-AS annotations the paper draws
+// from external datasets (§4.3): an AS type (content, transit, access, or
+// enterprise, following CAIDA's as2type plus the APNIC-user refinement) and
+// an estimated Internet user population per AS (APNIC's ad-based estimates).
+//
+// The synthetic substitute follows the real datasets' shape: only access
+// networks serve end users, and per-AS user counts are heavy-tailed (a
+// Zipf-like distribution), so a small number of eyeball ASes hold most of
+// the population. User mass is additionally proportional to the AS's home
+// metro population so geography and population agree.
+package population
+
+import (
+	"math"
+	"math/rand"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+	"flatnet/internal/topogen"
+)
+
+// ASType is the paper's four-way classification (§4.3).
+type ASType uint8
+
+const (
+	// TypeContent marks content/hosting networks.
+	TypeContent ASType = iota
+	// TypeTransit marks transit networks without measurable users.
+	TypeTransit
+	// TypeAccess marks transit/access networks with APNIC-visible users.
+	TypeAccess
+	// TypeEnterprise marks enterprise stubs.
+	TypeEnterprise
+)
+
+func (t ASType) String() string {
+	switch t {
+	case TypeContent:
+		return "content"
+	case TypeTransit:
+		return "transit"
+	case TypeAccess:
+		return "access"
+	case TypeEnterprise:
+		return "enterprise"
+	}
+	return "unknown"
+}
+
+// Model holds the per-AS annotations.
+type Model struct {
+	types map[astopo.ASN]ASType
+	users map[astopo.ASN]float64
+	total float64
+}
+
+// Build derives a Model from a generated Internet: the paper's rule is
+// "CAIDA type transit/access + APNIC users present => access" — here the
+// generator's access class gets users, clouds and hypergiant content count
+// as content, Tier-1/Tier-2/transit as transit, enterprises as enterprise.
+// The Zipf exponent s (≈1.1 matches APNIC's skew) and the rng seed make the
+// assignment deterministic per Internet.
+func Build(in *topogen.Internet, zipfS float64) *Model {
+	m := &Model{
+		types: make(map[astopo.ASN]ASType, in.Graph.NumASes()),
+		users: make(map[astopo.ASN]float64),
+	}
+	rng := rand.New(rand.NewSource(in.Spec.Seed ^ 0x9e3779b9))
+	var accessASes []astopo.ASN
+	for _, a := range in.Graph.ASes() {
+		switch in.Class[a] {
+		case topogen.ClassAccess:
+			m.types[a] = TypeAccess
+			accessASes = append(accessASes, a)
+		case topogen.ClassContent, topogen.ClassCloud:
+			m.types[a] = TypeContent
+		case topogen.ClassEnterprise:
+			m.types[a] = TypeEnterprise
+		default:
+			m.types[a] = TypeTransit
+		}
+	}
+	// Zipf ranks shuffled across access ASes, weighted by home-metro
+	// population so that a big-metro AS tends to hold more users.
+	perm := rng.Perm(len(accessASes))
+	cities := geo.Cities()
+	for rank, pi := range perm {
+		a := accessASes[pi]
+		base := 1.0 / math.Pow(float64(rank+1), zipfS)
+		metro := 1.0
+		if c, ok := in.HomeCity[a]; ok {
+			metro = 0.5 + cities[c].PopM/10
+		}
+		u := base * metro
+		m.users[a] = u
+		m.total += u
+	}
+	return m
+}
+
+// Type returns the AS's type; unknown ASes are enterprises.
+func (m *Model) Type(a astopo.ASN) ASType {
+	if t, ok := m.types[a]; ok {
+		return t
+	}
+	return TypeEnterprise
+}
+
+// Users returns the AS's user mass (arbitrary units; use Share for
+// fractions).
+func (m *Model) Users(a astopo.ASN) float64 { return m.users[a] }
+
+// Share returns the AS's fraction of all Internet users.
+func (m *Model) Share(a astopo.ASN) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return m.users[a] / m.total
+}
+
+// TotalUsers returns the summed user mass.
+func (m *Model) TotalUsers() float64 { return m.total }
+
+// IsEyeball reports whether the AS hosts end users.
+func (m *Model) IsEyeball(a astopo.ASN) bool { return m.users[a] > 0 }
+
+// WeightsDense returns per-AS user weights indexed by the graph's dense
+// index, normalized to sum to 1 — the form bgpsim.Result.DetouredWeight
+// consumes.
+func (m *Model) WeightsDense(g *astopo.Graph) []float64 {
+	g.Freeze()
+	w := make([]float64, g.NumASes())
+	if m.total == 0 {
+		return w
+	}
+	for a, u := range m.users {
+		if i, ok := g.Index(a); ok {
+			w[i] = u / m.total
+		}
+	}
+	return w
+}
+
+// CountByType tallies the ASes of each type among the given set.
+func (m *Model) CountByType(asns []astopo.ASN) map[ASType]int {
+	out := make(map[ASType]int, 4)
+	for _, a := range asns {
+		out[m.Type(a)]++
+	}
+	return out
+}

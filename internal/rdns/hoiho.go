@@ -1,0 +1,172 @@
+package rdns
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file implements the sc_hoiho-style convention learner (§4.2's
+// second method): given router alias groups (hostnames known to belong to
+// the same router), learn a regular expression that extracts the location
+// token from that network's hostnames.
+//
+// The key observation hoiho exploits: within one alias group the location
+// token is constant (all interfaces of a router sit in one city) while
+// interface-specific tokens vary; across groups in different cities the
+// location token varies. The learner tokenizes hostnames into delimiter-
+// separated fields (and digit/letter runs within fields), then picks the
+// field position whose value is constant within groups but diverse across
+// groups, emitting an anchored extraction regex.
+
+// tokenize splits a hostname's first label sequence into letter runs,
+// keeping positional structure: "ae-1.r02.jfk01" -> ["ae","r","jfk"] with
+// positions recorded as (label index, run index).
+type tokenPos struct {
+	label, run int
+}
+
+func letterRuns(label string) []string {
+	var runs []string
+	cur := strings.Builder{}
+	for _, r := range label {
+		if r >= 'a' && r <= 'z' {
+			cur.WriteRune(r)
+		} else if cur.Len() > 0 {
+			runs = append(runs, cur.String())
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		runs = append(runs, cur.String())
+	}
+	return runs
+}
+
+func tokensOf(hostname string) map[tokenPos]string {
+	out := make(map[tokenPos]string)
+	labels := strings.Split(hostname, ".")
+	for li, label := range labels {
+		for ri, run := range letterRuns(label) {
+			out[tokenPos{li, ri}] = run
+		}
+	}
+	return out
+}
+
+// LearnConvention infers the location-token position from alias groups of
+// hostnames and returns a regex extracting it. It needs at least two alias
+// groups in different locations; with fewer groups it fails, mirroring the
+// paper's note that sc_hoiho produced no result for ASes with a low number
+// of alias groups.
+func LearnConvention(groups [][]string) (*regexp.Regexp, error) {
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("rdns: need >= 2 alias groups, have %d", len(groups))
+	}
+	// Score each token position: +1 per group where it is constant and
+	// non-empty; diversity = number of distinct values across groups.
+	constCount := make(map[tokenPos]int)
+	values := make(map[tokenPos]map[string]bool)
+	for _, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		first := tokensOf(group[0])
+		for pos, val := range first {
+			constant := true
+			for _, h := range group[1:] {
+				if tokensOf(h)[pos] != val {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				constCount[pos]++
+				if values[pos] == nil {
+					values[pos] = make(map[string]bool)
+				}
+				values[pos][val] = true
+			}
+		}
+	}
+	// Candidates: constant in every group, diverse across groups, and
+	// plausible location tokens (3-letter runs).
+	type cand struct {
+		pos       tokenPos
+		diversity int
+	}
+	var cands []cand
+	for pos, n := range constCount {
+		if n != len(groups) {
+			continue
+		}
+		sample := ""
+		for v := range values[pos] {
+			sample = v
+			break
+		}
+		if len(sample) != 3 {
+			continue
+		}
+		cands = append(cands, cand{pos, len(values[pos])})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("rdns: no location-like token position found")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].diversity != cands[j].diversity {
+			return cands[i].diversity > cands[j].diversity
+		}
+		if cands[i].pos.label != cands[j].pos.label {
+			return cands[i].pos.label < cands[j].pos.label
+		}
+		return cands[i].pos.run < cands[j].pos.run
+	})
+	best := cands[0].pos
+
+	// Build the anchored regex from a template hostname: replace the
+	// chosen letter run with a capture group, all other letter runs with
+	// [a-z]+, and digit runs with \d+.
+	template := groups[0][0]
+	return buildRegex(template, best)
+}
+
+func buildRegex(hostname string, want tokenPos) (*regexp.Regexp, error) {
+	labels := strings.Split(hostname, ".")
+	var out []string
+	for li, label := range labels {
+		var sb strings.Builder
+		runIdx := 0
+		i := 0
+		for i < len(label) {
+			c := label[i]
+			switch {
+			case c >= 'a' && c <= 'z':
+				j := i
+				for j < len(label) && label[j] >= 'a' && label[j] <= 'z' {
+					j++
+				}
+				if (tokenPos{li, runIdx}) == want {
+					sb.WriteString(`([a-z]{3})`)
+				} else {
+					sb.WriteString(`[a-z]+`)
+				}
+				runIdx++
+				i = j
+			case c >= '0' && c <= '9':
+				j := i
+				for j < len(label) && label[j] >= '0' && label[j] <= '9' {
+					j++
+				}
+				sb.WriteString(`\d+`)
+				i = j
+			default:
+				sb.WriteString(regexp.QuoteMeta(string(c)))
+				i++
+			}
+		}
+		out = append(out, sb.String())
+	}
+	return regexp.Compile("^" + strings.Join(out, `\.`) + "$")
+}

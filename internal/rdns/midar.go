@@ -1,0 +1,54 @@
+package rdns
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+
+	"flatnet/internal/alias"
+	"flatnet/internal/astopo"
+)
+
+// ResolveAliasesAndLearn runs the paper's second PoP-extraction method end
+// to end (§4.2): MIDAR-style IP-ID alias resolution over a network's router
+// interface addresses, then sc_hoiho-style convention learning from the
+// recovered alias groups' hostnames.
+//
+// The probe targets are simulated from the corpus's ground-truth alias
+// groups (real routers answer with shared IP-ID counters; package alias
+// documents the technique). Networks with too few recovered alias groups
+// fail, matching the paper's note that sc_hoiho produced no result for
+// several ASes with a low number of alias groups.
+func ResolveAliasesAndLearn(corpus *Corpus, asn astopo.ASN, seed int64) (*regexp.Regexp, error) {
+	truth := corpus.Aliases[asn]
+	if len(truth) == 0 {
+		return nil, fmt.Errorf("rdns: AS%d has no responsive router interfaces", asn)
+	}
+	target, err := alias.NewSimTarget(seed, truth, nil)
+	if err != nil {
+		return nil, fmt.Errorf("rdns: AS%d: %w", asn, err)
+	}
+	var addrs []netip.Addr
+	for _, g := range truth {
+		addrs = append(addrs, g...)
+	}
+	groups, _ := alias.Resolve(target, addrs, alias.Options{})
+
+	byAddr := make(map[netip.Addr]string, len(corpus.ByAS[asn]))
+	for _, rec := range corpus.ByAS[asn] {
+		byAddr[rec.Addr] = rec.Hostname
+	}
+	var hostGroups [][]string
+	for _, g := range groups {
+		var hg []string
+		for _, a := range g {
+			if h, ok := byAddr[a]; ok {
+				hg = append(hg, h)
+			}
+		}
+		if len(hg) > 0 {
+			hostGroups = append(hostGroups, hg)
+		}
+	}
+	return LearnConvention(hostGroups)
+}

@@ -1,0 +1,426 @@
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+)
+
+// synthBase is the first ASN used for unnamed, generated ASes. All named
+// profiles use real ASNs below this value.
+const synthBase astopo.ASN = 200000
+
+// Generate builds a deterministic Internet from spec. Two calls with equal
+// specs produce identical topologies.
+func Generate(spec Spec) (*Internet, error) {
+	if err := validate(spec); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	in := &Internet{
+		Spec:        spec,
+		Graph:       astopo.NewGraph(spec.NumASes, spec.NumASes*6),
+		Tier1:       make(astopo.ASSet),
+		Tier2:       make(astopo.ASSet),
+		Clouds:      make(map[string]astopo.ASN),
+		Hypergiants: make(map[string]astopo.ASN),
+		Class:       make(map[astopo.ASN]ASClass, spec.NumASes),
+		Name:        make(map[astopo.ASN]string),
+		HomeCity:    make(map[astopo.ASN]geo.CityID, spec.NumASes),
+		PoPs:        make(map[astopo.ASN][]geo.CityID),
+	}
+	b := &builder{spec: spec, rng: rng, in: in}
+	b.placeCities()
+	b.createNamed()
+	b.createSynthetic()
+	b.wireTier1Clique()
+	b.wireNamedProviders()
+	b.wireTransitProviders()
+	b.wireEdgeProviders()
+	b.buildIXPs()
+	b.wireNamedPeering()
+	in.Graph.Freeze()
+	return in, nil
+}
+
+func validate(spec Spec) error {
+	named := len(spec.Tier1) + len(spec.Tier2) + len(spec.Clouds) + len(spec.Hypergiants)
+	if spec.NumASes < named+spec.NumTransit+10 {
+		return fmt.Errorf("topogen: NumASes=%d too small for %d named + %d transit ASes",
+			spec.NumASes, named, spec.NumTransit)
+	}
+	if spec.FracAccess+spec.FracContent > 1 {
+		return fmt.Errorf("topogen: FracAccess+FracContent = %v > 1", spec.FracAccess+spec.FracContent)
+	}
+	if spec.NumIXPs <= 0 {
+		return fmt.Errorf("topogen: NumIXPs must be positive")
+	}
+	seen := make(map[astopo.ASN]string)
+	for _, group := range [][]Profile{spec.Tier1, spec.Tier2, spec.Clouds, spec.Hypergiants} {
+		for _, p := range group {
+			if p.ASN >= synthBase {
+				return fmt.Errorf("topogen: profile %q ASN %d collides with synthetic range", p.Name, p.ASN)
+			}
+			if prev, dup := seen[p.ASN]; dup {
+				return fmt.Errorf("topogen: ASN %d used by both %q and %q", p.ASN, prev, p.Name)
+			}
+			seen[p.ASN] = p.Name
+		}
+	}
+	return nil
+}
+
+type builder struct {
+	spec Spec
+	rng  *rand.Rand
+	in   *Internet
+
+	// city machinery
+	citiesByContinent map[geo.Continent][]geo.CityID
+	cityCum           map[geo.Continent][]float64 // cumulative PopM for weighted draws
+	allCityCum        []float64
+
+	// AS populations by class
+	transits   []astopo.ASN
+	access     []astopo.ASN
+	content    []astopo.ASN
+	enterprise []astopo.ASN
+
+	// preferential-attachment urns
+	transitUrn map[geo.Continent][]astopo.ASN
+	anyTransit []astopo.ASN
+	tier2Urn   []astopo.ASN
+	tier1Urn   []astopo.ASN
+
+	custCount map[astopo.ASN]int
+}
+
+func (b *builder) placeCities() {
+	b.citiesByContinent = make(map[geo.Continent][]geo.CityID)
+	b.cityCum = make(map[geo.Continent][]float64)
+	cities := geo.Cities()
+	for i := range cities {
+		c := cities[i].Continent
+		b.citiesByContinent[c] = append(b.citiesByContinent[c], geo.CityID(i))
+	}
+	for cont, ids := range b.citiesByContinent {
+		cum := make([]float64, len(ids))
+		var s float64
+		for i, id := range ids {
+			s += cities[id].PopM
+			cum[i] = s
+		}
+		b.cityCum[cont] = cum
+	}
+	b.allCityCum = make([]float64, len(cities))
+	var s float64
+	for i := range cities {
+		s += cities[i].PopM
+		b.allCityCum[i] = s
+	}
+}
+
+// randCity draws a city weighted by metro population, optionally restricted
+// to a continent.
+func (b *builder) randCity(cont geo.Continent, anyContinent bool) geo.CityID {
+	if anyContinent {
+		return geo.CityID(weightedIndex(b.rng, b.allCityCum))
+	}
+	ids := b.citiesByContinent[cont]
+	return ids[weightedIndex(b.rng, b.cityCum[cont])]
+}
+
+// randContinent draws a continent weighted by its gazetteer population.
+func (b *builder) randContinent() geo.Continent {
+	conts := geo.Continents()
+	pops := geo.ContinentPopulationM()
+	cum := make([]float64, len(conts))
+	var s float64
+	for i, c := range conts {
+		s += pops[c]
+		cum[i] = s
+	}
+	return conts[weightedIndex(b.rng, cum)]
+}
+
+func weightedIndex(rng *rand.Rand, cum []float64) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}
+
+func (b *builder) createNamed() {
+	in := b.in
+	register := func(p Profile, class ASClass) {
+		in.Class[p.ASN] = class
+		in.Name[p.ASN] = p.Name
+		in.PoPs[p.ASN] = b.pickPoPs(p)
+		if len(in.PoPs[p.ASN]) > 0 {
+			in.HomeCity[p.ASN] = in.PoPs[p.ASN][0]
+		}
+	}
+	for _, p := range b.spec.Tier1 {
+		register(p, ClassTier1)
+		in.Tier1.Add(p.ASN)
+	}
+	for _, p := range b.spec.Tier2 {
+		register(p, ClassTier2)
+		in.Tier2.Add(p.ASN)
+	}
+	for _, p := range b.spec.Clouds {
+		register(p, ClassCloud)
+		in.Clouds[p.Name] = p.ASN
+	}
+	for _, p := range b.spec.Hypergiants {
+		register(p, p.Class)
+		in.Hypergiants[p.Name] = p.ASN
+		switch p.Class {
+		case ClassContent:
+			b.content = append(b.content, p.ASN)
+		case ClassTransit:
+			b.transits = append(b.transits, p.ASN)
+		}
+	}
+}
+
+// pickPoPs selects PoP cities for a named network: population-weighted,
+// restricted to North America / Europe / Asia unless the profile is Global.
+// Only cloud providers deploy in Shanghai and Beijing (the Fig. 11
+// observation that those are the two cloud-only locations).
+func (b *builder) pickPoPs(p Profile) []geo.CityID {
+	if p.PoPCount <= 0 {
+		return nil
+	}
+	core := []geo.Continent{geo.NorthAmerica, geo.Europe, geo.Asia}
+	var pops []geo.CityID
+	seen := make(map[geo.CityID]bool)
+	shanghai := geo.CityByIATA("pvg")
+	beijing := geo.CityByIATA("pek")
+	for tries := 0; len(pops) < p.PoPCount && tries < p.PoPCount*30; tries++ {
+		var id geo.CityID
+		if p.Global && b.rng.Float64() < 0.30 {
+			id = b.randCity(0, true)
+		} else {
+			id = b.randCity(core[b.rng.Intn(len(core))], false)
+		}
+		if (id == shanghai || id == beijing) && p.Class != ClassCloud {
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			pops = append(pops, id)
+		}
+	}
+	return pops
+}
+
+func (b *builder) createSynthetic() {
+	in := b.in
+	named := len(in.Class)
+	nEdge := b.spec.NumASes - named - b.spec.NumTransit
+	nAccess := int(float64(nEdge) * b.spec.FracAccess)
+	nContent := int(float64(nEdge) * b.spec.FracContent)
+	nEnterprise := nEdge - nAccess - nContent
+
+	b.transitUrn = make(map[geo.Continent][]astopo.ASN)
+	next := synthBase
+	add := func(class ASClass) astopo.ASN {
+		a := next
+		next++
+		in.Class[a] = class
+		cont := b.randContinent()
+		city := b.randCity(cont, false)
+		in.HomeCity[a] = city
+		return a
+	}
+	for i := 0; i < b.spec.NumTransit; i++ {
+		a := add(ClassTransit)
+		b.transits = append(b.transits, a)
+	}
+	for i := 0; i < nAccess; i++ {
+		b.access = append(b.access, add(ClassAccess))
+	}
+	for i := 0; i < nContent; i++ {
+		b.content = append(b.content, add(ClassContent))
+	}
+	for i := 0; i < nEnterprise; i++ {
+		b.enterprise = append(b.enterprise, add(ClassEnterprise))
+	}
+
+	// Seed the attachment urns.
+	b.custCount = make(map[astopo.ASN]int)
+	for _, a := range b.transits {
+		cont := geo.Cities()[in.HomeCity[a]].Continent
+		b.transitUrn[cont] = append(b.transitUrn[cont], a)
+		b.anyTransit = append(b.anyTransit, a)
+	}
+	for _, p := range b.spec.Tier2 {
+		b.tier2Urn = append(b.tier2Urn, p.ASN)
+	}
+	for _, p := range b.spec.Tier1 {
+		b.tier1Urn = append(b.tier1Urn, p.ASN)
+	}
+}
+
+func (b *builder) wireTier1Clique() {
+	t1 := b.spec.Tier1
+	for i := range t1 {
+		for j := i + 1; j < len(t1); j++ {
+			b.in.Graph.MustAddLink(t1[i].ASN, t1[j].ASN, astopo.P2P)
+		}
+	}
+}
+
+// pickProviders selects a profile's transit providers: Tier1Provs members
+// of the clique first (honoring PreferredProviders), then Tier-2s and large
+// transits for the remainder.
+func (b *builder) pickProviders(p Profile) []astopo.ASN {
+	var provs []astopo.ASN
+	used := map[astopo.ASN]bool{p.ASN: true}
+	take := func(a astopo.ASN) {
+		if !used[a] {
+			used[a] = true
+			provs = append(provs, a)
+		}
+	}
+	for _, a := range p.PreferredProviders {
+		take(a)
+	}
+	t1 := b.rng.Perm(len(b.spec.Tier1))
+	for _, i := range t1 {
+		nT1 := 0
+		for _, a := range provs {
+			if b.in.Tier1.Has(a) {
+				nT1++
+			}
+		}
+		if nT1 >= p.Tier1Provs {
+			break
+		}
+		take(b.spec.Tier1[i].ASN)
+	}
+	pool := append(append([]astopo.ASN(nil), b.tier2Urn...), b.anyTransit...)
+	for len(provs) < p.ProviderCount && len(pool) > 0 {
+		i := b.rng.Intn(len(pool))
+		take(pool[i])
+		pool = append(pool[:i], pool[i+1:]...)
+	}
+	if len(provs) > p.ProviderCount && p.ProviderCount > 0 {
+		provs = provs[:p.ProviderCount]
+	}
+	return provs
+}
+
+func (b *builder) wireNamedProviders() {
+	groups := [][]Profile{b.spec.Tier2, b.spec.Clouds, b.spec.Hypergiants}
+	for _, group := range groups {
+		for _, p := range group {
+			for _, prov := range b.pickProviders(p) {
+				if _, exists := b.in.Graph.HasLink(prov, p.ASN); !exists {
+					b.in.Graph.MustAddLink(prov, p.ASN, astopo.P2C)
+					b.custCount[prov]++
+				}
+			}
+		}
+	}
+}
+
+// wireTransitProviders gives each regional transit 1–3 providers drawn from
+// the Tier-1s and Tier-2s (Tier-2-heavy, mirroring the hierarchy).
+func (b *builder) wireTransitProviders() {
+	for _, a := range b.transits {
+		if _, named := b.in.Name[a]; named {
+			continue // hypergiant transit profiles picked their own
+		}
+		n := 1 + b.rng.Intn(3)
+		used := map[astopo.ASN]bool{a: true}
+		for len(used)-1 < n {
+			var prov astopo.ASN
+			if b.rng.Float64() < 0.35 {
+				prov = b.tier1Urn[b.rng.Intn(len(b.tier1Urn))]
+			} else {
+				prov = b.tier2Urn[b.rng.Intn(len(b.tier2Urn))]
+			}
+			if used[prov] {
+				continue
+			}
+			used[prov] = true
+			if _, exists := b.in.Graph.HasLink(prov, a); exists {
+				continue // already related (e.g. a named profile chose this transit as its provider)
+			}
+			b.in.Graph.MustAddLink(prov, a, astopo.P2C)
+			b.custCount[prov]++
+			// Preferential attachment: providers that win customers
+			// become likelier to win more.
+			if b.in.Tier1.Has(prov) {
+				b.tier1Urn = append(b.tier1Urn, prov)
+			} else {
+				b.tier2Urn = append(b.tier2Urn, prov)
+			}
+		}
+	}
+}
+
+// wireEdgeProviders attaches access, content, and enterprise ASes to the
+// hierarchy: mostly same-continent regional transits (with preferential
+// attachment), sometimes Tier-2s or Tier-1s directly.
+func (b *builder) wireEdgeProviders() {
+	in := b.in
+	attach := func(a astopo.ASN, nProv int) {
+		cont := geo.Cities()[in.HomeCity[a]].Continent
+		used := map[astopo.ASN]bool{a: true}
+		for len(used)-1 < nProv {
+			var prov astopo.ASN
+			switch r := b.rng.Float64(); {
+			case r < 0.72 && len(b.transitUrn[cont]) > 0:
+				urn := b.transitUrn[cont]
+				prov = urn[b.rng.Intn(len(urn))]
+			case r < 0.86:
+				prov = b.anyTransit[b.rng.Intn(len(b.anyTransit))]
+			case r < 0.95:
+				prov = b.tier2Urn[b.rng.Intn(len(b.tier2Urn))]
+			default:
+				prov = b.tier1Urn[b.rng.Intn(len(b.tier1Urn))]
+			}
+			if used[prov] {
+				continue
+			}
+			used[prov] = true
+			if _, exists := in.Graph.HasLink(prov, a); exists {
+				continue
+			}
+			in.Graph.MustAddLink(prov, a, astopo.P2C)
+			b.custCount[prov]++
+			if in.Class[prov] == ClassTransit {
+				pc := geo.Cities()[in.HomeCity[prov]].Continent
+				b.transitUrn[pc] = append(b.transitUrn[pc], prov)
+				b.anyTransit = append(b.anyTransit, prov)
+			}
+		}
+	}
+	nProviders := func() int {
+		switch r := b.rng.Float64(); {
+		case r < 0.45:
+			return 1
+		case r < 0.85:
+			return 2
+		default:
+			return 3
+		}
+	}
+	for _, a := range b.access {
+		attach(a, nProviders())
+	}
+	for _, a := range b.content {
+		attach(a, 1+nProviders()) // content multihomes more
+	}
+	for _, a := range b.enterprise {
+		attach(a, nProviders())
+	}
+}

@@ -1,0 +1,189 @@
+package topogen
+
+import (
+	"sort"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+)
+
+// buildIXPs places exchanges in the most populous gazetteer cities, signs
+// up members, and creates the public peering mesh: each co-located pair
+// peers with probability equal to the product of the two members' openness
+// factors. This is what flattens the synthetic Internet — exactly the IXP
+// mechanism §2.2 describes.
+func (b *builder) buildIXPs() {
+	cities := geo.Cities()
+	order := make([]int, len(cities))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return cities[order[i]].PopM > cities[order[j]].PopM })
+	nIXP := b.spec.NumIXPs
+	if nIXP > len(order) {
+		nIXP = len(order)
+	}
+	ixpByContinent := make(map[geo.Continent][]int) // index into in.IXPs
+	for k := 0; k < nIXP; k++ {
+		city := geo.CityID(order[k])
+		b.in.IXPs = append(b.in.IXPs, IXP{City: city})
+		ixpByContinent[cities[city].Continent] = append(ixpByContinent[cities[city].Continent], k)
+	}
+
+	// Membership: how many home-continent IXPs each class typically
+	// joins, and the probability of joining each candidate.
+	join := func(a astopo.ASN, maxJoin int, prob float64, global bool) {
+		cont := cities[b.in.HomeCity[a]].Continent
+		cands := ixpByContinent[cont]
+		joined := 0
+		for _, k := range cands {
+			if joined >= maxJoin {
+				break
+			}
+			if b.rng.Float64() < prob {
+				b.in.IXPs[k].Members = append(b.in.IXPs[k].Members, a)
+				joined++
+			}
+		}
+		if global && joined < maxJoin {
+			for tries := 0; tries < 4 && joined < maxJoin; tries++ {
+				k := b.rng.Intn(len(b.in.IXPs))
+				if b.rng.Float64() < prob {
+					b.in.IXPs[k].Members = append(b.in.IXPs[k].Members, a)
+					joined++
+				}
+			}
+		}
+	}
+	for _, a := range b.transits {
+		join(a, 5, 0.55, true)
+	}
+	for _, a := range b.access {
+		join(a, 3, 0.30, false)
+	}
+	for _, a := range b.content {
+		join(a, 4, 0.45, true)
+	}
+	for _, a := range b.enterprise {
+		join(a, 1, 0.04, false)
+	}
+	// Named networks deploy at exchanges worldwide: clouds at most of
+	// them (their PoPs sit in IXP/colo facilities, §2.2), Tier-1s and
+	// Tier-2s at a smaller share. Their peering links are created later
+	// by wireNamedPeering; membership here determines which of those
+	// links get numbered from IXP LANs by package netdb.
+	joinGlobal := func(a astopo.ASN, prob float64) {
+		for k := range b.in.IXPs {
+			if b.rng.Float64() < prob {
+				b.in.IXPs[k].Members = append(b.in.IXPs[k].Members, a)
+			}
+		}
+	}
+	for _, p := range b.spec.Clouds {
+		joinGlobal(p.ASN, 0.70)
+	}
+	for _, p := range b.spec.Hypergiants {
+		joinGlobal(p.ASN, 0.50)
+	}
+	for _, p := range b.spec.Tier2 {
+		joinGlobal(p.ASN, 0.35)
+	}
+	for _, p := range b.spec.Tier1 {
+		joinGlobal(p.ASN, 0.20)
+	}
+
+	// Peering mesh. Duplicate memberships are possible (an AS can appear
+	// twice at one IXP by the random join above); AddPeerIfAbsent
+	// de-duplicates links, and self pairs are skipped.
+	for k := range b.in.IXPs {
+		members := b.in.IXPs[k].Members
+		for i := 0; i < len(members); i++ {
+			oi := b.openness(members[i])
+			for j := i + 1; j < len(members); j++ {
+				if members[i] == members[j] {
+					continue
+				}
+				p := oi * b.openness(members[j])
+				if p > 0 && b.rng.Float64() < p {
+					b.in.Graph.AddPeerIfAbsent(members[i], members[j])
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) openness(a astopo.ASN) float64 {
+	return b.spec.Openness[b.in.Class[a]]
+}
+
+// wireNamedPeering applies each named profile's peering fractions: shares
+// of the Tier-1 and Tier-2 sets, probability-scaled peering with regional
+// transits (largest first — footprints are built out toward big peers, as
+// Microsoft's traffic-volume validation in §5 implies), and Bernoulli
+// peering with access and content edges.
+func (b *builder) wireNamedPeering() {
+	// Rank transits by customer count, descending; rankBoost concentrates
+	// named networks' transit peerings on the top of that ranking.
+	ranked := append([]astopo.ASN(nil), b.transits...)
+	sort.Slice(ranked, func(i, j int) bool {
+		ci, cj := b.custCount[ranked[i]], b.custCount[ranked[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ranked[i] < ranked[j]
+	})
+	rankBoost := func(pos int) float64 {
+		frac := float64(pos) / float64(len(ranked))
+		switch {
+		case frac < 0.25:
+			return 1.6
+		case frac < 0.5:
+			return 1.1
+		case frac < 0.75:
+			return 0.7
+		default:
+			return 0.4
+		}
+	}
+
+	apply := func(p Profile) {
+		g := b.in.Graph
+		for _, t := range b.spec.Tier1 {
+			if t.ASN != p.ASN && b.rng.Float64() < p.PeerTier1 {
+				g.AddPeerIfAbsent(p.ASN, t.ASN)
+			}
+		}
+		for _, t := range b.spec.Tier2 {
+			if t.ASN != p.ASN && b.rng.Float64() < p.PeerTier2 {
+				g.AddPeerIfAbsent(p.ASN, t.ASN)
+			}
+		}
+		for pos, a := range ranked {
+			if a == p.ASN {
+				continue
+			}
+			prob := p.PeerTransit * rankBoost(pos)
+			if prob > 1 {
+				prob = 1
+			}
+			if b.rng.Float64() < prob {
+				g.AddPeerIfAbsent(p.ASN, a)
+			}
+		}
+		for _, a := range b.access {
+			if b.rng.Float64() < p.PeerAccess {
+				g.AddPeerIfAbsent(p.ASN, a)
+			}
+		}
+		for _, a := range b.content {
+			if a != p.ASN && b.rng.Float64() < p.PeerContent {
+				g.AddPeerIfAbsent(p.ASN, a)
+			}
+		}
+	}
+	for _, group := range [][]Profile{b.spec.Tier1, b.spec.Tier2, b.spec.Clouds, b.spec.Hypergiants} {
+		for _, p := range group {
+			apply(p)
+		}
+	}
+}

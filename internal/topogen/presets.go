@@ -1,0 +1,176 @@
+package topogen
+
+import (
+	"fmt"
+	"math"
+
+	"flatnet/internal/astopo"
+)
+
+func astopoName(a astopo.ASN) string { return fmt.Sprintf("AS%d", a) }
+
+// tier1Profiles returns the Tier-1 clique used by both presets. The
+// edge-peering knobs differ widely on purpose: some Tier-1s (Level 3,
+// Hurricane-style) aggressively peer below the hierarchy, while others
+// (Sprint, Deutsche Telekom, Orange) rely on the hierarchy and on Tier-2s —
+// the behaviour Appendix B dissects.
+func tier1Profiles() []Profile {
+	return []Profile{
+		{Name: "Level 3", ASN: 3356, Class: ClassTier1, PeerTransit: 0.90, PeerAccess: 0.26, PeerContent: 0.34, PoPCount: 60, Global: true},
+		{Name: "Cogent", ASN: 174, Class: ClassTier1, PeerTransit: 0.55, PeerAccess: 0.12, PeerContent: 0.20, PoPCount: 50, Global: true},
+		{Name: "Telia", ASN: 1299, Class: ClassTier1, PeerTransit: 0.50, PeerAccess: 0.10, PeerContent: 0.18, PoPCount: 121, Global: true},
+		{Name: "GTT", ASN: 3257, Class: ClassTier1, PeerTransit: 0.48, PeerAccess: 0.09, PeerContent: 0.15, PoPCount: 44, Global: true},
+		{Name: "NTT", ASN: 2914, Class: ClassTier1, PeerTransit: 0.42, PeerAccess: 0.07, PeerContent: 0.14, PoPCount: 49, Global: true},
+		{Name: "Zayo", ASN: 6461, Class: ClassTier1, PeerTransit: 0.52, PeerAccess: 0.10, PeerContent: 0.16, PoPCount: 36, Global: false},
+		{Name: "Tata", ASN: 6453, Class: ClassTier1, PeerTransit: 0.30, PeerAccess: 0.04, PeerContent: 0.07, PoPCount: 94, Global: true},
+		{Name: "Verizon", ASN: 701, Class: ClassTier1, PeerTransit: 0.22, PeerAccess: 0.03, PeerContent: 0.05, PoPCount: 41, Global: true},
+		{Name: "It Sparkle", ASN: 6762, Class: ClassTier1, PeerTransit: 0.20, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 78, Global: true},
+		{Name: "AT&T", ASN: 7018, Class: ClassTier1, PeerTransit: 0.18, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 39, Global: false},
+		{Name: "Orange", ASN: 5511, Class: ClassTier1, PeerTransit: 0.08, PeerAccess: 0.01, PeerContent: 0.02, PoPCount: 30, Global: true},
+		{Name: "Vodafone", ASN: 1273, Class: ClassTier1, PeerTransit: 0.14, PeerAccess: 0.02, PeerContent: 0.03, PoPCount: 31, Global: true},
+		{Name: "Sprint", ASN: 1239, Class: ClassTier1, PeerTransit: 0.26, PeerAccess: 0.015, PeerContent: 0.03, PoPCount: 95, Global: true},
+		{Name: "D Telekom", ASN: 3320, Class: ClassTier1, PeerTransit: 0.26, PeerAccess: 0.015, PeerContent: 0.03, PoPCount: 35, Global: false},
+		{Name: "Telxius", ASN: 12956, Class: ClassTier1, PeerTransit: 0.12, PeerAccess: 0.02, PeerContent: 0.03, PoPCount: 60, Global: true},
+	}
+}
+
+// tier2Profiles returns the Tier-2 set. Hurricane Electric, PCCW, and
+// Liberty Global are provider-free (§6.2 observes exactly this in the
+// CAIDA data); the rest buy transit from one or two Tier-1s.
+func tier2Profiles() []Profile {
+	return []Profile{
+		{Name: "HE", ASN: 6939, Class: ClassTier2, ProviderCount: 0, PeerTier1: 1, PeerTier2: 1, PeerTransit: 0.80, PeerAccess: 0.30, PeerContent: 0.40, PoPCount: 112, Global: true},
+		{Name: "PCCW", ASN: 3491, Class: ClassTier2, ProviderCount: 0, PeerTier1: 1, PeerTier2: 0.8, PeerTransit: 0.40, PeerAccess: 0.06, PeerContent: 0.08, PoPCount: 69, Global: true},
+		{Name: "Lib. Glob.", ASN: 6830, Class: ClassTier2, ProviderCount: 0, PeerTier1: 1, PeerTier2: 0.7, PeerTransit: 0.20, PeerAccess: 0.05, PeerContent: 0.06, PoPCount: 40, Global: false},
+		{Name: "Comcast", ASN: 7922, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.5, PeerTier2: 0.6, PeerTransit: 0.25, PeerAccess: 0.06, PeerContent: 0.15, PoPCount: 30, Global: false},
+		{Name: "Telstra", ASN: 4637, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.4, PeerTier2: 0.6, PeerTransit: 0.22, PeerAccess: 0.04, PeerContent: 0.06, PoPCount: 45, Global: true},
+		{Name: "Vocus", ASN: 4826, Class: ClassTier2, ProviderCount: 1, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.7, PeerTransit: 0.45, PeerAccess: 0.10, PeerContent: 0.12, PoPCount: 25, Global: false},
+		{Name: "RETN", ASN: 9002, Class: ClassTier2, ProviderCount: 1, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.7, PeerTransit: 0.42, PeerAccess: 0.08, PeerContent: 0.12, PoPCount: 35, Global: true},
+		{Name: "Comm. Net", ASN: 4134, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.18, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 28, Global: false},
+		{Name: "KPN", ASN: 286, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.4, PeerTier2: 0.6, PeerTransit: 0.20, PeerAccess: 0.04, PeerContent: 0.06, PoPCount: 26, Global: false},
+		{Name: "Korea Tele", ASN: 4766, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.15, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 22, Global: false},
+		{Name: "TELIN PT", ASN: 7713, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.4, PeerTier2: 0.7, PeerTransit: 0.40, PeerAccess: 0.10, PeerContent: 0.10, PoPCount: 24, Global: true},
+		{Name: "KCOM", ASN: 12390, Class: ClassTier2, ProviderCount: 3, Tier1Provs: 3, PeerTier1: 0.05, PeerTier2: 0.3, PeerTransit: 0.08, PeerAccess: 0.02, PeerContent: 0.02, PoPCount: 12, Global: false},
+		{Name: "TDC", ASN: 3292, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.16, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 18, Global: false},
+		{Name: "Telefonica", ASN: 3352, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.15, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 26, Global: true},
+		{Name: "Korea SK", ASN: 9318, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.2, PeerTier2: 0.4, PeerTransit: 0.12, PeerAccess: 0.02, PeerContent: 0.03, PoPCount: 15, Global: false},
+		{Name: "Tele2", ASN: 1257, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.15, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 16, Global: false},
+		{Name: "KDDI", ASN: 2516, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.15, PeerTier2: 0.35, PeerTransit: 0.08, PeerAccess: 0.02, PeerContent: 0.02, PoPCount: 20, Global: false},
+		{Name: "IIJapan", ASN: 2497, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.14, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 14, Global: false},
+		{Name: "Brit. Tele", ASN: 5400, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.25, PeerTier2: 0.45, PeerTransit: 0.12, PeerAccess: 0.02, PeerContent: 0.03, PoPCount: 22, Global: true},
+		{Name: "PT", ASN: 2860, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.2, PeerTier2: 0.4, PeerTransit: 0.10, PeerAccess: 0.02, PeerContent: 0.03, PoPCount: 10, Global: false},
+		{Name: "Internap", ASN: 14744, Class: ClassTier2, ProviderCount: 3, Tier1Provs: 2, PeerTier1: 0.2, PeerTier2: 0.4, PeerTransit: 0.14, PeerAccess: 0.03, PeerContent: 0.05, PoPCount: 12, Global: false},
+		{Name: "Fibrenoire", ASN: 22652, Class: ClassTier2, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.2, PeerTier2: 0.4, PeerTransit: 0.12, PeerAccess: 0.03, PeerContent: 0.04, PoPCount: 8, Global: false},
+	}
+}
+
+// cloudProfiles2020 calibrates the four clouds to the paper's September
+// 2020 measurements: Google with 3 providers (two of them Tier-1s) and an
+// open peering policy; Microsoft with 7 Tier-1 transit providers and a
+// selective but broad footprint; IBM selective; Amazon with 20 providers
+// and the smallest peering footprint (§4.1, §6.2–6.4).
+func cloudProfiles2020() []Profile {
+	return []Profile{
+		{Name: "Google", ASN: 15169, Class: ClassCloud, ProviderCount: 3, Tier1Provs: 2, PreferredProviders: []astopo.ASN{6453, 3257, 22356}, PeerTier1: 1, PeerTier2: 1, PeerTransit: 0.88, PeerAccess: 0.135, PeerContent: 0.30, PoPCount: 56, Global: true},
+		{Name: "Microsoft", ASN: 8075, Class: ClassCloud, ProviderCount: 7, Tier1Provs: 7, PeerTier1: 0.2, PeerTier2: 0.9, PeerTransit: 0.74, PeerAccess: 0.045, PeerContent: 0.12, PoPCount: 117, Global: true},
+		{Name: "IBM", ASN: 36351, Class: ClassCloud, ProviderCount: 5, Tier1Provs: 3, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.62, PeerAccess: 0.05, PeerContent: 0.12, PoPCount: 48, Global: false},
+		{Name: "Amazon", ASN: 16509, Class: ClassCloud, ProviderCount: 20, Tier1Provs: 8, PeerTier1: 0.3, PeerTier2: 0.6, PeerTransit: 0.55, PeerAccess: 0.01, PeerContent: 0.05, PoPCount: 78, Global: true},
+	}
+}
+
+// cloudProfiles2015 calibrates the 2015 retrospective (§6.5): Google and
+// IBM were already well peered, while Amazon and Microsoft had small
+// footprints (hierarchy-free ranks 206 and 62).
+func cloudProfiles2015() []Profile {
+	return []Profile{
+		{Name: "Google", ASN: 15169, Class: ClassCloud, ProviderCount: 3, Tier1Provs: 2, PeerTier1: 1, PeerTier2: 1, PeerTransit: 0.80, PeerAccess: 0.12, PeerContent: 0.28, PoPCount: 40, Global: true},
+		{Name: "Microsoft", ASN: 8075, Class: ClassCloud, ProviderCount: 7, Tier1Provs: 7, PeerTier1: 0.1, PeerTier2: 0.3, PeerTransit: 0.22, PeerAccess: 0.01, PeerContent: 0.05, PoPCount: 60, Global: false},
+		{Name: "IBM", ASN: 36351, Class: ClassCloud, ProviderCount: 4, Tier1Provs: 2, PeerTier1: 0.4, PeerTier2: 0.7, PeerTransit: 0.60, PeerAccess: 0.04, PeerContent: 0.10, PoPCount: 30, Global: false},
+		{Name: "Amazon", ASN: 16509, Class: ClassCloud, ProviderCount: 15, Tier1Provs: 6, PeerTier1: 0.1, PeerTier2: 0.2, PeerTransit: 0.10, PeerAccess: 0.003, PeerContent: 0.02, PoPCount: 40, Global: false},
+	}
+}
+
+func hypergiantProfiles() []Profile {
+	return []Profile{
+		{Name: "Facebook", ASN: 32934, Class: ClassContent, ProviderCount: 3, Tier1Provs: 2, PeerTier1: 0.8, PeerTier2: 0.9, PeerTransit: 0.80, PeerAccess: 0.10, PeerContent: 0.20, PoPCount: 60, Global: true},
+		{Name: "Wikimedia", ASN: 14907, Class: ClassContent, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.70, PeerAccess: 0.06, PeerContent: 0.10, PoPCount: 10, Global: false},
+		{Name: "G-Core Labs", ASN: 199524, Class: ClassContent, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.72, PeerAccess: 0.07, PeerContent: 0.12, PoPCount: 25, Global: true},
+		{Name: "SG.GS", ASN: 24482, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.74, PeerAccess: 0.08, PeerContent: 0.14, PoPCount: 8, Global: false},
+		{Name: "COLT", ASN: 8220, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.70, PeerAccess: 0.08, PeerContent: 0.12, PoPCount: 30, Global: false},
+		{Name: "Core-Backbone", ASN: 33891, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.8, PeerTransit: 0.70, PeerAccess: 0.07, PeerContent: 0.12, PoPCount: 12, Global: false},
+		{Name: "WV FIBER", ASN: 19151, Class: ClassTransit, ProviderCount: 1, Tier1Provs: 1, PeerTier1: 0.6, PeerTier2: 0.8, PeerTransit: 0.68, PeerAccess: 0.07, PeerContent: 0.12, PoPCount: 14, Global: false},
+		{Name: "IPTP", ASN: 41095, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.5, PeerTier2: 0.7, PeerTransit: 0.62, PeerAccess: 0.06, PeerContent: 0.10, PoPCount: 20, Global: true},
+		{Name: "Swisscom", ASN: 3303, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 2, PeerTier1: 0.4, PeerTier2: 0.7, PeerTransit: 0.62, PeerAccess: 0.06, PeerContent: 0.10, PoPCount: 18, Global: false},
+		{Name: "Durand do Brasil", ASN: 22356, Class: ClassTransit, ProviderCount: 2, Tier1Provs: 1, PeerTier1: 0.3, PeerTier2: 0.5, PeerTransit: 0.30, PeerAccess: 0.04, PeerContent: 0.06, PoPCount: 10, Global: false},
+	}
+}
+
+// opennessDamping keeps link density roughly scale-invariant: the IXP
+// count is fixed, so memberships per exchange grow linearly with the AS
+// count and pairwise peerings quadratically. Damping the per-member
+// openness by sqrt(n0/n) for graphs larger than the calibration size n0
+// cancels the quadratic term; smaller graphs are left exactly as
+// calibrated.
+func opennessDamping(n, n0 int) float64 {
+	if n <= n0 {
+		return 1
+	}
+	return math.Sqrt(float64(n0) / float64(n))
+}
+
+func dampOpenness(m map[ASClass]float64, factor float64) map[ASClass]float64 {
+	out := make(map[ASClass]float64, len(m))
+	for k, v := range m {
+		out[k] = v * factor
+	}
+	return out
+}
+
+// Internet2020 returns the September-2020-calibrated preset at the given
+// scale (1.0 ≈ 9,900 ASes ≈ 1:7 of the real 69,488-AS graph).
+func Internet2020(scale float64) Spec {
+	n := int(9900 * scale)
+	return Spec{
+		Name:       "2020",
+		Seed:       20200901,
+		NumASes:    n,
+		NumTransit: n / 20,
+		FracAccess: 0.48, FracContent: 0.13,
+		NumIXPs: 60,
+		Openness: dampOpenness(map[ASClass]float64{
+			ClassTransit:    0.20,
+			ClassAccess:     0.20,
+			ClassContent:    0.38,
+			ClassEnterprise: 0.03,
+		}, opennessDamping(n, 3465)),
+		Tier1:       tier1Profiles(),
+		Tier2:       tier2Profiles(),
+		Clouds:      cloudProfiles2020(),
+		Hypergiants: hypergiantProfiles(),
+	}
+}
+
+// Internet2015 returns the September-2015-calibrated preset: 74.5% of the
+// 2020 AS count (51,801 / 69,488), a sparser peering mesh, and the clouds'
+// 2015 footprints.
+func Internet2015(scale float64) Spec {
+	n := int(7380 * scale)
+	return Spec{
+		Name:       "2015",
+		Seed:       20150901,
+		NumASes:    n,
+		NumTransit: n / 20,
+		FracAccess: 0.48, FracContent: 0.11,
+		NumIXPs: 45,
+		Openness: dampOpenness(map[ASClass]float64{
+			ClassTransit:    0.16,
+			ClassAccess:     0.15,
+			ClassContent:    0.30,
+			ClassEnterprise: 0.02,
+		}, opennessDamping(n, 2583)),
+		Tier1:       tier1Profiles(),
+		Tier2:       tier2Profiles(),
+		Clouds:      cloudProfiles2015(),
+		Hypergiants: hypergiantProfiles(),
+	}
+}

@@ -1,0 +1,211 @@
+// Package topogen generates seeded synthetic Internet topologies whose
+// structure follows the AS-level ecosystem the paper measures: a fully
+// meshed Tier-1 clique, Tier-2 ISPs, regional transit providers, access /
+// content / enterprise edge ASes attached by preferential attachment,
+// IXP-mediated peering meshes, and cloud providers with calibrated peering
+// footprints and transit-provider counts.
+//
+// The generator substitutes for the CAIDA September 2015 / September 2020
+// AS-relationship datasets (see DESIGN.md §2). Presets Internet2015 and
+// Internet2020 are calibrated so that the paper's qualitative results —
+// orderings, ratios, crossovers — reproduce at a configurable scale.
+package topogen
+
+import (
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+)
+
+// ASClass categorizes an AS's role in the generated topology.
+type ASClass uint8
+
+const (
+	// ClassTier1 is a member of the fully meshed provider-free clique.
+	ClassTier1 ASClass = iota
+	// ClassTier2 is a large global or regional transit ISP below the
+	// clique (the paper's Tier-2 exclusion set).
+	ClassTier2
+	// ClassTransit is a regional mid-tier transit provider.
+	ClassTransit
+	// ClassAccess is an eyeball ISP serving end users.
+	ClassAccess
+	// ClassContent is a content or hosting network.
+	ClassContent
+	// ClassEnterprise is a stub enterprise network.
+	ClassEnterprise
+	// ClassCloud is one of the major cloud providers under study.
+	ClassCloud
+)
+
+func (c ASClass) String() string {
+	switch c {
+	case ClassTier1:
+		return "tier1"
+	case ClassTier2:
+		return "tier2"
+	case ClassTransit:
+		return "transit"
+	case ClassAccess:
+		return "access"
+	case ClassContent:
+		return "content"
+	case ClassEnterprise:
+		return "enterprise"
+	case ClassCloud:
+		return "cloud"
+	}
+	return "unknown"
+}
+
+// Profile describes a named network (Tier-1, Tier-2, cloud, or hypergiant)
+// with its connectivity and footprint knobs.
+type Profile struct {
+	Name  string
+	ASN   astopo.ASN
+	Class ASClass
+
+	// ProviderCount is the total number of transit providers; Tier1Provs
+	// of them are drawn from the Tier-1 clique, the rest from Tier-2s
+	// and large regional transits. PreferredProviders are taken first
+	// (e.g. Google's documented Tata, GTT, and Durand do Brasil transit
+	// relationships, §6.2).
+	ProviderCount      int
+	Tier1Provs         int
+	PreferredProviders []astopo.ASN
+
+	// PeerTier1 / PeerTier2 are the fractions of the Tier-1 / Tier-2
+	// sets this network peers with (excluding its providers).
+	PeerTier1, PeerTier2 float64
+
+	// PeerTransit / PeerAccess / PeerContent are the probabilities of a
+	// settlement-free peering with each regional transit, access, or
+	// content AS. Transit peering probability is additionally scaled by
+	// the transit's size rank so that big regional transits are peered
+	// first (how clouds actually build out).
+	PeerTransit, PeerAccess, PeerContent float64
+
+	// PoPCount is the number of metro PoPs deployed (Table 3); Global
+	// spreads them over all continents instead of concentrating on
+	// North America / Europe / Asia.
+	PoPCount int
+	Global   bool
+}
+
+// Spec parameterizes a generated Internet.
+type Spec struct {
+	// Name labels the dataset (e.g. "2020").
+	Name string
+	// Seed drives all randomness; equal specs generate equal graphs.
+	Seed int64
+
+	// NumASes is the approximate total AS count. The named profiles,
+	// transits, and edge ASes are carved out of it.
+	NumASes int
+	// NumTransit is the number of regional mid-tier transit providers.
+	NumTransit int
+	// FracAccess and FracContent split the remaining edge ASes; the
+	// leftover fraction becomes enterprises.
+	FracAccess, FracContent float64
+
+	// NumIXPs is the number of Internet exchange points, placed in the
+	// most populous gazetteer cities.
+	NumIXPs int
+
+	// Openness is the per-class probability factor that an IXP member
+	// peers with a co-located member; the pairwise probability is the
+	// product of the two members' factors.
+	Openness map[ASClass]float64
+
+	// Tier1, Tier2, Clouds, and Hypergiants are the named networks.
+	Tier1, Tier2, Clouds, Hypergiants []Profile
+}
+
+// Internet is a generated topology with its ground-truth annotations.
+type Internet struct {
+	Spec  Spec
+	Graph *astopo.Graph
+
+	// Tier1 and Tier2 are the exclusion sets for the reachability
+	// metrics, as defined by construction.
+	Tier1, Tier2 astopo.ASSet
+
+	// Clouds holds the cloud-provider ASNs keyed by name; Hypergiants
+	// likewise (e.g. Facebook).
+	Clouds, Hypergiants map[string]astopo.ASN
+
+	// Class and Name annotate every AS.
+	Class map[astopo.ASN]ASClass
+	Name  map[astopo.ASN]string
+
+	// HomeCity locates every AS; PoPs lists the deployment cities of
+	// named networks (and single home cities otherwise).
+	HomeCity map[astopo.ASN]geo.CityID
+	PoPs     map[astopo.ASN][]geo.CityID
+
+	// IXPs lists the exchanges with their member ASes.
+	IXPs []IXP
+}
+
+// IXP is one exchange point.
+type IXP struct {
+	City    geo.CityID
+	Members []astopo.ASN
+}
+
+// CloudASN returns the ASN of the named cloud, or false.
+func (in *Internet) CloudASN(name string) (astopo.ASN, bool) {
+	a, ok := in.Clouds[name]
+	return a, ok
+}
+
+// NameOf returns the display name of an AS ("AS<n>" for unnamed ones).
+func (in *Internet) NameOf(a astopo.ASN) string {
+	if n, ok := in.Name[a]; ok {
+		return n
+	}
+	return astopoName(a)
+}
+
+// ProviderFreeMask returns the exclusion mask for reach(o, I \ P_o).
+func (in *Internet) ProviderFreeMask(o astopo.ASN) []bool {
+	return buildMask(in.Graph, in.Graph.Providers(o))
+}
+
+// Tier1FreeMask returns the mask for reach(o, I \ P_o \ T1).
+func (in *Internet) Tier1FreeMask(o astopo.ASN) []bool {
+	mask := in.ProviderFreeMask(o)
+	for a := range in.Tier1 {
+		if a == o {
+			continue
+		}
+		if i, ok := in.Graph.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// HierarchyFreeMask returns the mask for reach(o, I \ P_o \ T1 \ T2).
+func (in *Internet) HierarchyFreeMask(o astopo.ASN) []bool {
+	mask := in.Tier1FreeMask(o)
+	for a := range in.Tier2 {
+		if a == o {
+			continue
+		}
+		if i, ok := in.Graph.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+func buildMask(g *astopo.Graph, asns []astopo.ASN) []bool {
+	g.Freeze()
+	mask := make([]bool, g.NumASes())
+	for _, a := range asns {
+		if i, ok := g.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,116 @@
+package tracesim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// This file reads and writes traceroutes in a scamper-compatible JSON
+// lines format (`scamper -O json` style): one object per line with the
+// destination, stop reason, and per-hop records keyed by probe TTL.
+// Unresponsive TTLs carry no hop record, exactly as scamper emits them.
+//
+// The wire format intentionally has no ground-truth fields (TrueAS,
+// TruePath, OnBestPath): a corpus that round-trips through JSON is what a
+// real measurement pipeline would see, which the neighbor-inference tests
+// exploit to prove the pipeline works from observable data alone.
+
+// jsonTrace mirrors the scamper JSON schema subset we use.
+type jsonTrace struct {
+	Type       string    `json:"type"`
+	Version    string    `json:"version"`
+	Method     string    `json:"method"`
+	Monitor    string    `json:"monitor,omitempty"` // extension: VM's cloud
+	Src        string    `json:"src,omitempty"`
+	Dst        string    `json:"dst"`
+	StopReason string    `json:"stop_reason"`
+	HopCount   int       `json:"hop_count"`
+	Hops       []jsonHop `json:"hops"`
+}
+
+type jsonHop struct {
+	Addr     string `json:"addr"`
+	ProbeTTL int    `json:"probe_ttl"`
+}
+
+// WriteJSON emits the traceroutes as JSON lines.
+func WriteJSON(w io.Writer, traces []Traceroute) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range traces {
+		tr := &traces[i]
+		jt := jsonTrace{
+			Type:     "trace",
+			Version:  "0.1",
+			Method:   "icmp-echo",
+			Monitor:  tr.VM.Cloud,
+			HopCount: len(tr.Hops),
+		}
+		if tr.Dst.IsValid() {
+			jt.Dst = tr.Dst.String()
+		}
+		if tr.Reached {
+			jt.StopReason = "COMPLETED"
+		} else {
+			jt.StopReason = "GAPLIMIT"
+		}
+		for _, h := range tr.Hops {
+			if !h.Responded() {
+				continue // scamper omits silent TTLs
+			}
+			jt.Hops = append(jt.Hops, jsonHop{Addr: h.Addr.String(), ProbeTTL: h.TTL})
+		}
+		if err := enc.Encode(&jt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses JSON-lines traceroutes back into Traceroute values. The
+// ground-truth fields are necessarily absent (zero); unresponsive TTLs are
+// reconstructed as hops with no address.
+func ReadJSON(r io.Reader) ([]Traceroute, error) {
+	dec := json.NewDecoder(r)
+	var out []Traceroute
+	for dec.More() {
+		var jt jsonTrace
+		if err := dec.Decode(&jt); err != nil {
+			return nil, fmt.Errorf("tracesim: decoding trace %d: %w", len(out), err)
+		}
+		if jt.Type != "trace" {
+			continue
+		}
+		tr := Traceroute{
+			VM:      VM{Cloud: jt.Monitor},
+			Reached: jt.StopReason == "COMPLETED",
+		}
+		if jt.Dst != "" {
+			a, err := netip.ParseAddr(jt.Dst)
+			if err != nil {
+				return nil, fmt.Errorf("tracesim: trace %d: bad dst %q", len(out), jt.Dst)
+			}
+			tr.Dst = a
+		}
+		tr.Hops = make([]Hop, jt.HopCount)
+		for i := range tr.Hops {
+			tr.Hops[i].TTL = i + 1
+		}
+		for _, h := range jt.Hops {
+			if h.ProbeTTL < 1 || h.ProbeTTL > jt.HopCount {
+				return nil, fmt.Errorf("tracesim: trace %d: hop TTL %d outside 1..%d",
+					len(out), h.ProbeTTL, jt.HopCount)
+			}
+			a, err := netip.ParseAddr(h.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("tracesim: trace %d: bad hop addr %q", len(out), h.Addr)
+			}
+			tr.Hops[h.ProbeTTL-1].Addr = a
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package tracesim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := newEngine(t, 0.1)
+	vms, err := e.VMs("Google", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := append(append([]Traceroute{}, traces[0][:200]...), traces[1][:200]...)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, flat); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(flat) {
+		t.Fatalf("round trip count %d, want %d", len(back), len(flat))
+	}
+	for i := range flat {
+		a, b := &flat[i], &back[i]
+		if a.Reached != b.Reached || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d metadata changed: %+v vs %+v", i, a, b)
+		}
+		if b.VM.Cloud != "Google" {
+			t.Fatalf("trace %d lost monitor", i)
+		}
+		for h := range a.Hops {
+			if a.Hops[h].Addr != b.Hops[h].Addr || a.Hops[h].TTL != b.Hops[h].TTL {
+				t.Fatalf("trace %d hop %d changed", i, h)
+			}
+		}
+		// Ground truth must NOT survive the wire format.
+		if b.TruePath != nil || b.OnBestPath || b.DstASN != 0 {
+			t.Fatal("ground-truth fields leaked into the JSON format")
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"type":"trace","dst":"not-an-ip","hop_count":0,"hops":[]}`,
+		`{"type":"trace","dst":"10.0.0.1","hop_count":1,"hops":[{"addr":"x","probe_ttl":1}]}`,
+		`{"type":"trace","dst":"10.0.0.1","hop_count":1,"hops":[{"addr":"10.0.0.2","probe_ttl":5}]}`,
+		`{not json`,
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Non-trace objects are skipped.
+	out, err := ReadJSON(strings.NewReader(`{"type":"cycle-start"}` + "\n"))
+	if err != nil || len(out) != 0 {
+		t.Errorf("non-trace object: %v, %v", out, err)
+	}
+}
+
+func TestJSONPreservesUnresponsiveGaps(t *testing.T) {
+	in := `{"type":"trace","dst":"10.0.0.1","stop_reason":"GAPLIMIT","hop_count":3,"hops":[{"addr":"10.0.0.2","probe_ttl":1},{"addr":"10.0.0.3","probe_ttl":3}]}`
+	out, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out[0]
+	if len(tr.Hops) != 3 {
+		t.Fatalf("hops = %d", len(tr.Hops))
+	}
+	if !tr.Hops[0].Responded() || tr.Hops[1].Responded() || !tr.Hops[2].Responded() {
+		t.Errorf("gap not reconstructed: %+v", tr.Hops)
+	}
+	if tr.Reached {
+		t.Error("GAPLIMIT marked as reached")
+	}
+}

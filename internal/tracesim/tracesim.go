@@ -1,0 +1,498 @@
+// Package tracesim simulates the paper's measurement campaign (§4.1): ICMP
+// traceroutes issued from VMs inside each cloud provider toward every
+// routable prefix, over the synthetic address plan of package netdb.
+//
+// The engine computes the ground-truth AS-level forwarding path with the
+// route simulator (package bgpsim), then synthesizes router-level hops with
+// the artifacts that drive the paper's §5 inference-accuracy story:
+//
+//   - border interfaces numbered from the far side's space (third-party
+//     addresses), from IXP LANs (unresolvable by prefix matching), or from
+//     the provider's space on p2c links;
+//   - unresponsive hops (probabilistic per hop);
+//   - rate-limited, truncated traceroutes;
+//   - destination networks that never answer (enterprise filtering);
+//   - per-VM path diversity: VMs in different cities take different
+//     tied-best paths, and Amazon's early-exit routing adds per-VM
+//     variance on top (§5's "more locations, more peers, more noise").
+package tracesim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"runtime"
+	"sync"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/geo"
+	"flatnet/internal/netdb"
+	"flatnet/internal/topogen"
+)
+
+// VM is one measurement vantage point inside a cloud.
+type VM struct {
+	Cloud    string
+	CloudASN astopo.ASN
+	City     geo.CityID
+	Index    int
+}
+
+// Hop is one traceroute line. A zero Addr means no reply at that TTL.
+type Hop struct {
+	TTL  int
+	Addr netip.Addr
+	// TrueAS is ground truth for validation; inference code must not
+	// read it.
+	TrueAS astopo.ASN
+}
+
+// Responded reports whether the hop replied.
+func (h Hop) Responded() bool { return h.Addr.IsValid() }
+
+// Traceroute is one measurement.
+type Traceroute struct {
+	VM      VM
+	Dst     netip.Addr
+	DstASN  astopo.ASN
+	Hops    []Hop
+	Reached bool
+	// TruePath is the ground-truth AS-level path from the cloud to the
+	// destination (cloud first).
+	TruePath []astopo.ASN
+	// OnBestPath reports whether TruePath is one of the tied-best
+	// simulated paths — Appendix A's containment check. Traffic-
+	// engineering fallbacks (locality horizons, Amazon's early exit)
+	// produce traced paths outside the tied-best set.
+	OnBestPath bool
+}
+
+// Options tune the artifact rates.
+type Options struct {
+	Seed int64
+	// UnresponsiveProb is the per-hop probability of no reply.
+	UnresponsiveProb float64
+	// TruncateProb is the probability a traceroute is cut short by rate
+	// limiting after a random hop.
+	TruncateProb float64
+	// EnterpriseDropProb is the probability an enterprise destination
+	// filters ICMP entirely (the trace never reaches it).
+	EnterpriseDropProb float64
+}
+
+// DefaultOptions match the artifact levels the paper's §5 numbers imply.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Seed:               seed,
+		UnresponsiveProb:   0.06,
+		TruncateProb:       0.02,
+		EnterpriseDropProb: 0.35,
+	}
+}
+
+// Engine issues simulated traceroutes over one address plan.
+type Engine struct {
+	plan *netdb.Plan
+	in   *topogen.Internet
+	opts Options
+}
+
+// New returns an Engine.
+func New(plan *netdb.Plan, opts Options) *Engine {
+	return &Engine{plan: plan, in: plan.Internet(), opts: opts}
+}
+
+// paperVMCounts are the per-cloud VM deployments of §4.1.
+var paperVMCounts = map[string]int{
+	"Google":    12,
+	"Amazon":    20,
+	"Microsoft": 11,
+	"IBM":       6,
+}
+
+// VMs returns up to n vantage points for a cloud, one per PoP city in
+// deployment order. n <= 0 selects the paper's §4.1 count for that cloud.
+func (e *Engine) VMs(cloud string, n int) ([]VM, error) {
+	asn, ok := e.in.Clouds[cloud]
+	if !ok {
+		return nil, fmt.Errorf("tracesim: unknown cloud %q", cloud)
+	}
+	if n <= 0 {
+		n = paperVMCounts[cloud]
+		if n == 0 {
+			n = 8
+		}
+	}
+	pops := e.in.PoPs[asn]
+	if len(pops) == 0 {
+		return nil, fmt.Errorf("tracesim: cloud %q has no PoPs", cloud)
+	}
+	if n > len(pops) {
+		n = len(pops)
+	}
+	vms := make([]VM, n)
+	for i := 0; i < n; i++ {
+		vms[i] = VM{Cloud: cloud, CloudASN: asn, City: pops[i], Index: i}
+	}
+	return vms, nil
+}
+
+// TraceAll issues one traceroute from every VM to one address in every AS's
+// announced space (the paper's "every routable prefix", §4.1), in parallel
+// over destinations. The result is grouped per VM in input order.
+func (e *Engine) TraceAll(vms []VM) ([][]Traceroute, error) {
+	g := e.in.Graph
+	g.Freeze()
+	dests := g.ASes()
+	out := make([][]Traceroute, len(vms))
+	for i := range out {
+		out[i] = make([]Traceroute, len(dests))
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	var firstErr error
+	var errMu sync.Mutex
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim := bgpsim.New(g)
+			for di := range work {
+				d := dests[di]
+				res, err := sim.Run(bgpsim.Config{Origin: d, TrackNextHops: true})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				for vi, vm := range vms {
+					out[vi][di] = e.trace(vm, d, res)
+				}
+			}
+		}()
+	}
+	for di := range dests {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// trace synthesizes one traceroute given the propagation result for the
+// destination.
+func (e *Engine) trace(vm VM, dst astopo.ASN, res *bgpsim.Result) Traceroute {
+	tr := Traceroute{VM: vm, DstASN: dst}
+	if pfx, ok := e.plan.ASPrefix[dst]; ok {
+		tr.Dst = pfx.Addr().Next()
+	}
+	path := e.forwardPath(vm, dst, res)
+	tr.TruePath = path
+	if path == nil {
+		return tr
+	}
+	tr.OnBestPath = e.onBestPath(path, res)
+	h := pathHasher(vm, dst)
+	rnd := func(mod uint64) uint64 { h = h*6364136223846793005 + 1442695040888963407; return (h >> 33) % mod }
+	chance := func(p float64) bool { return float64(rnd(1_000_000)) < p*1_000_000 }
+
+	ttl := 0
+	emit := func(addr netip.Addr, owner astopo.ASN) {
+		ttl++
+		hop := Hop{TTL: ttl, TrueAS: owner}
+		if addr.IsValid() && !chance(e.opts.UnresponsiveProb) {
+			hop.Addr = addr
+		}
+		tr.Hops = append(tr.Hops, hop)
+	}
+
+	truncated := chance(e.opts.TruncateProb)
+	truncAt := 3 + int(rnd(8))
+
+	// Internal cloud hops from the VM's site.
+	ninternal := 2 + int(rnd(2))
+	for j := 0; j < ninternal; j++ {
+		addr, _ := e.plan.InternalAddr(vm.CloudASN, vm.Index*16+j)
+		emit(addr, vm.CloudASN)
+	}
+
+	for k := 1; k < len(path); k++ {
+		if truncated && ttl >= truncAt {
+			return tr
+		}
+		prev, cur := path[k-1], path[k]
+		// The hop entering `cur` usually replies with cur's interface
+		// on the prev-cur link subnet — which may be numbered from
+		// prev's space or an IXP LAN. Some routers instead reply with
+		// their *outgoing* interface toward the next AS (the classic
+		// third-party-address artifact), which lands on yet another
+		// subnet — frequently an exchange LAN.
+		_, curSide, ok := e.plan.LinkAddr(prev, cur)
+		if !ok {
+			curSide = netip.Addr{}
+		}
+		if k+1 < len(path) && chance(thirdPartyProb) {
+			if out, _, ok2 := e.plan.LinkAddr(cur, path[k+1]); ok2 {
+				curSide = out
+			}
+		}
+		emit(curSide, cur)
+		if cur == dst {
+			if e.in.Class[dst] == topogen.ClassEnterprise && chance(e.opts.EnterpriseDropProb) {
+				return tr // destination filters ICMP
+			}
+			emit(tr.Dst, dst)
+			tr.Reached = true
+			return tr
+		}
+		// Internal hops inside cur.
+		n := int(rnd(3))
+		for j := 0; j < n; j++ {
+			addr, _ := e.plan.InternalAddr(cur, 64+j)
+			emit(addr, cur)
+		}
+	}
+	return tr
+}
+
+// forwardPath walks the tied-best next-hop DAG from the cloud toward the
+// destination, breaking ties deterministically. VMs in different cities
+// land on different tied paths; Amazon's early-exit default adds per-VM
+// index variance (§4.1, Appendix A).
+func (e *Engine) forwardPath(vm VM, dst astopo.ASN, res *bgpsim.Result) []astopo.ASN {
+	g := e.in.Graph
+	ci, ok := g.Index(vm.CloudASN)
+	if !ok || res.Class[ci] == bgpsim.ClassNone {
+		return nil
+	}
+	if vm.CloudASN == dst {
+		return []astopo.ASN{dst}
+	}
+	oi, _ := g.Index(dst)
+	first, ok := e.firstHop(vm, res, int32(ci), int32(oi))
+	if !ok {
+		return nil
+	}
+	path := []astopo.ASN{vm.CloudASN, g.ASNAt(int(first))}
+	cur := first
+	h := pathHasher(vm, dst)
+	for cur != int32(oi) {
+		hops := res.NextHops[cur]
+		if len(hops) == 0 {
+			return nil
+		}
+		h = h*6364136223846793005 + 1442695040888963407
+		cur = hops[(h>>33)%uint64(len(hops))]
+		path = append(path, g.ASNAt(int(cur)))
+		if len(path) > 64 {
+			return nil // defensive: DAG walks cannot loop, but bound anyway
+		}
+	}
+	return path
+}
+
+// regionalUseKm is how far from a regional peer's interconnection city a VM
+// can be and still have the peering available; beyond it, the peer "only
+// provides routes to a single PoP, far from cloud datacenters" (§5's
+// false-negative explanation). Amazon's early-exit default makes its
+// usable horizon much smaller.
+const (
+	regionalUseKm       = 3000.0
+	amazonRegionalUseKm = 1500.0
+)
+
+// thirdPartyProb is the probability that a border router replies with its
+// outgoing rather than ingress interface.
+const thirdPartyProb = 0.30
+
+// earlyExitSlackKm is how much closer a local exit must be before Amazon's
+// early-exit routing abandons the WAN-wide best path.
+const earlyExitSlackKm = 2500.0
+
+// firstHop selects the neighbor the cloud hands traffic to for this VM and
+// destination. Preference order:
+//
+//  1. a tied-best next hop that is usable from the VM's site (global
+//     backbone neighbors always are; regional edge peers only within the
+//     locality horizon) — nearest such neighbor wins;
+//  2. otherwise, the nearest usable neighbor that exported *any* valid
+//     route to the cloud (its providers always export; peers and customers
+//     export customer-learned routes), i.e. hot-potato egress through the
+//     backbone. These fallback paths are exactly the traffic-engineering
+//     deviations that make some traced paths fall outside the tied-best
+//     set (Appendix A's Amazon result).
+func (e *Engine) firstHop(vm VM, res *bgpsim.Result, cloudIdx, dstIdx int32) (int32, bool) {
+	if cloudIdx == dstIdx {
+		return dstIdx, true
+	}
+	if res.Class[cloudIdx] == bgpsim.ClassNone {
+		return 0, false
+	}
+	horizon := regionalUseKm
+	if vm.Cloud == "Amazon" {
+		horizon = amazonRegionalUseKm
+	}
+	usable := func(n int32) bool {
+		if e.globalAS(n) {
+			return true
+		}
+		return e.hopDistance(vm.City, n) <= horizon
+	}
+	g := e.in.Graph
+	exported := func(n int32) bool {
+		if !usable(n) {
+			return false
+		}
+		switch res.Class[n] {
+		case bgpsim.ClassOrigin, bgpsim.ClassCustomer:
+			return true
+		default:
+			return false
+		}
+	}
+	anyExporting := func() (int32, bool) {
+		if best, ok := e.nearestWhere(vm.City, g.PeersOf(int(cloudIdx)), exported); ok {
+			return best, true
+		}
+		if best, ok := e.nearestWhere(vm.City, g.CustomersOf(int(cloudIdx)), exported); ok {
+			return best, true
+		}
+		// Providers export whatever they have.
+		return e.nearestWhere(vm.City, g.ProvidersOf(int(cloudIdx)), func(n int32) bool {
+			return res.Class[n] != bgpsim.ClassNone
+		})
+	}
+	if vm.Cloud == "Amazon" {
+		// Early exit: tenant traffic leaves at the closest exit; the
+		// WAN-wide best next hop is used only when it is at least as
+		// close as the nearest exporting neighbor. A directly usable
+		// destination neighbor is always taken.
+		if dstIsNeighbor(g, cloudIdx, dstIdx) && usable(dstIdx) {
+			return dstIdx, true
+		}
+		bestHop, okBest := e.nearestWhere(vm.City, res.NextHops[cloudIdx], usable)
+		exitHop, okExit := anyExporting()
+		switch {
+		case okBest && okExit:
+			// Exit early only when the local exit is substantially
+			// closer than the best-path egress; small differences
+			// still ride the best path.
+			if e.hopDistance(vm.City, bestHop)-e.hopDistance(vm.City, exitHop) > earlyExitSlackKm {
+				return exitHop, true
+			}
+			return bestHop, true
+		case okBest:
+			return bestHop, true
+		case okExit:
+			return exitHop, true
+		}
+	}
+	if best, ok := e.nearestWhere(vm.City, res.NextHops[cloudIdx], usable); ok {
+		return best, true
+	}
+	if best, ok := anyExporting(); ok {
+		return best, true
+	}
+	// Last resort: any tied-best next hop even if "unusable".
+	if hops := res.NextHops[cloudIdx]; len(hops) > 0 {
+		return hops[0], true
+	}
+	return 0, false
+}
+
+func dstIsNeighbor(g *astopo.Graph, cloudIdx, dstIdx int32) bool {
+	for _, n := range g.PeersOf(int(cloudIdx)) {
+		if n == dstIdx {
+			return true
+		}
+	}
+	for _, n := range g.CustomersOf(int(cloudIdx)) {
+		if n == dstIdx {
+			return true
+		}
+	}
+	for _, n := range g.ProvidersOf(int(cloudIdx)) {
+		if n == dstIdx {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) globalAS(n int32) bool {
+	switch e.in.Class[e.in.Graph.ASNAt(int(n))] {
+	case topogen.ClassTier1, topogen.ClassTier2, topogen.ClassTransit, topogen.ClassCloud:
+		return true
+	}
+	return false
+}
+
+// nearestWhere picks the candidate passing the filter whose home city is
+// closest to the VM's city (lowest dense index breaks exact ties).
+func (e *Engine) nearestWhere(city geo.CityID, cands []int32, keep func(int32) bool) (int32, bool) {
+	var best int32
+	bestD := -1.0
+	for _, c := range cands {
+		if !keep(c) {
+			continue
+		}
+		d := e.hopDistance(city, c)
+		if bestD < 0 || d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD >= 0
+}
+
+func (e *Engine) hopDistance(city geo.CityID, hop int32) float64 {
+	home, ok := e.in.HomeCity[e.in.Graph.ASNAt(int(hop))]
+	if !ok {
+		return 1e12
+	}
+	return geo.CityDistanceKm(city, home)
+}
+
+// onBestPath reports whether every step of the forwarding path follows a
+// tied-best next hop of the destination's propagation.
+func (e *Engine) onBestPath(path []astopo.ASN, res *bgpsim.Result) bool {
+	g := e.in.Graph
+	for k := 1; k < len(path); k++ {
+		ci, ok := g.Index(path[k-1])
+		if !ok {
+			return false
+		}
+		ni, ok := g.Index(path[k])
+		if !ok {
+			return false
+		}
+		found := false
+		for _, h := range res.NextHops[ci] {
+			if h == int32(ni) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func pathHasher(vm VM, dst astopo.ASN) uint64 {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "%s/%d/%d", vm.Cloud, vm.City, dst)
+	if vm.Cloud == "Amazon" {
+		// Early exit: Amazon tenant traffic egresses near the VM, so
+		// different VMs at the same site still vary.
+		fmt.Fprintf(f, "/%d", vm.Index)
+	}
+	return f.Sum64()
+}

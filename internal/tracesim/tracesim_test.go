@@ -1,0 +1,199 @@
+package tracesim
+
+import (
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/netdb"
+	"flatnet/internal/topogen"
+)
+
+func newEngine(t testing.TB, scale float64) *Engine {
+	t.Helper()
+	in, err := topogen.Generate(topogen.Internet2020(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := netdb.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(plan, DefaultOptions(42))
+}
+
+func TestVMs(t *testing.T) {
+	e := newEngine(t, 0.1)
+	vms, err := e.VMs("Google", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 12 {
+		t.Errorf("Google default VMs = %d, want 12 (§4.1)", len(vms))
+	}
+	seen := map[int]bool{}
+	for _, vm := range vms {
+		if vm.CloudASN != 15169 || vm.Cloud != "Google" {
+			t.Errorf("bad VM identity %+v", vm)
+		}
+		if seen[int(vm.City)] {
+			t.Errorf("duplicate VM city %d", vm.City)
+		}
+		seen[int(vm.City)] = true
+	}
+	if _, err := e.VMs("NoSuchCloud", 1); err == nil {
+		t.Error("unknown cloud accepted")
+	}
+	three, err := e.VMs("Amazon", 3)
+	if err != nil || len(three) != 3 {
+		t.Errorf("VMs(Amazon,3) = %d,%v", len(three), err)
+	}
+}
+
+func TestTraceAllBasicInvariants(t *testing.T) {
+	e := newEngine(t, 0.1)
+	vms, err := e.VMs("Google", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d VM groups", len(traces))
+	}
+	g := e.in.Graph
+	nReached, nTotal := 0, 0
+	for vi, group := range traces {
+		if len(group) != g.NumASes() {
+			t.Fatalf("VM %d traced %d dests, want %d", vi, len(group), g.NumASes())
+		}
+		for _, tr := range group {
+			nTotal++
+			if tr.Reached {
+				nReached++
+			}
+			if tr.TruePath != nil {
+				if tr.TruePath[0] != vms[vi].CloudASN {
+					t.Fatalf("TruePath starts at AS%d, want cloud", tr.TruePath[0])
+				}
+				if tr.TruePath[len(tr.TruePath)-1] != tr.DstASN {
+					t.Fatalf("TruePath ends at AS%d, want AS%d", tr.TruePath[len(tr.TruePath)-1], tr.DstASN)
+				}
+				// Consecutive path ASes must be linked.
+				for k := 1; k < len(tr.TruePath); k++ {
+					if _, ok := g.HasLink(tr.TruePath[k-1], tr.TruePath[k]); !ok {
+						t.Fatalf("TruePath hop AS%d-AS%d not linked", tr.TruePath[k-1], tr.TruePath[k])
+					}
+				}
+			}
+			// TTLs are strictly increasing from 1.
+			for i, h := range tr.Hops {
+				if h.TTL != i+1 {
+					t.Fatalf("hop %d has TTL %d", i, h.TTL)
+				}
+			}
+		}
+	}
+	if frac := float64(nReached) / float64(nTotal); frac < 0.6 {
+		t.Errorf("only %.2f of traceroutes reached their destination", frac)
+	}
+}
+
+func TestTraceGroundTruthConsistency(t *testing.T) {
+	e := newEngine(t, 0.1)
+	vms, err := e.VMs("Microsoft", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces[0] {
+		if tr.TruePath == nil {
+			continue
+		}
+		// Hops' TrueAS values must appear in TruePath order (with
+		// repeats for internal hops).
+		pos := 0
+		for _, h := range tr.Hops {
+			for pos < len(tr.TruePath) && tr.TruePath[pos] != h.TrueAS {
+				pos++
+			}
+			if pos == len(tr.TruePath) {
+				t.Fatalf("hop TrueAS AS%d not on TruePath %v", h.TrueAS, tr.TruePath)
+			}
+		}
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	e1 := newEngine(t, 0.1)
+	e2 := newEngine(t, 0.1)
+	vms1, _ := e1.VMs("IBM", 2)
+	vms2, _ := e2.VMs("IBM", 2)
+	t1, err := e1.TraceAll(vms1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e2.TraceAll(vms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range t1 {
+		for di := range t1[vi] {
+			a, b := t1[vi][di], t2[vi][di]
+			if len(a.Hops) != len(b.Hops) || a.Reached != b.Reached {
+				t.Fatalf("nondeterministic trace vm=%d dest=%d", vi, di)
+			}
+			for h := range a.Hops {
+				if a.Hops[h] != b.Hops[h] {
+					t.Fatalf("hop mismatch vm=%d dest=%d hop=%d", vi, di, h)
+				}
+			}
+		}
+	}
+}
+
+// VM diversity: different VMs should uncover at least slightly different
+// first-hop neighbor sets, and Amazon should show more per-VM variance
+// than Google (early exit, §4.1).
+func TestVMPathDiversity(t *testing.T) {
+	e := newEngine(t, 0.15)
+	firstHops := func(cloud string, n int) []map[astopo.ASN]bool {
+		vms, err := e.VMs(cloud, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := e.TraceAll(vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]map[astopo.ASN]bool, len(traces))
+		for vi, group := range traces {
+			out[vi] = map[astopo.ASN]bool{}
+			for _, tr := range group {
+				if len(tr.TruePath) > 1 {
+					out[vi][tr.TruePath[1]] = true
+				}
+			}
+		}
+		return out
+	}
+	union := func(sets []map[astopo.ASN]bool) int {
+		u := map[astopo.ASN]bool{}
+		for _, s := range sets {
+			for a := range s {
+				u[a] = true
+			}
+		}
+		return len(u)
+	}
+	g1 := firstHops("Google", 1)
+	g4 := firstHops("Google", 4)
+	if union(g4) <= union(g1) {
+		t.Errorf("4 Google VMs saw %d first-hop neighbors, 1 VM saw %d; want strictly more",
+			union(g4), union(g1))
+	}
+}
