@@ -12,6 +12,8 @@
 package flatnet_bench
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -20,9 +22,19 @@ import (
 	"flatnet/internal/experiments"
 )
 
-// benchScale keeps a full -bench=. run in the minutes range; raise it to
-// approach the paper's full topology.
-const benchScale = 0.15
+// defaultBenchScale keeps a full -bench=. run in the minutes range; set the
+// FLATNET_BENCH_SCALE env var (e.g. FLATNET_BENCH_SCALE=1.0) to approach
+// the paper's full topology without editing source.
+const defaultBenchScale = 0.15
+
+var benchScale = func() float64 {
+	if s := os.Getenv("FLATNET_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return defaultBenchScale
+}()
 
 var (
 	envOnce sync.Once
@@ -297,11 +309,46 @@ func BenchmarkHierarchyFreeReachability(b *testing.B) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// BenchmarkLeakSweep measures one steady-state leak trial against a cached
+// pre-pass — the inner loop of Figs. 7–10. allocs/op should be ~0.
+func BenchmarkLeakSweep(b *testing.B) {
+	e := benchEnv(b)
+	g := e.In2020.Graph
+	google := e.In2020.Clouds["Google"]
+	leakers := bgpsim.SampleLeakers(g, google, 256, 7)
+	sweep, err := bgpsim.NewLeakSweep(g, bgpsim.Config{Origin: google})
+	if err != nil {
+		b.Fatal(err)
 	}
-	return b
+	// Warm the dial queue and arena high-water marks.
+	if _, err := sweep.Trial(leakers[0], nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Trial(leakers[i%len(leakers)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagateNoAlloc measures one steady-state reachability
+// propagation with buffer reuse. allocs/op should be ~0.
+func BenchmarkPropagateNoAlloc(b *testing.B) {
+	e := benchEnv(b)
+	sim := bgpsim.New(e.In2020.Graph)
+	google := e.In2020.Clouds["Google"]
+	if _, err := sim.ReachabilityCount(bgpsim.Config{Origin: google}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReachabilityCount(bgpsim.Config{Origin: google}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTiesAblation(b *testing.B) {

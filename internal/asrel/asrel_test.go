@@ -117,10 +117,3 @@ func TestInferOnGeneratedInternet(t *testing.T) {
 		t.Errorf("p2p accuracy %.3f, want >= 0.3", p2p)
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -7,22 +7,33 @@ package bgpsim
 // down provider→customer edges in increasing path-length order. All stages
 // use a dial (bucket) queue keyed by path length so that multiple seeds
 // with different initial lengths compete correctly.
-// It fills the Simulator's class/dist/flags buffers (valid until the next
-// propagation) and returns the next-hop DAG when track is set.
-func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, breakTies bool) [][]int32 {
+// It fills the Simulator's class/dist/flags buffers and, when track is set,
+// the next-hop arena (both valid until the next propagation). Every buffer
+// it touches is owned by the Simulator and reused across runs, so
+// steady-state propagations allocate nothing.
+func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, breakTies bool) {
 	n := s.n
 	g := s.g
 	class := s.class
 	dist := s.dist
 	flags := s.flags
+	if track && s.vias == nil {
+		s.vias = make([][]int32, n)
+		s.nhOff = make([]int32, n)
+		s.nhLen = make([]int32, n)
+	}
+	vias := s.vias
 	for i := 0; i < n; i++ {
 		class[i] = ClassNone
 		dist[i] = -1
 		flags[i] = 0
 	}
-	var nh [][]int32
 	if track {
-		nh = make([][]int32, n)
+		for i := 0; i < n; i++ {
+			s.nhLen[i] = 0
+			vias[i] = vias[i][:0]
+		}
+		s.nhArena = s.nhArena[:0]
 	}
 
 	origin := seeds[0].idx
@@ -35,14 +46,17 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 	// Tentative per-stage state, reused across runs.
 	tent := s.tent
 	tflags := s.tflags
-	var vias [][]int32
-	if track {
-		vias = make([][]int32, n)
-	}
 	for i := range tent {
 		tent[i] = -1
 	}
-	s.buckets = s.buckets[:0]
+	// The dial queue keeps its high-water shape across runs: only the
+	// inner buckets are truncated, so steady-state runs never reallocate.
+	clearBuckets := func() {
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
+	}
+	clearBuckets()
 
 	// accept reports whether `receiver` may install a route announced to
 	// it by `sender`. Excluded ASes take no routes; seeds never replace
@@ -92,7 +106,9 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 		dist[node] = tent[node]
 		flags[node] |= tflags[node]
 		if track {
-			nh[node] = append([]int32(nil), vias[node]...)
+			s.nhOff[node] = int32(len(s.nhArena))
+			s.nhLen[node] = int32(len(vias[node]))
+			s.nhArena = append(s.nhArena, vias[node]...)
 		}
 	}
 
@@ -194,7 +210,7 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 			}
 		}
 	}
-	s.buckets = s.buckets[:0]
+	clearBuckets()
 	downPush := func(c, d int32, f uint8, via int32) {
 		if class[c] != ClassNone {
 			return
@@ -231,6 +247,160 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 			}
 		}
 	}
+}
 
-	return nh
+// nextHopCSR is a compact tied-best next-hop DAG in CSR form: node v's next
+// hops occupy arena[off[v] : off[v]+num[v]]. Spans are only meaningful for
+// nodes settled by the propagation that filled it (num is reset to 0 for
+// every node at the start of a tracked run).
+type nextHopCSR struct {
+	off   []int32
+	num   []int32
+	arena []int32
+}
+
+// at returns v's next-hop span (aliasing the arena; callers must not
+// mutate or retain it past the arena's lifetime).
+func (c nextHopCSR) at(v int32) []int32 {
+	return c.arena[c.off[v] : c.off[v]+c.num[v]]
+}
+
+// clone deep-copies the CSR so it survives future propagations of the
+// Simulator that built it.
+func (c nextHopCSR) clone() nextHopCSR {
+	return nextHopCSR{
+		off:   append([]int32(nil), c.off...),
+		num:   append([]int32(nil), c.num...),
+		arena: append([]int32(nil), c.arena...),
+	}
+}
+
+// materialize converts the CSR to the Result.NextHops representation: one
+// freshly allocated flat backing array shared by all per-node slices (two
+// allocations total, independent of the DAG's shape).
+func (c nextHopCSR) materialize() [][]int32 {
+	flat := append([]int32(nil), c.arena...)
+	out := make([][]int32, len(c.off))
+	for i := range out {
+		if m := c.num[i]; m > 0 {
+			o := c.off[i]
+			out[i] = flat[o : o+m : o+m]
+		}
+	}
+	return out
+}
+
+// csr returns a view of the Simulator's next-hop arena as filled by the
+// latest tracked propagation. The view is invalidated by the next run.
+func (s *Simulator) csr() nextHopCSR {
+	return nextHopCSR{off: s.nhOff, num: s.nhLen, arena: s.nhArena}
+}
+
+// orderByDistance fills and returns s.order with the dense indexes of all
+// classed nodes in ascending best-length order, using a counting sort over
+// distances (they are small ints bounded by the dial queue's depth), stable
+// by index within a distance. Valid until the next call.
+func (s *Simulator) orderByDistance() []int32 {
+	n := s.n
+	maxd := int32(0)
+	classed := 0
+	for i := 0; i < n; i++ {
+		if s.class[i] == ClassNone {
+			continue
+		}
+		classed++
+		if s.dist[i] > maxd {
+			maxd = s.dist[i]
+		}
+	}
+	if cap(s.distCnt) < int(maxd)+2 {
+		s.distCnt = make([]int32, maxd+2)
+	}
+	cnt := s.distCnt[:maxd+2]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		if s.class[i] != ClassNone {
+			cnt[s.dist[i]+1]++
+		}
+	}
+	for d := int32(1); d < int32(len(cnt)); d++ {
+		cnt[d] += cnt[d-1]
+	}
+	if cap(s.order) < classed {
+		s.order = make([]int32, classed)
+	}
+	order := s.order[:classed]
+	for i := 0; i < n; i++ {
+		if s.class[i] != ClassNone {
+			order[cnt[s.dist[i]]] = int32(i)
+			cnt[s.dist[i]]++
+		}
+	}
+	s.order = order
+	return order
+}
+
+// pathCountsCSR fills counts[v] with the number of tied-best DAG paths from
+// v to the origin (N(w) in the loop-detection derivation). order must hold
+// the classed nodes in ascending best-length order; every next-hop edge
+// drops the best length by exactly one, so each node only reads counts
+// settled by an earlier distance bucket.
+func pathCountsCSR(csr nextHopCSR, class []Class, dist []int32, order []int32, counts []float64) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, v := range order {
+		if class[v] == ClassOrigin && dist[v] == 0 {
+			counts[v] = 1
+			continue
+		}
+		var c float64
+		for _, u := range csr.at(v) {
+			c += counts[u]
+		}
+		counts[v] = c
+	}
+}
+
+// blockedOnAllPaths marks in blocked the ASes appearing on every tied-best
+// path from the leaker toward the origin — the set whose BGP loop detection
+// rejects every leaked copy. Uses path-count products: with N(w) DAG paths
+// from w to the origin and A(w) DAG paths from the leaker to w, node w lies
+// on all leaker paths iff A(w)·N(w) equals the leaker's total path count.
+// counts must come from pathCountsCSR over the same order; reach is
+// caller-provided scratch. All inputs are read-only but reach and blocked
+// are overwritten, so distinct callers may share csr/order/counts.
+func blockedOnAllPaths(csr nextHopCSR, order []int32, counts []float64, leaker int32, reach []float64, blocked []bool) {
+	for i := range reach {
+		reach[i] = 0
+	}
+	reach[leaker] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		rv := reach[v]
+		if rv == 0 {
+			continue
+		}
+		for _, u := range csr.at(v) {
+			reach[u] += rv
+		}
+	}
+	for i := range blocked {
+		blocked[i] = false
+	}
+	total := counts[leaker]
+	if total == 0 {
+		return
+	}
+	for i := range blocked {
+		if int32(i) == leaker {
+			continue
+		}
+		p := reach[i] * counts[i]
+		if p > 0 && p >= total*(1-1e-9) {
+			blocked[i] = true
+		}
+	}
 }

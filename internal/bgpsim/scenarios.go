@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"flatnet/internal/astopo"
+	"flatnet/internal/par"
 )
 
 // LeakScenario names the announcement/filtering configurations of §8.2.
@@ -107,49 +107,33 @@ type LeakTrial struct {
 }
 
 // RunLeakTrials simulates cfgBase once per leaker, in parallel, and returns
-// one LeakTrial per leaker in input order. weights may be nil.
+// one LeakTrial per leaker in input order. weights may be nil. The leak-free
+// pre-pass is computed once per configuration through a LeakSweep and
+// shared by every worker, so each trial pays only for the per-leaker loop
+// detection and leak propagation.
 func RunLeakTrials(g *astopo.Graph, cfgBase Config, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
 	g.Freeze()
+	sweep, err := NewLeakSweep(g, cfgBase)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]LeakTrial, len(leakers))
-	denom := float64(g.NumASes() - 2)
-	var firstErr error
-	var errMu sync.Mutex
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim := New(g)
-			for i := range work {
-				cfg := cfgBase
-				cfg.Leaker = leakers[i]
-				res, err := sim.Run(cfg)
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("leaker AS%d: %w", leakers[i], err)
-					}
-					errMu.Unlock()
-					return
-				}
-				out[i] = LeakTrial{
-					Leaker:       leakers[i],
-					DetouredFrac: float64(res.Detoured()) / denom,
-				}
-				if weights != nil {
-					out[i].DetouredUserFrac = res.DetouredWeight(weights)
-				}
+	err = par.For(runtime.GOMAXPROCS(0), len(leakers), func(w int) func(i int) error {
+		sw := sweep
+		if w > 0 {
+			sw = sweep.Clone()
+		}
+		return func(i int) error {
+			tr, err := sw.Trial(leakers[i], weights)
+			if err != nil {
+				return fmt.Errorf("leaker AS%d: %w", leakers[i], err)
 			}
-		}()
-	}
-	for i := range leakers {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			out[i] = tr
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -200,25 +184,54 @@ func CDF(trials []LeakTrial, xs []float64, users bool) []float64 {
 // AverageResilience simulates random (origin, leaker) pairs under
 // announce-to-all and returns the mean detoured fraction — the paper's
 // baseline "average resilience" line. nOrigins origins are sampled, each
-// attacked by nLeakers leakers.
+// attacked by nLeakers leakers. Origins run in parallel; each origin's
+// worker builds one LeakSweep (pre-pass computed once) and replays its
+// leakers sequentially against it. Sampling is drawn up-front from a
+// single sequential RNG, so results are deterministic in seed regardless
+// of scheduling.
 func AverageResilience(g *astopo.Graph, nOrigins, nLeakers int, seed int64, weights []float64) (asFrac, userFrac float64, err error) {
 	g.Freeze()
 	rng := rand.New(rand.NewSource(seed))
 	all := g.ASes()
+	type originJob struct {
+		origin  astopo.ASN
+		leakers []astopo.ASN
+	}
+	jobs := make([]originJob, nOrigins)
+	for i := range jobs {
+		origin := all[rng.Intn(len(all))]
+		jobs[i] = originJob{origin: origin, leakers: SampleLeakers(g, origin, nLeakers, rng.Int63())}
+	}
+	sums := make([]float64, len(jobs))
+	wsums := make([]float64, len(jobs))
+	counts := make([]int, len(jobs))
+	err = par.For(runtime.GOMAXPROCS(0), len(jobs), func(int) func(i int) error {
+		return func(i int) error {
+			sweep, err := NewLeakSweep(g, Config{Origin: jobs[i].origin})
+			if err != nil {
+				return err
+			}
+			for _, l := range jobs[i].leakers {
+				tr, err := sweep.Trial(l, weights)
+				if err != nil {
+					return fmt.Errorf("leaker AS%d: %w", l, err)
+				}
+				sums[i] += tr.DetouredFrac
+				wsums[i] += tr.DetouredUserFrac
+				counts[i]++
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
 	var sum, wsum float64
 	var count int
-	for oi := 0; oi < nOrigins; oi++ {
-		origin := all[rng.Intn(len(all))]
-		leakers := SampleLeakers(g, origin, nLeakers, rng.Int63())
-		trials, err := RunLeakTrials(g, Config{Origin: origin}, leakers, weights)
-		if err != nil {
-			return 0, 0, err
-		}
-		for _, tr := range trials {
-			sum += tr.DetouredFrac
-			wsum += tr.DetouredUserFrac
-			count++
-		}
+	for i := range jobs {
+		sum += sums[i]
+		wsum += wsums[i]
+		count += counts[i]
 	}
 	if count == 0 {
 		return 0, 0, fmt.Errorf("bgpsim: no resilience trials ran")

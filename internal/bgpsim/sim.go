@@ -21,7 +21,6 @@ package bgpsim
 
 import (
 	"fmt"
-	"sort"
 
 	"flatnet/internal/astopo"
 )
@@ -235,6 +234,23 @@ type Simulator struct {
 	leakBlocked []bool
 
 	buckets [][]int32 // dial queue, indexed by distance
+
+	// Next-hop tracking arena (lazily sized, reused across tracked runs):
+	// vias holds each node's tentative next hops while its distance is
+	// still contested; settle copies the final list into the flat nhArena
+	// and records its span in nhOff/nhLen (CSR layout, see nextHopCSR).
+	vias    [][]int32
+	nhOff   []int32
+	nhLen   []int32
+	nhArena []int32
+
+	// Scratch reused by prepare and the leak pre-pass.
+	seeds   []seed
+	order   []int32
+	distCnt []int32
+	counts  []float64
+	reach   []float64
+	blocked []bool
 }
 
 // New returns a Simulator for g. The graph is frozen by the call and must
@@ -283,14 +299,16 @@ func (s *Simulator) Run(cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	nh := s.propagate(seeds, cfg.Exclude, cfg.Locking, cfg.TrackNextHops, cfg.BreakTies)
+	s.propagate(seeds, cfg.Exclude, cfg.Locking, cfg.TrackNextHops, cfg.BreakTies)
 	res := &Result{
 		Graph:     s.g,
 		Origin:    seeds[0].idx,
 		LeakerIdx: leakerIdx,
 		Class:     append([]Class(nil), s.class...),
 		Dist:      append([]int32(nil), s.dist...),
-		NextHops:  nh,
+	}
+	if cfg.TrackNextHops {
+		res.NextHops = s.csr().materialize()
 	}
 	if cfg.Leaker != 0 {
 		res.Flags = append([]uint8(nil), s.flags...)
@@ -319,8 +337,10 @@ func (s *Simulator) ReachabilityCount(cfg Config) (int, error) {
 	return n, nil
 }
 
-// prepare validates cfg and builds the propagation seeds. For leak configs
-// whose leaker holds no legitimate route it returns (nil, leakerIdx, nil).
+// prepare validates cfg and builds the propagation seeds (in the
+// Simulator's reusable seed buffer, valid until the next prepare). For leak
+// configs whose leaker holds no legitimate route it returns
+// (nil, leakerIdx, nil).
 func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
 	s.leakBlocked = nil
 	oi, ok := s.g.Index(cfg.Origin)
@@ -337,7 +357,8 @@ func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
 		return nil, -1, fmt.Errorf("bgpsim: origin AS%d is excluded by the mask", cfg.Origin)
 	}
 
-	seeds := []seed{{idx: int32(oi), dist0: 0, flag: ViaLegit, policy: cfg.Policy}}
+	seeds := append(s.seeds[:0], seed{idx: int32(oi), dist0: 0, flag: ViaLegit, policy: cfg.Policy})
+	s.seeds = seeds
 	leakerIdx := int32(-1)
 	if cfg.Leaker != 0 {
 		li, ok := s.g.Index(cfg.Leaker)
@@ -353,18 +374,18 @@ func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
 		leakerIdx = int32(li)
 		if cfg.Hijack {
 			// Forged origination: length zero, no upstream path.
-			seeds = append(seeds, seed{
+			s.seeds = append(seeds, seed{
 				idx:       leakerIdx,
 				dist0:     0,
 				flag:      ViaLeak,
 				exportAll: true,
 			})
-			return seeds, leakerIdx, nil
+			return s.seeds, leakerIdx, nil
 		}
 		// The leaked announcement carries the leaker's legitimate best
 		// path; find its length with a leak-free pre-pass, tracking
 		// next hops so that loop detection (below) can be computed.
-		nh := s.propagate(seeds, cfg.Exclude, cfg.Locking, true, cfg.BreakTies)
+		s.propagate(seeds, cfg.Exclude, cfg.Locking, true, cfg.BreakTies)
 		if s.class[li] == ClassNone {
 			return nil, leakerIdx, nil // nothing to leak
 		}
@@ -373,71 +394,28 @@ func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
 		// that appears on *all* of the leaker's tied-best paths will
 		// reject every leaked copy. Mark those ASes so propagation
 		// strips the leak flag at them.
-		s.leakBlocked = s.onAllLeakerPaths(nh, int32(li))
-		seeds = append(seeds, seed{
+		s.ensureLeakScratch()
+		order := s.orderByDistance()
+		pathCountsCSR(s.csr(), s.class, s.dist, order, s.counts)
+		blockedOnAllPaths(s.csr(), order, s.counts, int32(li), s.reach, s.blocked)
+		s.leakBlocked = s.blocked
+		s.seeds = append(seeds, seed{
 			idx:       leakerIdx,
 			dist0:     s.dist[li],
 			flag:      ViaLeak,
 			exportAll: true,
 		})
 	}
-	return seeds, leakerIdx, nil
+	return s.seeds, leakerIdx, nil
 }
 
-// onAllLeakerPaths returns the dense mask of ASes appearing on every
-// tied-best path from the leaker toward the origin, given the pre-pass
-// next-hop DAG. Uses path-count products: with N(w) DAG paths from w to the
-// origin and A(w) DAG paths from the leaker to w, node w lies on all
-// leaker paths iff A(w)·N(w) equals the leaker's total path count.
-func (s *Simulator) onAllLeakerPaths(nh [][]int32, leaker int32) []bool {
-	n := s.n
-	// Order classed nodes by distance.
-	order := make([]int32, 0, n)
-	for i := 0; i < n; i++ {
-		if s.class[i] != ClassNone {
-			order = append(order, int32(i))
-		}
+// ensureLeakScratch sizes the pre-pass scratch buffers.
+func (s *Simulator) ensureLeakScratch() {
+	if s.counts == nil {
+		s.counts = make([]float64, s.n)
+		s.reach = make([]float64, s.n)
+		s.blocked = make([]bool, s.n)
 	}
-	sort.Slice(order, func(i, j int) bool { return s.dist[order[i]] < s.dist[order[j]] })
-
-	counts := make([]float64, n) // N(w): DAG paths w -> origin
-	for _, v := range order {
-		if s.class[v] == ClassOrigin && s.dist[v] == 0 {
-			counts[v] = 1
-			continue
-		}
-		var c float64
-		for _, u := range nh[v] {
-			c += counts[u]
-		}
-		counts[v] = c
-	}
-	reach := make([]float64, n) // A(w): DAG paths leaker -> w
-	reach[leaker] = 1
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		if reach[v] == 0 {
-			continue
-		}
-		for _, u := range nh[v] {
-			reach[u] += reach[v]
-		}
-	}
-	total := counts[leaker]
-	blocked := make([]bool, n)
-	if total == 0 {
-		return blocked
-	}
-	for i := 0; i < n; i++ {
-		if int32(i) == leaker {
-			continue
-		}
-		p := reach[i] * counts[i]
-		if p > 0 && p >= total*(1-1e-9) {
-			blocked[i] = true
-		}
-	}
-	return blocked
 }
 
 // seed is one announcement source in a propagation.

@@ -1,0 +1,198 @@
+package bgpsim
+
+import (
+	"fmt"
+
+	"flatnet/internal/astopo"
+)
+
+// LeakSweep replays many leakers against one base configuration — the inner
+// loop of the paper's §8.1 experiments (thousands of trials per
+// origin×scenario). A plain Simulator.Run re-derives the leak-free state
+// for every trial: the pre-pass propagation, the tied-best next-hop DAG,
+// and its path counts are all invariant in the leaker, yet cost as much as
+// the leak propagation itself. A sweep computes them once per
+// (origin, policy, exclude, locking) configuration and keeps them in an
+// immutable snapshot, so each trial pays only for the per-leaker loop
+// detection (one backward pass over the cached DAG) and the leak
+// propagation proper. Steady-state Trial calls are allocation-free.
+//
+// A LeakSweep is not safe for concurrent use; Clone shares the snapshot
+// with a fresh set of mutable buffers for use from another goroutine.
+type LeakSweep struct {
+	base *sweepBase
+	sim  *Simulator
+
+	// Per-sweep scratch for the leaker loop-detection pass.
+	reach   []float64
+	blocked []bool
+}
+
+// sweepBase is the leaker-invariant snapshot: the leak-free propagation
+// outcome and the path counts over its next-hop DAG. It is immutable after
+// construction and shared by all clones of a sweep.
+type sweepBase struct {
+	g      *astopo.Graph
+	cfg    Config // base config; Leaker always zero
+	origin int32
+	class  []Class
+	dist   []int32
+	csr    nextHopCSR
+	order  []int32   // classed nodes in ascending best-length order
+	counts []float64 // N(w): tied-best DAG paths w -> origin
+}
+
+// NewLeakSweep validates base (whose Leaker field is ignored), runs the
+// leak-free pre-pass once, and returns a sweep ready to replay leakers
+// against it. The graph is frozen by the call.
+func NewLeakSweep(g *astopo.Graph, base Config) (*LeakSweep, error) {
+	base.Leaker = 0
+	sim := New(g)
+	seeds, _, err := sim.prepare(base)
+	if err != nil {
+		return nil, err
+	}
+	sim.propagate(seeds, base.Exclude, base.Locking, true, base.BreakTies)
+	b := &sweepBase{
+		g:      g,
+		cfg:    base,
+		origin: seeds[0].idx,
+		class:  append([]Class(nil), sim.class...),
+		dist:   append([]int32(nil), sim.dist...),
+		csr:    sim.csr().clone(),
+		order:  append([]int32(nil), sim.orderByDistance()...),
+	}
+	b.counts = make([]float64, sim.n)
+	pathCountsCSR(b.csr, b.class, b.dist, b.order, b.counts)
+	return &LeakSweep{
+		base:    b,
+		sim:     sim,
+		reach:   make([]float64, sim.n),
+		blocked: make([]bool, sim.n),
+	}, nil
+}
+
+// Clone returns a sweep sharing this one's immutable pre-pass snapshot but
+// owning fresh propagation and scratch buffers, for use from another
+// goroutine.
+func (sw *LeakSweep) Clone() *LeakSweep {
+	return &LeakSweep{
+		base:    sw.base,
+		sim:     New(sw.base.g),
+		reach:   make([]float64, len(sw.reach)),
+		blocked: make([]bool, len(sw.blocked)),
+	}
+}
+
+// Base returns the sweep's base configuration (Leaker is always zero).
+func (sw *LeakSweep) Base() Config { return sw.base.cfg }
+
+// runLeaker validates the leaker against the cached pre-pass, installs the
+// per-leaker loop-detection mask, and runs the leak propagation into the
+// sweep's simulator buffers. propagated is false when the leaker holds no
+// legitimate route (the leak is a no-op and no propagation ran); hijacks
+// always propagate.
+func (sw *LeakSweep) runLeaker(leaker astopo.ASN, track bool) (li int32, propagated bool, err error) {
+	b := sw.base
+	cfg := b.cfg
+	i, ok := b.g.Index(leaker)
+	if !ok {
+		return -1, false, fmt.Errorf("bgpsim: leaker AS%d not in graph", leaker)
+	}
+	if leaker == cfg.Origin {
+		return -1, false, fmt.Errorf("bgpsim: leaker equals origin AS%d", cfg.Origin)
+	}
+	if cfg.Exclude != nil && cfg.Exclude[i] {
+		return -1, false, fmt.Errorf("bgpsim: leaker AS%d is excluded by the mask", leaker)
+	}
+	li = int32(i)
+	sim := sw.sim
+	sim.leakBlocked = nil
+	seeds := append(sim.seeds[:0], seed{idx: b.origin, dist0: 0, flag: ViaLegit, policy: cfg.Policy})
+	if cfg.Hijack {
+		// Forged origination: length zero, no upstream path, no loop
+		// detection — the pre-pass plays no role.
+		seeds = append(seeds, seed{idx: li, dist0: 0, flag: ViaLeak, exportAll: true})
+		sim.seeds = seeds
+		sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies)
+		return li, true, nil
+	}
+	if b.class[li] == ClassNone {
+		sim.seeds = seeds
+		return li, false, nil // nothing to leak
+	}
+	blockedOnAllPaths(b.csr, b.order, b.counts, li, sw.reach, sw.blocked)
+	sim.leakBlocked = sw.blocked
+	seeds = append(seeds, seed{idx: li, dist0: b.dist[li], flag: ViaLeak, exportAll: true})
+	sim.seeds = seeds
+	sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies)
+	return li, true, nil
+}
+
+// Trial replays one leaker and reduces the outcome straight to a LeakTrial
+// without materializing a Result. The detoured fraction's denominator is
+// every AS other than the origin and the leaker, matching RunLeakTrials.
+func (sw *LeakSweep) Trial(leaker astopo.ASN, weights []float64) (LeakTrial, error) {
+	li, propagated, err := sw.runLeaker(leaker, false)
+	if err != nil {
+		return LeakTrial{}, err
+	}
+	tr := LeakTrial{Leaker: leaker}
+	if !propagated {
+		return tr, nil
+	}
+	b := sw.base
+	detoured := 0
+	var wsum float64
+	for i, f := range sw.sim.flags {
+		if int32(i) == b.origin || int32(i) == li {
+			continue
+		}
+		if f&ViaLeak != 0 {
+			detoured++
+			if weights != nil {
+				wsum += weights[i]
+			}
+		}
+	}
+	tr.DetouredFrac = float64(detoured) / float64(b.g.NumASes()-2)
+	if weights != nil {
+		tr.DetouredUserFrac = wsum
+	}
+	return tr, nil
+}
+
+// Run replays one leaker and materializes the full Result, exactly as
+// Simulator.Run would for the base config plus this leaker (including the
+// leak-free outcome with everything marked legitimate when the leaker holds
+// no route). Next hops are tracked iff the base config asks for them.
+func (sw *LeakSweep) Run(leaker astopo.ASN) (*Result, error) {
+	b := sw.base
+	li, propagated, err := sw.runLeaker(leaker, b.cfg.TrackNextHops)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: b.g, Origin: b.origin, LeakerIdx: li}
+	if !propagated {
+		res.Class = append([]Class(nil), b.class...)
+		res.Dist = append([]int32(nil), b.dist...)
+		res.Flags = make([]uint8, len(b.class))
+		for i, c := range b.class {
+			if c != ClassNone {
+				res.Flags[i] = ViaLegit
+			}
+		}
+		if b.cfg.TrackNextHops {
+			res.NextHops = b.csr.materialize()
+		}
+		return res, nil
+	}
+	sim := sw.sim
+	res.Class = append([]Class(nil), sim.class...)
+	res.Dist = append([]int32(nil), sim.dist...)
+	res.Flags = append([]uint8(nil), sim.flags...)
+	if b.cfg.TrackNextHops {
+		res.NextHops = sim.csr().materialize()
+	}
+	return res, nil
+}

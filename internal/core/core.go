@@ -24,6 +24,7 @@ import (
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
+	"flatnet/internal/par"
 )
 
 // Dataset is the input to the metrics: a topology plus the Tier-1 and
@@ -68,6 +69,12 @@ func (k Kind) String() string {
 type Metrics struct {
 	ds   Dataset
 	pool sync.Pool
+	// baseMask holds, per kind, the origin-independent part of the
+	// exclusion mask (the Tier-1/Tier-2 sets), computed once. Per-origin
+	// masks overlay the origin's transit providers on a copy — or, on
+	// whole-graph sweeps, on a reusable per-worker scratch that undoes
+	// the overlay between origins (originScratch).
+	baseMask [HierarchyFree + 1][]bool
 }
 
 // New returns a Metrics over ds. The graph is frozen.
@@ -75,6 +82,25 @@ func New(ds Dataset) *Metrics {
 	ds.Graph.Freeze()
 	m := &Metrics{ds: ds}
 	m.pool.New = func() any { return bgpsim.New(ds.Graph) }
+	n := ds.Graph.NumASes()
+	for kind := Full; kind <= HierarchyFree; kind++ {
+		mask := make([]bool, n)
+		if kind >= Tier1Free {
+			for a := range ds.Tier1 {
+				if i, ok := ds.Graph.Index(a); ok {
+					mask[i] = true
+				}
+			}
+		}
+		if kind >= HierarchyFree {
+			for a := range ds.Tier2 {
+				if i, ok := ds.Graph.Index(a); ok {
+					mask[i] = true
+				}
+			}
+		}
+		m.baseMask[kind] = mask
+	}
 	return m
 }
 
@@ -85,33 +111,78 @@ func (m *Metrics) Dataset() Dataset { return m.ds }
 // never masked even when it belongs to T1/T2 (a Tier-1 origin is not
 // excluded from its own propagation).
 func (m *Metrics) Mask(o astopo.ASN, kind Kind) []bool {
-	g := m.ds.Graph
-	mask := make([]bool, g.NumASes())
-	if kind == Full {
-		return mask
-	}
-	set := func(a astopo.ASN) {
-		if a == o {
-			return
-		}
-		if i, ok := g.Index(a); ok {
-			mask[i] = true
-		}
-	}
-	for _, p := range g.Providers(o) {
-		set(p)
-	}
-	if kind >= Tier1Free {
-		for a := range m.ds.Tier1 {
-			set(a)
-		}
-	}
-	if kind >= HierarchyFree {
-		for a := range m.ds.Tier2 {
-			set(a)
-		}
-	}
+	mask := append([]bool(nil), m.baseMask[kind]...)
+	m.overlayOrigin(mask, o, kind)
 	return mask
+}
+
+// overlayOrigin turns a copy of the kind's base mask into the (o, kind)
+// mask: the origin is un-masked and its transit providers are masked.
+func (m *Metrics) overlayOrigin(mask []bool, o astopo.ASN, kind Kind) {
+	if kind == Full {
+		return
+	}
+	g := m.ds.Graph
+	oi, ok := g.Index(o)
+	if !ok {
+		return
+	}
+	mask[oi] = false
+	for _, p := range g.ProvidersOf(oi) {
+		mask[p] = true
+	}
+}
+
+// originScratch is a reusable (o, kind) exclusion mask for whole-graph
+// sweeps: one base-mask copy per worker, with the per-origin overlay undone
+// after each use. A sweep over V origins costs O(V + Σ providers) mask work
+// instead of the O(V²) of building every mask from scratch.
+type originScratch struct {
+	m    *Metrics
+	kind Kind
+	mask []bool
+	set  []int32 // provider indexes masked for the current origin
+	red  int32   // origin index temporarily un-masked, or -1
+}
+
+func (m *Metrics) scratch(kind Kind) *originScratch {
+	return &originScratch{
+		m:    m,
+		kind: kind,
+		mask: append([]bool(nil), m.baseMask[kind]...),
+		red:  -1,
+	}
+}
+
+// acquire overlays origin oi (dense index) and returns the mask; release
+// must be called before the next acquire.
+func (sc *originScratch) acquire(oi int) []bool {
+	if sc.kind == Full {
+		return sc.mask
+	}
+	if sc.mask[oi] {
+		sc.mask[oi] = false
+		sc.red = int32(oi)
+	}
+	for _, p := range sc.m.ds.Graph.ProvidersOf(oi) {
+		if !sc.mask[p] {
+			sc.mask[p] = true
+			sc.set = append(sc.set, p)
+		}
+	}
+	return sc.mask
+}
+
+// release undoes the overlay applied by the last acquire.
+func (sc *originScratch) release() {
+	for _, p := range sc.set {
+		sc.mask[p] = false
+	}
+	sc.set = sc.set[:0]
+	if sc.red >= 0 {
+		sc.mask[sc.red] = true
+		sc.red = -1
+	}
 }
 
 // Reachability returns reach(o, kind): the number of ASes receiving o's
@@ -140,44 +211,36 @@ func (m *Metrics) Propagate(o astopo.ASN, kind Kind, trackNextHops bool) (*bgpsi
 }
 
 // ReachabilityAll computes reach(o, kind) for every AS in the graph,
-// in parallel. Results are indexed by dense graph index.
+// in parallel. Results are indexed by dense graph index. Each worker keeps
+// one pooled simulator and one scratch exclusion mask for the whole sweep.
 func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
 	g := m.ds.Graph
 	n := g.NumASes()
 	out := make([]int, n)
-	var firstErr error
-	var errMu sync.Mutex
-	var wg sync.WaitGroup
-	work := make(chan int)
 	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim := m.pool.Get().(*bgpsim.Simulator)
-			defer m.pool.Put(sim)
-			for i := range work {
-				o := g.ASNAt(i)
-				cnt, err := sim.ReachabilityCount(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind)})
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
-				}
-				out[i] = cnt
+	sims := make([]*bgpsim.Simulator, workers)
+	err := par.For(workers, n, func(w int) func(i int) error {
+		sim := m.pool.Get().(*bgpsim.Simulator)
+		sims[w] = sim
+		sc := m.scratch(kind)
+		return func(i int) error {
+			mask := sc.acquire(i)
+			cnt, err := sim.ReachabilityCount(bgpsim.Config{Origin: g.ASNAt(i), Exclude: mask})
+			sc.release()
+			if err != nil {
+				return err
 			}
-		}()
+			out[i] = cnt
+			return nil
+		}
+	})
+	for _, sim := range sims {
+		if sim != nil {
+			m.pool.Put(sim)
+		}
 	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

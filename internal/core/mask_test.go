@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"flatnet/internal/topogen"
+)
+
+func genDataset(t *testing.T) Dataset {
+	t.Helper()
+	in, err := topogen.Generate(topogen.Internet2020(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
+}
+
+// The reusable scratch overlay must produce exactly the mask Mask builds
+// from scratch, for every origin and kind, including after release/reuse —
+// this is what makes ReachabilityAll's O(V + Σ providers) masking safe.
+func TestScratchMaskMatchesMask(t *testing.T) {
+	ds := genDataset(t)
+	m := New(ds)
+	g := ds.Graph
+	for _, kind := range []Kind{Full, ProviderFree, Tier1Free, HierarchyFree} {
+		sc := m.scratch(kind)
+		for i := 0; i < g.NumASes(); i++ {
+			o := g.ASNAt(i)
+			want := m.Mask(o, kind)
+			got := sc.acquire(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%v origin AS%d: scratch[%d]=%v, Mask=%v", kind, o, j, got[j], want[j])
+				}
+			}
+			sc.release()
+		}
+		// After the last release the scratch must equal the base again.
+		base := m.baseMask[kind]
+		for j := range base {
+			if sc.mask[j] != base[j] {
+				t.Fatalf("%v: scratch not restored at %d after release", kind, j)
+			}
+		}
+	}
+}
+
+// ReachabilityAll must agree with per-origin Reachability calls.
+func TestReachabilityAllMatchesPerOrigin(t *testing.T) {
+	ds := genDataset(t)
+	m := New(ds)
+	g := ds.Graph
+	all, err := m.ReachabilityAll(HierarchyFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.NumASes() {
+		t.Fatalf("got %d results, want %d", len(all), g.NumASes())
+	}
+	// Spot-check a spread of origins, plus every Tier-1/Tier-2 member
+	// (the origins whose masks interact with the base-mask unmasking).
+	check := map[int]bool{}
+	for i := 0; i < g.NumASes(); i += 97 {
+		check[i] = true
+	}
+	for a := range ds.Tier1 {
+		if i, ok := g.Index(a); ok {
+			check[i] = true
+		}
+	}
+	for a := range ds.Tier2 {
+		if i, ok := g.Index(a); ok {
+			check[i] = true
+		}
+	}
+	for i := range check {
+		want, err := m.Reachability(g.ASNAt(i), HierarchyFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[i] != want {
+			t.Errorf("origin AS%d: ReachabilityAll=%d, Reachability=%d", g.ASNAt(i), all[i], want)
+		}
+	}
+}

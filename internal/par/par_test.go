@@ -1,0 +1,110 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForRunsAllItems(t *testing.T) {
+	const n = 1000
+	seen := make([]atomic.Int32, n)
+	err := For(8, n, func(int) func(int) error {
+		return func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	var order []int
+	err := For(1, 5, func(int) func(int) error {
+		return func(i int) error {
+			order = append(order, i)
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+}
+
+// The deadlock regression: every item fails, so every worker exits on its
+// first claim. The call must return the first error instead of hanging the
+// way a feeder-channel pool would once all receivers are gone.
+func TestForAllItemsFailingReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- For(runtime.GOMAXPROCS(0), 10_000, func(int) func(int) error {
+			return func(int) error { return boom }
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("For deadlocked when every worker failed")
+	}
+}
+
+func TestForErrorCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	err := For(4, 100_000, func(int) func(int) error {
+		return func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got == 100_000 {
+		t.Error("error did not cancel remaining items")
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	err := For(4, 0, func(int) func(int) error {
+		called = true
+		return func(int) error { return nil }
+	})
+	if err != nil || called {
+		t.Fatalf("err=%v called=%v, want nil/false", err, called)
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	var ran atomic.Int64
+	if err := For(64, 3, func(int) func(int) error {
+		return func(int) error { ran.Add(1); return nil }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d items, want 3", ran.Load())
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository health check: vet, build, race-enabled tests, and a benchmark
+# smoke run. Used before sending changes; CI can call it directly.
+#
+#   ./scripts/check.sh
+#
+# FLATNET_BENCH_SCALE (default 0.15) controls the benchmark topology size.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> benchmark smoke (1 iteration)"
+go test -bench 'BenchmarkLeakSweep|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin' \
+    -benchtime 1x -benchmem -run '^$' .
+
+echo "==> all checks passed"
