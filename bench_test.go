@@ -309,6 +309,20 @@ func BenchmarkHierarchyFreeReachability(b *testing.B) {
 	}
 }
 
+// BenchmarkReachabilityAll measures one whole-Internet hierarchy-free
+// sweep — the bit-parallel batch engine behind Table 1, Fig. 3, and the
+// sensitivity analysis. FLATNET_SCALAR_SWEEP=1 pins the scalar fallback
+// for comparison.
+func BenchmarkReachabilityAll(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.M2020.ReachabilityAll(core.HierarchyFree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLeakSweep measures one steady-state leak trial against a cached
 // pre-pass — the inner loop of Figs. 7–10. allocs/op should be ~0.
 func BenchmarkLeakSweep(b *testing.B) {

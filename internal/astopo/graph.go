@@ -76,6 +76,32 @@ func NewGraph(n, m int) *Graph {
 	return &Graph{links: make([]Link, 0, m)}
 }
 
+// FromLinks returns a graph over a pre-validated link slice, taking
+// ownership of it (the caller must not mutate it while the graph is in
+// use). Construction is O(1): the duplicate-detection pair index is built
+// lazily on the first mutation or HasLink query, so derived graphs that
+// are only frozen and propagated over (e.g. the sensitivity sweep's
+// degraded copies) never pay for it. Links must be valid and unique as if
+// added through AddLink.
+func FromLinks(links []Link) *Graph {
+	return &Graph{links: links}
+}
+
+// pairIndex returns the duplicate-detection maps, building them from the
+// existing links on first use.
+func (g *Graph) pairIndex() (map[[2]ASN]Rel, map[[2]ASN]bool) {
+	if g.linkSet == nil {
+		g.linkSet = make(map[[2]ASN]Rel, len(g.links))
+		g.linkDir = make(map[[2]ASN]bool, len(g.links))
+		for _, l := range g.links {
+			key := canonPair(l.A, l.B)
+			g.linkSet[key] = l.Rel
+			g.linkDir[key] = key[0] == l.A
+		}
+	}
+	return g.linkSet, g.linkDir
+}
+
 // AddLink records a link. Duplicate pairs are rejected; a pair may appear
 // only once regardless of direction. Self-links are rejected.
 func (g *Graph) AddLink(a, b ASN, rel Rel) error {
@@ -85,16 +111,13 @@ func (g *Graph) AddLink(a, b ASN, rel Rel) error {
 	if rel != P2P && rel != P2C {
 		return fmt.Errorf("astopo: invalid relationship %d for AS%d-AS%d", rel, a, b)
 	}
-	if g.linkSet == nil {
-		g.linkSet = make(map[[2]ASN]Rel)
-		g.linkDir = make(map[[2]ASN]bool)
-	}
+	linkSet, linkDir := g.pairIndex()
 	key := canonPair(a, b)
-	if _, dup := g.linkSet[key]; dup {
+	if _, dup := linkSet[key]; dup {
 		return fmt.Errorf("astopo: duplicate link AS%d-AS%d", a, b)
 	}
-	g.linkSet[key] = rel
-	g.linkDir[key] = key[0] == a
+	linkSet[key] = rel
+	linkDir[key] = key[0] == a
 	g.links = append(g.links, Link{A: a, B: b, Rel: rel})
 	g.frozen = false
 	return nil
@@ -117,10 +140,9 @@ func (g *Graph) AddPeerIfAbsent(a, b ASN) bool {
 	if a == b {
 		return false
 	}
-	if g.linkSet != nil {
-		if _, ok := g.linkSet[canonPair(a, b)]; ok {
-			return false
-		}
+	linkSet, _ := g.pairIndex()
+	if _, ok := linkSet[canonPair(a, b)]; ok {
+		return false
 	}
 	g.MustAddLink(a, b, P2P)
 	return true
@@ -130,11 +152,12 @@ func (g *Graph) AddPeerIfAbsent(a, b ASN) bool {
 // relationship from a's perspective: P2C means a is b's provider, C2P means
 // a is b's customer, P2P means they peer.
 func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
-	if g.linkSet == nil {
+	if len(g.links) == 0 {
 		return 0, false
 	}
+	linkSet, linkDir := g.pairIndex()
 	key := canonPair(a, b)
-	rel, ok := g.linkSet[key]
+	rel, ok := linkSet[key]
 	if !ok {
 		return 0, false
 	}
@@ -144,7 +167,7 @@ func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
 	// linkDir true means the stored (provider-first) order was
 	// (key[0], key[1]), so key[0] is the provider.
 	provider := key[1]
-	if g.linkDir[key] {
+	if linkDir[key] {
 		provider = key[0]
 	}
 	if provider == a {
@@ -153,18 +176,11 @@ func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
 	return C2P, true
 }
 
-// Clone returns a deep copy of the graph. The copy is unfrozen.
+// Clone returns a deep copy of the graph. The copy is unfrozen; its pair
+// index is rebuilt lazily from the copied links when first needed.
 func (g *Graph) Clone() *Graph {
 	ng := NewGraph(len(g.nodes), len(g.links))
 	ng.links = append(ng.links, g.links...)
-	ng.linkSet = make(map[[2]ASN]Rel, len(g.linkSet))
-	ng.linkDir = make(map[[2]ASN]bool, len(g.linkDir))
-	for k, v := range g.linkSet {
-		ng.linkSet[k] = v
-	}
-	for k, v := range g.linkDir {
-		ng.linkDir[k] = v
-	}
 	return ng
 }
 

@@ -1,0 +1,226 @@
+package bgpsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"flatnet/internal/astopo"
+)
+
+// BatchLanes is the number of origins one batch propagation carries: one
+// bit lane per origin in a uint64 word.
+const BatchLanes = 64
+
+// BatchReach propagates up to BatchLanes origins at once and returns their
+// reachability counts. It exploits the fact that reachability *membership*
+// under the Gao–Rexford model does not depend on path lengths, only on the
+// route-holding sets of the three propagation stages:
+//
+//	stage A  customer routes: the upward closure of the origin over
+//	         customer→provider edges;
+//	stage B  peer routes: one p2p hop from any stage-A holder (or the
+//	         origin), landing only on ASes with no customer route;
+//	stage C  provider routes: the downward closure of stages A∪B over
+//	         provider→customer edges.
+//
+// Each set is plain monotone set-propagation, so 64 origins ride in one
+// word: set[v] bit L means "v holds this stage's route toward origin L".
+// Exclusion masks become per-node "allowed" words composed from a
+// lane-uniform base mask (the Tier-1/Tier-2 sets, identical for every
+// lane) plus sparse per-lane overrides: each origin's own transit
+// providers are cleared in that origin's lane, and the origin itself is
+// re-allowed in its own lane even when the base mask covers it (a Tier-1
+// origin is never excluded from its own propagation) — the bit-lane form
+// of core's per-origin scratch overlay.
+//
+// The engine covers exactly the configurations the all-AS sweeps use:
+// plain reachability with an exclusion mask. Policies, leaks, locking,
+// and tie-breaking need distances and per-route state, and stay on the
+// scalar Simulator; callers fall back to it when those features apply.
+//
+// A BatchReach is not safe for concurrent use; create one per goroutine
+// (they share the frozen graph safely). All buffers are high-water-reused,
+// so steady-state calls allocate nothing.
+type BatchReach struct {
+	g *astopo.Graph
+	n int
+
+	allowed []uint64 // per-node allowed lanes for the current call
+	up      []uint64 // origin ∪ customer-route holders (stage A)
+	peer    []uint64 // peer-route holders (stage B)
+	down    []uint64 // provider-route holders (stage C)
+
+	queue []int32 // shared worklist for the stage A/C fixed points
+	inq   []bool  // worklist membership, cleared on pop
+}
+
+// NewBatchReach returns a batch engine for g. The graph is frozen by the
+// call and must not be mutated afterwards.
+func NewBatchReach(g *astopo.Graph) *BatchReach {
+	g.Freeze()
+	n := g.NumASes()
+	return &BatchReach{
+		g:       g,
+		n:       n,
+		allowed: make([]uint64, n),
+		up:      make([]uint64, n),
+		peer:    make([]uint64, n),
+		down:    make([]uint64, n),
+		inq:     make([]bool, n),
+	}
+}
+
+// Counts computes, for every origin in origins (dense graph indexes, at
+// most BatchLanes of them), the number of other ASes that receive its
+// announcement, writing the counts to out[0:len(origins)].
+//
+// base is the lane-uniform exclusion mask (nil excludes nothing); it must
+// not mask differently per origin. Each origin is always re-allowed in its
+// own lane regardless of base. When maskProviders is set, each origin's
+// transit providers are additionally excluded in that origin's lane —
+// together these reproduce core's Mask(o, kind) semantics for every kind.
+//
+// The result for each lane is bit-for-bit identical to the scalar
+// Simulator.ReachabilityCount over the equivalent per-origin mask.
+func (b *BatchReach) Counts(origins []int32, base []bool, maskProviders bool, out []int) error {
+	g, n := b.g, b.n
+	if len(origins) == 0 {
+		return nil
+	}
+	if len(origins) > BatchLanes {
+		return fmt.Errorf("bgpsim: %d origins exceed the %d-lane batch width", len(origins), BatchLanes)
+	}
+	if len(out) < len(origins) {
+		return fmt.Errorf("bgpsim: out has %d entries for %d origins", len(out), len(origins))
+	}
+	if base != nil && len(base) != n {
+		return fmt.Errorf("bgpsim: base mask has %d entries, graph has %d ASes", len(base), n)
+	}
+
+	// Compose the allowed words: lane-uniform base, then per-lane
+	// overrides for each origin.
+	allowed := b.allowed
+	if base == nil {
+		for i := range allowed {
+			allowed[i] = ^uint64(0)
+		}
+	} else {
+		for i, m := range base {
+			if m {
+				allowed[i] = 0
+			} else {
+				allowed[i] = ^uint64(0)
+			}
+		}
+	}
+	for lane, o := range origins {
+		if o < 0 || int(o) >= n {
+			return fmt.Errorf("bgpsim: origin index %d out of range [0,%d)", o, n)
+		}
+		bit := uint64(1) << lane
+		allowed[o] |= bit // the origin is never excluded from its own lane
+		if maskProviders {
+			for _, p := range g.ProvidersOf(int(o)) {
+				allowed[p] &^= bit
+			}
+		}
+	}
+
+	up, peer, down := b.up, b.peer, b.down
+	for i := range up {
+		up[i], peer[i], down[i] = 0, 0, 0
+	}
+
+	// ---- Stage A: upward closure over customer→provider edges ----
+	// The worklist is SPFA-style: a popped node relays its full current
+	// word; nodes re-enter when they gain new bits. Words only ever gain
+	// bits, so the fixed point is reached after O(set-bit insertions).
+	queue := b.queue[:0]
+	inq := b.inq
+	for lane, o := range origins {
+		up[o] |= uint64(1) << lane
+		if !inq[o] {
+			inq[o] = true
+			queue = append(queue, o)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inq[u] = false
+		w := up[u]
+		for _, p := range g.ProvidersOf(int(u)) {
+			if add := w & allowed[p] &^ up[p]; add != 0 {
+				up[p] |= add
+				if !inq[p] {
+					inq[p] = true
+					queue = append(queue, p)
+				}
+			}
+		}
+	}
+
+	// ---- Stage B: one p2p hop, gated on "no customer route yet" ----
+	for u := 0; u < n; u++ {
+		w := up[u]
+		if w == 0 {
+			continue
+		}
+		for _, pe := range g.PeersOf(u) {
+			peer[pe] |= w
+		}
+	}
+	for v := 0; v < n; v++ {
+		peer[v] &= allowed[v] &^ up[v]
+	}
+
+	// ---- Stage C: downward closure over provider→customer edges ----
+	queue = queue[:0]
+	for u := 0; u < n; u++ {
+		w := up[u] | peer[u]
+		if w == 0 {
+			continue
+		}
+		for _, c := range g.CustomersOf(u) {
+			if add := w & allowed[c] &^ (up[c] | peer[c] | down[c]); add != 0 {
+				down[c] |= add
+				if !inq[c] {
+					inq[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inq[u] = false
+		w := down[u]
+		for _, c := range g.CustomersOf(int(u)) {
+			if add := w & allowed[c] &^ (up[c] | peer[c] | down[c]); add != 0 {
+				down[c] |= add
+				if !inq[c] {
+					inq[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	b.queue = queue // keep the high-water backing array
+
+	// ---- Count ----
+	// Every lane's origin bit is set in up[origin]; subtract it at the
+	// end rather than carrying a separate origin word.
+	for i := range origins {
+		out[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		w := up[v] | peer[v] | down[v]
+		for w != 0 {
+			out[bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
+	for i := range origins {
+		out[i]--
+	}
+	return nil
+}

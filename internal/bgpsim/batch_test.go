@@ -1,0 +1,138 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"flatnet/internal/astopo"
+)
+
+// scalarMask builds the per-origin exclusion mask equivalent to what
+// BatchReach composes for one lane: base, minus the origin, plus (when
+// maskProviders) the origin's transit providers.
+func scalarMask(g *astopo.Graph, base []bool, o int, maskProviders bool) []bool {
+	if base == nil && !maskProviders {
+		return nil
+	}
+	mask := make([]bool, g.NumASes())
+	copy(mask, base)
+	mask[o] = false
+	if maskProviders {
+		for _, p := range g.ProvidersOf(o) {
+			mask[p] = true
+		}
+	}
+	return mask
+}
+
+// The batch engine must return, for every origin and every mask shape,
+// exactly the count the scalar Simulator computes over the equivalent
+// per-origin mask.
+func TestBatchCountsMatchScalar(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTopology(rng)
+		g.Freeze()
+		n := g.NumASes()
+
+		var base []bool
+		if rng.Intn(3) > 0 {
+			base = make([]bool, n)
+			for i := range base {
+				if rng.Intn(5) == 0 {
+					base[i] = true
+				}
+			}
+		}
+		maskProviders := rng.Intn(2) == 1
+
+		br := NewBatchReach(g)
+		sim := New(g)
+		out := make([]int, BatchLanes)
+		origins := make([]int32, 0, BatchLanes)
+		for lo := 0; lo < n; lo += BatchLanes {
+			hi := lo + BatchLanes
+			if hi > n {
+				hi = n
+			}
+			origins = origins[:0]
+			for i := lo; i < hi; i++ {
+				origins = append(origins, int32(i))
+			}
+			if err := br.Counts(origins, base, maskProviders, out); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for k, o := range origins {
+				want, err := sim.ReachabilityCount(Config{
+					Origin:  g.ASNAt(int(o)),
+					Exclude: scalarMask(g, base, int(o), maskProviders),
+				})
+				if err != nil {
+					t.Fatalf("seed %d origin %d: %v", seed, o, err)
+				}
+				if out[k] != want {
+					t.Fatalf("seed %d origin AS%d (maskProviders=%v, base=%v): batch=%d scalar=%d",
+						seed, g.ASNAt(int(o)), maskProviders, base != nil, out[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchCountsValidation(t *testing.T) {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(1, 2, astopo.P2C)
+	g.MustAddLink(2, 3, astopo.P2C)
+	br := NewBatchReach(g)
+	out := make([]int, BatchLanes+1)
+
+	if err := br.Counts(nil, nil, true, nil); err != nil {
+		t.Errorf("empty origins: %v", err)
+	}
+	tooMany := make([]int32, BatchLanes+1)
+	if err := br.Counts(tooMany, nil, true, out); err == nil {
+		t.Error("expected error for > BatchLanes origins")
+	}
+	if err := br.Counts([]int32{0, 1}, nil, true, out[:1]); err == nil {
+		t.Error("expected error for short out")
+	}
+	if err := br.Counts([]int32{0}, make([]bool, 1), true, out); err == nil {
+		t.Error("expected error for wrong base length")
+	}
+	if err := br.Counts([]int32{int32(g.NumASes())}, nil, true, out); err == nil {
+		t.Error("expected error for out-of-range origin")
+	}
+}
+
+// A steady-state batch block must not allocate: all word buffers and the
+// worklist are high-water-reused across calls.
+func TestBatchCountsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector's shadow allocations break AllocsPerRun")
+	}
+	rng := rand.New(rand.NewSource(42))
+	g := randomTopology(rng)
+	g.Freeze()
+	n := g.NumASes()
+	base := make([]bool, n)
+	base[n-1] = true
+
+	br := NewBatchReach(g)
+	origins := make([]int32, 0, BatchLanes)
+	for i := 0; i < n && i < BatchLanes; i++ {
+		origins = append(origins, int32(i))
+	}
+	out := make([]int, len(origins))
+	// Warm the worklist's high-water capacity.
+	if err := br.Counts(origins, base, true, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := br.Counts(origins, base, true, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state batch block allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -67,21 +68,28 @@ func (k Kind) String() string {
 // Metrics computes the paper's metrics over one dataset. It is safe for
 // concurrent use; internal simulators are pooled per goroutine.
 type Metrics struct {
-	ds   Dataset
-	pool sync.Pool
+	ds        Dataset
+	pool      sync.Pool // *bgpsim.Simulator, one per worker
+	batchPool sync.Pool // *bgpsim.BatchReach, one per sweep worker
+	maskPool  sync.Pool // []bool scratch for per-call (o, kind) masks
 	// baseMask holds, per kind, the origin-independent part of the
 	// exclusion mask (the Tier-1/Tier-2 sets), computed once. Per-origin
 	// masks overlay the origin's transit providers on a copy — or, on
 	// whole-graph sweeps, on a reusable per-worker scratch that undoes
 	// the overlay between origins (originScratch).
 	baseMask [HierarchyFree + 1][]bool
+	// scalarSweep forces ReachabilityAll onto the per-origin scalar path
+	// (the batch engine's fallback). Set by the FLATNET_SCALAR_SWEEP env
+	// var for debugging/perf comparison, and by the equivalence tests.
+	scalarSweep bool
 }
 
 // New returns a Metrics over ds. The graph is frozen.
 func New(ds Dataset) *Metrics {
 	ds.Graph.Freeze()
-	m := &Metrics{ds: ds}
+	m := &Metrics{ds: ds, scalarSweep: os.Getenv("FLATNET_SCALAR_SWEEP") != ""}
 	m.pool.New = func() any { return bgpsim.New(ds.Graph) }
+	m.batchPool.New = func() any { return bgpsim.NewBatchReach(ds.Graph) }
 	n := ds.Graph.NumASes()
 	for kind := Full; kind <= HierarchyFree; kind++ {
 		mask := make([]bool, n)
@@ -131,6 +139,27 @@ func (m *Metrics) overlayOrigin(mask []bool, o astopo.ASN, kind Kind) {
 	for _, p := range g.ProvidersOf(oi) {
 		mask[p] = true
 	}
+}
+
+// acquireMask returns the (o, kind) exclusion mask built on a pooled
+// buffer: semantically identical to Mask but amortizing the O(V)
+// allocation across calls. The mask is only valid until releaseMask;
+// callers that retain the mask must use Mask instead.
+func (m *Metrics) acquireMask(o astopo.ASN, kind Kind) []bool {
+	n := len(m.baseMask[kind])
+	buf, _ := m.maskPool.Get().([]bool)
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	mask := buf[:n]
+	copy(mask, m.baseMask[kind])
+	m.overlayOrigin(mask, o, kind)
+	return mask
+}
+
+// releaseMask returns a mask obtained from acquireMask to the pool.
+func (m *Metrics) releaseMask(mask []bool) {
+	m.maskPool.Put(mask) //nolint:staticcheck // slice-header boxing is far cheaper than the O(V) copy it saves
 }
 
 // originScratch is a reusable (o, kind) exclusion mask for whole-graph
@@ -190,7 +219,9 @@ func (sc *originScratch) release() {
 func (m *Metrics) Reachability(o astopo.ASN, kind Kind) (int, error) {
 	sim := m.pool.Get().(*bgpsim.Simulator)
 	defer m.pool.Put(sim)
-	return sim.ReachabilityCount(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind)})
+	mask := m.acquireMask(o, kind)
+	defer m.releaseMask(mask)
+	return sim.ReachabilityCount(bgpsim.Config{Origin: o, Exclude: mask})
 }
 
 // ReachabilityPct returns reachability as a fraction of all other ASes.
@@ -207,13 +238,63 @@ func (m *Metrics) ReachabilityPct(o astopo.ASN, kind Kind) (float64, error) {
 func (m *Metrics) Propagate(o astopo.ASN, kind Kind, trackNextHops bool) (*bgpsim.Result, error) {
 	sim := m.pool.Get().(*bgpsim.Simulator)
 	defer m.pool.Put(sim)
-	return sim.Run(bgpsim.Config{Origin: o, Exclude: m.Mask(o, kind), TrackNextHops: trackNextHops})
+	mask := m.acquireMask(o, kind)
+	defer m.releaseMask(mask)
+	return sim.Run(bgpsim.Config{Origin: o, Exclude: mask, TrackNextHops: trackNextHops})
 }
 
 // ReachabilityAll computes reach(o, kind) for every AS in the graph,
-// in parallel. Results are indexed by dense graph index. Each worker keeps
-// one pooled simulator and one scratch exclusion mask for the whole sweep.
+// in parallel. Results are indexed by dense graph index.
+//
+// The sweep runs on the bit-parallel batch engine (bgpsim.BatchReach), 64
+// origins per propagation: the kind's base mask is lane-uniform and each
+// origin's providers become sparse per-lane overrides, so one block costs
+// about one propagation instead of 64. The per-origin scalar path remains
+// as the fallback — the batch engine covers exactly the plain-reachability
+// configuration this sweep needs, but policies/leaks/locking/tie-breaking
+// (and debugging via FLATNET_SCALAR_SWEEP) stay on the scalar Simulator.
 func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
+	if m.scalarSweep {
+		return m.reachabilityAllScalar(kind)
+	}
+	g := m.ds.Graph
+	n := g.NumASes()
+	out := make([]int, n)
+	blocks := (n + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
+	workers := runtime.GOMAXPROCS(0)
+	engines := make([]*bgpsim.BatchReach, workers)
+	err := par.For(workers, blocks, func(w int) func(i int) error {
+		br := m.batchPool.Get().(*bgpsim.BatchReach)
+		engines[w] = br
+		var origins [bgpsim.BatchLanes]int32
+		return func(bi int) error {
+			lo := bi * bgpsim.BatchLanes
+			hi := lo + bgpsim.BatchLanes
+			if hi > n {
+				hi = n
+			}
+			block := origins[:hi-lo]
+			for i := range block {
+				block[i] = int32(lo + i)
+			}
+			return br.Counts(block, m.baseMask[kind], kind != Full, out[lo:hi])
+		}
+	})
+	for _, br := range engines {
+		if br != nil {
+			m.batchPool.Put(br)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reachabilityAllScalar is the per-origin sweep: one scalar propagation
+// per AS. Each worker keeps one pooled simulator and one scratch exclusion
+// mask for the whole sweep.
+func (m *Metrics) reachabilityAllScalar(kind Kind) ([]int, error) {
 	g := m.ds.Graph
 	n := g.NumASes()
 	out := make([]int, n)
@@ -303,12 +384,17 @@ func (m *Metrics) TopReliance(o astopo.ASN, kind Kind, k int) ([]RelianceEntry, 
 // kind's subgraph, excluding o itself and the masked ASes (they are not in
 // the subgraph at all) — the Fig. 4 population.
 func (m *Metrics) Unreachable(o astopo.ASN, kind Kind) ([]astopo.ASN, error) {
-	res, err := m.Propagate(o, kind, false)
+	sim := m.pool.Get().(*bgpsim.Simulator)
+	defer m.pool.Put(sim)
+	// One mask serves both the propagation and the filtering below —
+	// Propagate would rebuild the same (o, kind) mask internally.
+	mask := m.acquireMask(o, kind)
+	defer m.releaseMask(mask)
+	res, err := sim.Run(bgpsim.Config{Origin: o, Exclude: mask})
 	if err != nil {
 		return nil, err
 	}
 	g := m.ds.Graph
-	mask := m.Mask(o, kind)
 	var out []astopo.ASN
 	for i, c := range res.Class {
 		if c != bgpsim.ClassNone || mask[i] {

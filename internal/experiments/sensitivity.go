@@ -29,25 +29,51 @@ var sensitivityFractions = []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
 // recomputing hierarchy-free reachability. The paper's final methodology
 // missed ~21% of neighbors; the sweep shows how much metric error that
 // implies.
+//
+// The inner loop is a single-origin propagation (one cloud per degraded
+// graph), so the bit-parallel all-AS engine does not apply; the cost is
+// instead kept down by reusing one sweep context — the hoisted link slice,
+// one degraded-link buffer, and one nested drop set per cloud — across
+// every (cloud, fraction) pair rather than rebuilding them each time. The
+// frac=0 row bypasses the rebuild entirely and reuses the headline
+// env.M2020: it MUST equal the Fig. 2 hierarchy-free metric (the
+// sensitivityBaseline invariant the tests pin), and sharing the Metrics
+// makes that equality structural.
 func Sensitivity(env *Env) ([]SensitivityRow, error) {
 	in := env.In2020
+	links := in.Graph.Links()
+	// Degraded-link scratch shared by every rebuilt graph; each graph is
+	// discarded before the buffer's next reuse.
+	buf := make([]astopo.Link, 0, len(links))
 	var rows []SensitivityRow
 	for _, cloud := range Clouds() {
 		asn := in.Clouds[cloud]
 		peers := in.Graph.Peers(asn)
 		// One permutation per cloud so removal sets nest: a higher miss
 		// fraction always removes a superset, making the sweep monotone
-		// by construction.
+		// by construction. The drop set grows incrementally with the
+		// fraction instead of being rebuilt per pair.
 		rng := rand.New(rand.NewSource(int64(asn)))
 		perm := rng.Perm(len(peers))
+		drop := make(map[astopo.ASN]bool, len(peers))
+		dropped := 0
 		for _, frac := range sensitivityFractions {
-			drop := make(map[astopo.ASN]bool)
-			for _, i := range perm[:int(frac*float64(len(peers)))] {
-				drop[peers[i]] = true
+			for cut := int(frac * float64(len(peers))); dropped < cut; dropped++ {
+				drop[peers[perm[dropped]]] = true
 			}
-			g := degradedGraph(in.Graph, asn, drop)
-			m := core.New(core.Dataset{Graph: g, Tier1: in.Tier1, Tier2: in.Tier2})
-			n, err := m.Reachability(asn, core.HierarchyFree)
+			var n int
+			var err error
+			var total float64
+			if dropped == 0 {
+				n, err = env.M2020.Reachability(asn, core.HierarchyFree)
+				total = float64(in.Graph.NumASes() - 1)
+			} else {
+				buf = degradedLinks(buf[:0], links, asn, drop)
+				g := astopo.FromLinks(buf)
+				m := core.New(core.Dataset{Graph: g, Tier1: in.Tier1, Tier2: in.Tier2})
+				n, err = m.Reachability(asn, core.HierarchyFree)
+				total = float64(g.NumASes() - 1)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -55,24 +81,23 @@ func Sensitivity(env *Env) ([]SensitivityRow, error) {
 				Cloud:    cloud,
 				MissFrac: frac,
 				Reach:    n,
-				Pct:      100 * float64(n) / float64(g.NumASes()-1),
+				Pct:      100 * float64(n) / total,
 			})
 		}
 	}
 	return rows, nil
 }
 
-// degradedGraph rebuilds the topology without the given AS's peer links to
-// the dropped neighbors.
-func degradedGraph(g *astopo.Graph, asn astopo.ASN, drop map[astopo.ASN]bool) *astopo.Graph {
-	out := astopo.NewGraph(g.NumASes(), g.NumLinks())
-	for _, l := range g.Links() {
+// degradedLinks appends to dst the topology's links minus the given AS's
+// peer links to the dropped neighbors.
+func degradedLinks(dst, links []astopo.Link, asn astopo.ASN, drop map[astopo.ASN]bool) []astopo.Link {
+	for _, l := range links {
 		if l.Rel == astopo.P2P && ((l.A == asn && drop[l.B]) || (l.B == asn && drop[l.A])) {
 			continue
 		}
-		out.MustAddLink(l.A, l.B, l.Rel)
+		dst = append(dst, l)
 	}
-	return out
+	return dst
 }
 
 func runSensitivity(env *Env, w io.Writer) error {

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Sweep-benchmark harness: runs the all-AS reachability benchmarks with
+# repetition and writes a benchstat-ready text file, so the performance
+# trajectory stays comparable across PRs:
+#
+#   ./scripts/bench.sh [out-file]          # default bench-<git-sha>.txt
+#   benchstat bench-<old>.txt bench-<new>.txt
+#
+# FLATNET_BENCH_SCALE  (default 0.15)  benchmark topology size
+# FLATNET_BENCH_COUNT  (default 6)     -count repetitions per benchmark
+# FLATNET_BENCH_REGEX  (default: the sweep benches) -bench selector
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${FLATNET_BENCH_COUNT:-6}"
+REGEX="${FLATNET_BENCH_REGEX:-BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkFig3ReachVsCone|BenchmarkSensitivity|BenchmarkHierarchyFreeReachability}"
+OUT="${1:-bench-$(git rev-parse --short HEAD 2>/dev/null || echo local).txt}"
+
+go test -run '^$' -bench "$REGEX" -benchmem -count "$COUNT" . | tee "$OUT"
+echo "wrote $OUT"

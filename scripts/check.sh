@@ -19,7 +19,7 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> benchmark smoke (1 iteration)"
-go test -bench 'BenchmarkLeakSweep|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin' \
+go test -bench 'BenchmarkLeakSweep|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability' \
     -benchtime 1x -benchmem -run '^$' .
 
 echo "==> all checks passed"
