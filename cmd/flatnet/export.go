@@ -19,12 +19,12 @@ import (
 // the RIB snapshot in MRT TABLE_DUMP_V2 format — the same file shape real
 // RouteViews collectors publish.
 func cmdCollect(args []string) error {
-	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year")
 	vps := fs.Int("vps", 40, "number of vantage points")
 	out := fs.String("o", "rib.mrt", "output MRT file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := genPreset(*scale, *year)
@@ -62,14 +62,14 @@ func cmdCollect(args []string) error {
 // cmdTrace runs the cloud traceroute campaign for one provider and writes
 // the measurements as scamper-style JSON lines.
 func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year")
 	cloud := fs.String("cloud", "Google", "cloud provider (Google|Microsoft|IBM|Amazon)")
 	vms := fs.Int("vms", 0, "VM count (0 = the paper's §4.1 deployment)")
 	out := fs.String("o", "traces.json", "output JSON-lines file")
 	aspop := fs.String("aspop", "", "also write APNIC-style population estimates to this file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := genPreset(*scale, *year)

@@ -12,13 +12,13 @@ import (
 
 // cmdLeaks runs the §8.2 route-leak scenario table for one origin AS.
 func cmdLeaks(args []string) error {
-	fs := flag.NewFlagSet("leaks", flag.ExitOnError)
+	fs := flag.NewFlagSet("leaks", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year")
 	asn := fs.String("as", "15169", "origin ASN")
 	trials := fs.Int("trials", 300, "random leakers per scenario")
 	hijack := fs.Bool("hijack", false, "simulate forged originations (prefix hijacks) instead of leaks")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	v, err := strconv.ParseUint(*asn, 10, 32)

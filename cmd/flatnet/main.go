@@ -9,11 +9,17 @@
 //	flatnet gen [-scale 0.35] [-year 2020] [-o topology.txt]
 //	flatnet stats [-scale 0.35] [-year 2020]
 //	flatnet reach [-scale 0.35] [-year 2020] -as 15169 [-kind hierarchy-free]
+//	flatnet serve [-addr 127.0.0.1:8080]
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage mistakes
+// (unknown subcommands, bad flags, missing required arguments).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -22,49 +28,99 @@ import (
 	"flatnet/internal/core"
 	"flatnet/internal/experiments"
 	"flatnet/internal/population"
+	"flatnet/internal/serve"
 	"flatnet/internal/topogen"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks an error as a usage mistake, mapped to exit code 2.
+// printed records that the message already reached the user (FlagSets with
+// ContinueOnError write their own diagnostics), so run does not repeat it.
+type usageError struct {
+	err     error
+	printed bool
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// parseFlags parses with uniform error handling: -h surfaces the FlagSet's
+// own help (exit 0), anything else becomes a usage error (exit 2).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &usageError{err: err, printed: true}
+	}
+	return nil
+}
+
+// run dispatches the subcommand and maps its error to an exit code; main
+// is only the os.Exit shim so tests can drive the full CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		err = cmdList()
+		err = cmdList(stdout)
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:])
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "reach":
-		err = cmdReach(os.Args[2:])
+		err = cmdReach(args[1:])
 	case "leaks":
-		err = cmdLeaks(os.Args[2:])
+		err = cmdLeaks(args[1:])
 	case "audit":
-		err = cmdAudit(os.Args[2:])
+		err = cmdAudit(args[1:])
 	case "collect":
-		err = cmdCollect(os.Args[2:])
+		err = cmdCollect(args[1:])
 	case "trace":
-		err = cmdTrace(os.Args[2:])
+		err = cmdTrace(args[1:])
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
-		usage()
+		usage(stdout)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "flatnet: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "flatnet: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flatnet:", err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		var ue *usageError
+		if errors.As(err, &ue) {
+			if !ue.printed {
+				fmt.Fprintln(stderr, "flatnet:", err)
+			}
+			fmt.Fprintln(stderr, "run 'flatnet help' for usage")
+			return 2
+		}
+		fmt.Fprintln(stderr, "flatnet:", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   flatnet list                                  list experiments
   flatnet run [-scale f] <id>... | all          run experiments
   flatnet gen [-scale f] [-year y] [-o file]    export topology (CAIDA serial-1)
@@ -73,21 +129,31 @@ func usage() {
   flatnet leaks [-scale f] [-year y] -as n      route-leak scenario table
   flatnet audit [-f file | -scale f -year y]    structural topology checks
   flatnet collect [-vps n] [-o rib.mrt]         simulate collectors, write MRT
-  flatnet trace [-cloud C] [-o traces.json]     cloud traceroute campaign`)
+  flatnet trace [-cloud C] [-o traces.json]     cloud traceroute campaign
+  flatnet serve [-addr host:port]               HTTP query daemon (see flatnetd)`)
 }
 
-func cmdList() error {
+func cmdList(stdout io.Writer) error {
 	for _, r := range experiments.Registry {
-		fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		fmt.Fprintf(stdout, "%-10s %s\n", r.ID, r.Title)
 	}
 	return nil
 }
 
+// cmdServe is `flatnetd` mounted as a subcommand; both share serve.RunCLI.
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	err := serve.RunCLI(args, stdout, stderr)
+	if err != nil && serve.IsUsageError(err) {
+		return &usageError{err: err, printed: true}
+	}
+	return err
+}
+
 func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
 	outdir := fs.String("outdir", "", "also write machine-readable CSV artifacts to this directory")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *outdir != "" {
@@ -97,7 +163,7 @@ func cmdRun(args []string) error {
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
-		return fmt.Errorf("run: no experiment ids given (try 'flatnet list' or 'flatnet run all')")
+		return usagef("run: no experiment ids given (try 'flatnet list' or 'flatnet run all')")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = ids[:0]
@@ -154,14 +220,14 @@ func genPreset(scale float64, year int) (*topogen.Internet, error) {
 }
 
 func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year (2015 or 2020)")
 	out := fs.String("o", "", "relationship output file (default stdout, CAIDA serial-1)")
 	cones := fs.String("cones", "", "also write customer cones (CAIDA ppdc-ases format)")
 	types := fs.String("types", "", "also write AS types (CAIDA as2type format)")
 	orgs := fs.String("orgs", "", "also write AS organizations (CAIDA as-org2info format)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := genPreset(*scale, *year)
@@ -229,11 +295,11 @@ func cmdGen(args []string) error {
 }
 
 func cmdAudit(args []string) error {
-	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	file := fs.String("f", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
 	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
 	year := fs.Int("year", 2020, "preset year (when generating)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var g *astopo.Graph
@@ -263,7 +329,7 @@ func cmdAudit(args []string) error {
 		fmt.Println()
 	}
 	if len(issues) > 0 {
-		os.Exit(1)
+		return fmt.Errorf("audit: %d issue(s) found", len(issues))
 	}
 	return nil
 }
@@ -281,10 +347,10 @@ func writeToFile(path string, write func(*os.File) error) error {
 }
 
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	in, err := genPreset(*scale, *year)
@@ -321,33 +387,24 @@ func cmdStats(args []string) error {
 }
 
 func cmdReach(args []string) error {
-	fs := flag.NewFlagSet("reach", flag.ExitOnError)
+	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale")
 	year := fs.Int("year", 2020, "preset year")
 	asn := fs.String("as", "", "origin ASN (required)")
 	kind := fs.String("kind", "hierarchy-free", "full | provider-free | tier1-free | hierarchy-free")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *asn == "" {
-		return fmt.Errorf("reach: -as is required")
+		return usagef("reach: -as is required")
 	}
 	v, err := strconv.ParseUint(*asn, 10, 32)
 	if err != nil {
-		return fmt.Errorf("reach: bad ASN %q", *asn)
+		return usagef("reach: bad ASN %q", *asn)
 	}
-	var k core.Kind
-	switch *kind {
-	case "full":
-		k = core.Full
-	case "provider-free":
-		k = core.ProviderFree
-	case "tier1-free":
-		k = core.Tier1Free
-	case "hierarchy-free":
-		k = core.HierarchyFree
-	default:
-		return fmt.Errorf("reach: unknown kind %q", *kind)
+	k, err := core.KindFromString(*kind)
+	if err != nil {
+		return usagef("reach: unknown kind %q", *kind)
 	}
 	in, err := genPreset(*scale, *year)
 	if err != nil {

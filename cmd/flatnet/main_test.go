@@ -1,8 +1,97 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 )
+
+// runCLI drives the full CLI in-process and returns the exit code plus
+// captured stdout/stderr. Subcommand FlagSets write their own diagnostics
+// to os.Stderr, so these tests assert on codes and on run's output only.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown command", []string{"frobnicate"}, 2},
+		{"help", []string{"help"}, 0},
+		{"list", []string{"list"}, 0},
+		{"run without ids", []string{"run"}, 2},
+		{"run unknown flag", []string{"run", "-no-such-flag"}, 2},
+		{"reach missing as", []string{"reach"}, 2},
+		{"reach bad asn", []string{"reach", "-as", "nope"}, 2},
+		{"serve unknown flag", []string{"serve", "-no-such-flag"}, 2},
+		{"serve extra arg", []string{"serve", "surprise"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, _ := runCLI(c.args...)
+			if code != c.want {
+				t.Errorf("run(%q) = %d, want %d", c.args, code, c.want)
+			}
+		})
+	}
+}
+
+func TestRunUnknownCommandMessage(t *testing.T) {
+	_, _, stderr := runCLI("frobnicate")
+	if !strings.Contains(stderr, `unknown command "frobnicate"`) {
+		t.Errorf("stderr = %q, want the unknown command named", stderr)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr = %q, want usage text", stderr)
+	}
+}
+
+func TestRunUsageErrorPointsAtHelp(t *testing.T) {
+	code, _, stderr := runCLI("run")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no experiment ids") || !strings.Contains(stderr, "flatnet help") {
+		t.Errorf("stderr = %q, want the error plus a help pointer", stderr)
+	}
+}
+
+func TestHelpGoesToStdout(t *testing.T) {
+	code, stdout, stderr := runCLI("help")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "usage:") || stderr != "" {
+		t.Errorf("help wrote stdout=%q stderr=%q; usage belongs on stdout", stdout, stderr)
+	}
+}
+
+func TestListOutput(t *testing.T) {
+	code, stdout, _ := runCLI("list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "fig4") {
+		t.Errorf("list output %q does not mention fig4", stdout)
+	}
+}
+
+func TestRuntimeErrorExitsOne(t *testing.T) {
+	// A year no preset exists for fails at runtime, after flag parsing.
+	code, _, stderr := runCLI("stats", "-year", "1800")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown year") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
 
 func TestGenPreset(t *testing.T) {
 	for _, year := range []int{2015, 2020} {

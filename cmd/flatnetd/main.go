@@ -1,0 +1,31 @@
+// Command flatnetd is the long-running query daemon over the paper's
+// metrics: it loads or generates one topology, precomputes the shared
+// simulator state, and serves reachability, reliance, and route-leak
+// queries as HTTP/JSON until SIGINT/SIGTERM (see internal/serve for the
+// endpoint reference). `flatnet serve` is the same daemon mounted as a
+// subcommand.
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage mistakes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"flatnet/internal/serve"
+)
+
+func main() {
+	err := serve.RunCLI(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+	case serve.IsUsageError(err):
+		fmt.Fprintln(os.Stderr, "run 'flatnetd -h' for usage")
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "flatnetd:", err)
+		os.Exit(1)
+	}
+}

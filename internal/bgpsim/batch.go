@@ -1,6 +1,7 @@
 package bgpsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -44,6 +45,10 @@ const BatchLanes = 64
 type BatchReach struct {
 	g *astopo.Graph
 	n int
+
+	// ctx, when non-nil, aborts an in-flight Counts between stages (set by
+	// CountsCtx, nil otherwise).
+	ctx context.Context
 
 	allowed []uint64 // per-node allowed lanes for the current call
 	up      []uint64 // origin ∪ customer-route holders (stage A)
@@ -135,6 +140,9 @@ func (b *BatchReach) Counts(origins []int32, base []bool, maskProviders bool, ou
 	// The worklist is SPFA-style: a popped node relays its full current
 	// word; nodes re-enter when they gain new bits. Words only ever gain
 	// bits, so the fixed point is reached after O(set-bit insertions).
+	if err := b.canceled(); err != nil {
+		return err
+	}
 	queue := b.queue[:0]
 	inq := b.inq
 	for lane, o := range origins {
@@ -160,6 +168,9 @@ func (b *BatchReach) Counts(origins []int32, base []bool, maskProviders bool, ou
 	}
 
 	// ---- Stage B: one p2p hop, gated on "no customer route yet" ----
+	if err := b.canceled(); err != nil {
+		return err
+	}
 	for u := 0; u < n; u++ {
 		w := up[u]
 		if w == 0 {
@@ -174,6 +185,9 @@ func (b *BatchReach) Counts(origins []int32, base []bool, maskProviders bool, ou
 	}
 
 	// ---- Stage C: downward closure over provider→customer edges ----
+	if err := b.canceled(); err != nil {
+		return err
+	}
 	queue = queue[:0]
 	for u := 0; u < n; u++ {
 		w := up[u] | peer[u]
@@ -223,4 +237,24 @@ func (b *BatchReach) Counts(origins []int32, base []bool, maskProviders bool, ou
 		out[i]--
 	}
 	return nil
+}
+
+// CountsCtx is Counts with cancellation: the batch propagation is aborted
+// between stages once ctx is done, returning ctx.Err().
+func (b *BatchReach) CountsCtx(ctx context.Context, origins []int32, base []bool, maskProviders bool, out []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.ctx = ctx
+	defer func() { b.ctx = nil }()
+	return b.Counts(origins, base, maskProviders, out)
+}
+
+// canceled returns the in-flight context's error, or nil when no context
+// is attached or it is still live.
+func (b *BatchReach) canceled() error {
+	if b.ctx == nil {
+		return nil
+	}
+	return b.ctx.Err()
 }

@@ -1,0 +1,144 @@
+package bgpsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flatnet/internal/astopo"
+)
+
+// ctxFixture is the Fig.-1-style topology used across the package tests.
+func ctxFixture(t *testing.T) *astopo.Graph {
+	t.Helper()
+	g := astopo.NewGraph(0, 0)
+	for _, l := range []struct {
+		a, b astopo.ASN
+		r    astopo.Rel
+	}{
+		{1, 100, astopo.P2C},
+		{100, 2, astopo.P2P},
+		{100, 3, astopo.P2P},
+		{2, 6, astopo.P2C},
+		{3, 7, astopo.P2C},
+		{1, 2, astopo.P2P},
+	} {
+		if err := g.AddLink(l.a, l.b, l.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	g := ctxFixture(t)
+	sim := New(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunCtx(ctx, Config{Origin: 100}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := sim.ReachabilityCountCtx(ctx, Config{Origin: 100}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReachabilityCountCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	// The simulator must remain usable after an aborted run.
+	n, err := sim.ReachabilityCount(Config{Origin: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ReachabilityCount after aborted run = %d, want 5", n)
+	}
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	g := ctxFixture(t)
+	a, b := New(g), New(g)
+	want, err := a.Run(Config{Origin: 100, TrackNextHops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RunCtx(context.Background(), Config{Origin: 100, TrackNextHops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Class {
+		if got.Class[i] != want.Class[i] || got.Dist[i] != want.Dist[i] {
+			t.Fatalf("node %d: RunCtx (class %v, dist %d) != Run (class %v, dist %d)",
+				i, got.Class[i], got.Dist[i], want.Class[i], want.Dist[i])
+		}
+	}
+}
+
+func TestTrialCtxCanceled(t *testing.T) {
+	g := ctxFixture(t)
+	sw, err := NewLeakSweep(g, Config{Origin: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sw.TrialCtx(ctx, 7, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrialCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	// Still usable without a context afterwards.
+	tr, err := sw.Trial(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaker != 7 {
+		t.Fatalf("Trial leaker = %d, want 7", tr.Leaker)
+	}
+}
+
+func TestRunLeakTrialsCtxCanceled(t *testing.T) {
+	g := ctxFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunLeakTrialsCtx(ctx, g, Config{Origin: 100}, []astopo.ASN{6, 7}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunLeakTrialsCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepTrialsMatchesSequential(t *testing.T) {
+	g := ctxFixture(t)
+	sw, err := NewLeakSweep(g, Config{Origin: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakers := []astopo.ASN{2, 3, 6, 7}
+	got, err := sw.Trials(context.Background(), leakers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sw.Clone()
+	for i, l := range leakers {
+		want, err := ref.Trial(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("Trials[%d] = %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestCountsCtxCanceled(t *testing.T) {
+	g := ctxFixture(t)
+	br := NewBatchReach(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := make([]int, 1)
+	if err := br.CountsCtx(ctx, []int32{0}, nil, false, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountsCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	// Still usable without a context afterwards.
+	oi, _ := g.Index(100)
+	if err := br.Counts([]int32{int32(oi)}, nil, false, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 {
+		t.Fatalf("Counts after aborted call = %d, want 5", out[0])
+	}
+}

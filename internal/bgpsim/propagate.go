@@ -11,7 +11,12 @@ package bgpsim
 // the next-hop arena (both valid until the next propagation). Every buffer
 // it touches is owned by the Simulator and reused across runs, so
 // steady-state propagations allocate nothing.
-func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, breakTies bool) {
+//
+// When the Simulator carries a context (the *Ctx entry points), the stages
+// poll it between distance buckets; propagate then returns false and the
+// buffers are only partially filled. Without a context it always returns
+// true.
+func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, breakTies bool) bool {
 	n := s.n
 	g := s.g
 	class := s.class
@@ -125,6 +130,9 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 		}
 	}
 	for d := 0; d < len(s.buckets); d++ {
+		if s.canceled() {
+			return false
+		}
 		for _, u := range s.buckets[d] {
 			if class[u] != ClassNone || tent[u] != int32(d) {
 				continue // stale entry or already settled
@@ -140,6 +148,9 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 	}
 
 	// ---- Stage B: peer routes ----
+	if s.canceled() {
+		return false
+	}
 	// Reset tentative state for nodes still unclassed; classed nodes are
 	// skipped by the class check, so only clear what stage B can touch.
 	for i := 0; i < n; i++ {
@@ -201,6 +212,9 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 	}
 
 	// ---- Stage C: provider routes ----
+	if s.canceled() {
+		return false
+	}
 	for i := 0; i < n; i++ {
 		if class[i] == ClassNone {
 			tent[i] = -1
@@ -237,6 +251,9 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 		}
 	}
 	for d := 0; d < len(s.buckets); d++ {
+		if s.canceled() {
+			return false
+		}
 		for _, u := range s.buckets[d] {
 			if class[u] != ClassNone || tent[u] != int32(d) {
 				continue
@@ -247,6 +264,16 @@ func (s *Simulator) propagate(seeds []seed, exclude, locking []bool, track, brea
 			}
 		}
 	}
+	return true
+}
+
+// canceled reports whether the Simulator's in-flight context (if any) is
+// done. It is polled between propagation stages and distance buckets:
+// cheap enough to keep the hot loops allocation- and branch-lean, frequent
+// enough that a deadline aborts a propagation within a fraction of its
+// O(V+E) runtime.
+func (s *Simulator) canceled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
 }
 
 // nextHopCSR is a compact tied-best next-hop DAG in CSR form: node v's next

@@ -1,6 +1,7 @@
 package bgpsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -112,30 +113,19 @@ type LeakTrial struct {
 // shared by every worker, so each trial pays only for the per-leaker loop
 // detection and leak propagation.
 func RunLeakTrials(g *astopo.Graph, cfgBase Config, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
+	return RunLeakTrialsCtx(context.Background(), g, cfgBase, leakers, weights)
+}
+
+// RunLeakTrialsCtx is RunLeakTrials with cancellation: once ctx is done no
+// new trials start, in-flight trials abort between distance buckets, and
+// ctx.Err() is returned.
+func RunLeakTrialsCtx(ctx context.Context, g *astopo.Graph, cfgBase Config, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
 	g.Freeze()
 	sweep, err := NewLeakSweep(g, cfgBase)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]LeakTrial, len(leakers))
-	err = par.For(runtime.GOMAXPROCS(0), len(leakers), func(w int) func(i int) error {
-		sw := sweep
-		if w > 0 {
-			sw = sweep.Clone()
-		}
-		return func(i int) error {
-			tr, err := sw.Trial(leakers[i], weights)
-			if err != nil {
-				return fmt.Errorf("leaker AS%d: %w", leakers[i], err)
-			}
-			out[i] = tr
-			return nil
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return sweep.Trials(ctx, leakers, weights)
 }
 
 // SampleLeakers draws n distinct ASes uniformly at random, excluding the

@@ -20,6 +20,7 @@
 package bgpsim
 
 import (
+	"context"
 	"fmt"
 
 	"flatnet/internal/astopo"
@@ -223,6 +224,12 @@ type Simulator struct {
 	g *astopo.Graph
 	n int
 
+	// ctx, when non-nil, cancels in-flight propagations between distance
+	// buckets (set by the *Ctx entry points, nil otherwise). An aborted
+	// propagation leaves the reusable buffers in a partial state; the next
+	// run resets them.
+	ctx context.Context
+
 	class  []Class
 	dist   []int32
 	flags  []uint8
@@ -269,6 +276,28 @@ func New(g *astopo.Graph) *Simulator {
 	}
 }
 
+// RunCtx is Run with cancellation: the propagation is aborted between
+// distance buckets once ctx is done, returning ctx.Err(). The serving layer
+// threads per-request deadlines through here.
+func (s *Simulator) RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
+	return s.Run(cfg)
+}
+
+// ReachabilityCountCtx is ReachabilityCount with cancellation (see RunCtx).
+func (s *Simulator) ReachabilityCountCtx(ctx context.Context, cfg Config) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
+	return s.ReachabilityCount(cfg)
+}
+
 // Run executes one propagation and returns a Result owning its own state
 // (independent of the Simulator's reusable buffers).
 func (s *Simulator) Run(cfg Config) (*Result, error) {
@@ -299,7 +328,9 @@ func (s *Simulator) Run(cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	s.propagate(seeds, cfg.Exclude, cfg.Locking, cfg.TrackNextHops, cfg.BreakTies)
+	if !s.propagate(seeds, cfg.Exclude, cfg.Locking, cfg.TrackNextHops, cfg.BreakTies) {
+		return nil, s.ctx.Err()
+	}
 	res := &Result{
 		Graph:     s.g,
 		Origin:    seeds[0].idx,
@@ -327,7 +358,9 @@ func (s *Simulator) ReachabilityCount(cfg Config) (int, error) {
 	if seeds == nil {
 		return 0, fmt.Errorf("bgpsim: ReachabilityCount does not support leak configs")
 	}
-	s.propagate(seeds, cfg.Exclude, cfg.Locking, false, cfg.BreakTies)
+	if !s.propagate(seeds, cfg.Exclude, cfg.Locking, false, cfg.BreakTies) {
+		return 0, s.ctx.Err()
+	}
 	n := 0
 	for i, c := range s.class {
 		if c != ClassNone && int32(i) != seeds[0].idx {
@@ -385,7 +418,9 @@ func (s *Simulator) prepare(cfg Config) ([]seed, int32, error) {
 		// The leaked announcement carries the leaker's legitimate best
 		// path; find its length with a leak-free pre-pass, tracking
 		// next hops so that loop detection (below) can be computed.
-		s.propagate(seeds, cfg.Exclude, cfg.Locking, true, cfg.BreakTies)
+		if !s.propagate(seeds, cfg.Exclude, cfg.Locking, true, cfg.BreakTies) {
+			return nil, -1, s.ctx.Err()
+		}
 		if s.class[li] == ClassNone {
 			return nil, leakerIdx, nil // nothing to leak
 		}

@@ -1,9 +1,12 @@
 package bgpsim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"flatnet/internal/astopo"
+	"flatnet/internal/par"
 )
 
 // LeakSweep replays many leakers against one base configuration — the inner
@@ -114,7 +117,9 @@ func (sw *LeakSweep) runLeaker(leaker astopo.ASN, track bool) (li int32, propaga
 		// detection — the pre-pass plays no role.
 		seeds = append(seeds, seed{idx: li, dist0: 0, flag: ViaLeak, exportAll: true})
 		sim.seeds = seeds
-		sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies)
+		if !sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies) {
+			return li, false, sim.ctx.Err()
+		}
 		return li, true, nil
 	}
 	if b.class[li] == ClassNone {
@@ -125,8 +130,47 @@ func (sw *LeakSweep) runLeaker(leaker astopo.ASN, track bool) (li int32, propaga
 	sim.leakBlocked = sw.blocked
 	seeds = append(seeds, seed{idx: li, dist0: b.dist[li], flag: ViaLeak, exportAll: true})
 	sim.seeds = seeds
-	sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies)
+	if !sim.propagate(seeds, cfg.Exclude, cfg.Locking, track, cfg.BreakTies) {
+		return li, false, sim.ctx.Err()
+	}
 	return li, true, nil
+}
+
+// TrialCtx is Trial with cancellation: the leak propagation is aborted
+// between distance buckets once ctx is done, returning ctx.Err().
+func (sw *LeakSweep) TrialCtx(ctx context.Context, leaker astopo.ASN, weights []float64) (LeakTrial, error) {
+	if err := ctx.Err(); err != nil {
+		return LeakTrial{}, err
+	}
+	sw.sim.ctx = ctx
+	defer func() { sw.sim.ctx = nil }()
+	return sw.Trial(leaker, weights)
+}
+
+// Trials replays every leaker in parallel against the sweep's shared
+// pre-pass snapshot, one clone per extra worker, and returns one LeakTrial
+// per leaker in input order. weights may be nil. Cancellation stops the
+// sweep between trials (and mid-propagation within a trial).
+func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
+	out := make([]LeakTrial, len(leakers))
+	err := par.ForCtx(ctx, runtime.GOMAXPROCS(0), len(leakers), func(w int) func(i int) error {
+		s := sw
+		if w > 0 {
+			s = sw.Clone()
+		}
+		return func(i int) error {
+			tr, err := s.TrialCtx(ctx, leakers[i], weights)
+			if err != nil {
+				return fmt.Errorf("leaker AS%d: %w", leakers[i], err)
+			}
+			out[i] = tr
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Trial replays one leaker and reduces the outcome straight to a LeakTrial

@@ -362,6 +362,12 @@ func (m *Metrics) TopReliance(o astopo.ASN, kind Kind, k int) ([]RelianceEntry, 
 	if err != nil {
 		return nil, err
 	}
+	return topReliance(entries, o, k), nil
+}
+
+// topReliance filters the origin out of entries and returns the k largest
+// by value (ties broken by ASN), reusing entries' backing array.
+func topReliance(entries []RelianceEntry, o astopo.ASN, k int) []RelianceEntry {
 	filtered := entries[:0]
 	for _, e := range entries {
 		if e.AS != o {
@@ -377,7 +383,7 @@ func (m *Metrics) TopReliance(o astopo.ASN, kind Kind, k int) ([]RelianceEntry, 
 	if k > len(filtered) {
 		k = len(filtered)
 	}
-	return filtered[:k], nil
+	return filtered[:k]
 }
 
 // Unreachable returns the ASes that receive no route from o under the

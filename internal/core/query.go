@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/par"
+)
+
+// This file holds the query-shaped entry points the serving layer
+// (internal/serve) calls: the same metrics as the batch API, but taking a
+// context so a per-request deadline cancels the underlying propagation,
+// and a multi-origin form that routes wide requests through the
+// bit-parallel batch engine.
+
+// KindFromString parses the four query spellings of Kind ("full",
+// "provider-free", "tier1-free", "hierarchy-free") — the inverse of
+// Kind.String.
+func KindFromString(s string) (Kind, error) {
+	for k := Full; k <= HierarchyFree; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown reachability kind %q (want full, provider-free, tier1-free, or hierarchy-free)", s)
+}
+
+// ReachabilityCtx is Reachability with cancellation: the propagation is
+// aborted between distance buckets once ctx is done, returning ctx.Err().
+func (m *Metrics) ReachabilityCtx(ctx context.Context, o astopo.ASN, kind Kind) (int, error) {
+	sim := m.pool.Get().(*bgpsim.Simulator)
+	defer m.pool.Put(sim)
+	mask := m.acquireMask(o, kind)
+	defer m.releaseMask(mask)
+	return sim.ReachabilityCountCtx(ctx, bgpsim.Config{Origin: o, Exclude: mask})
+}
+
+// PropagateCtx is Propagate with cancellation (see ReachabilityCtx).
+func (m *Metrics) PropagateCtx(ctx context.Context, o astopo.ASN, kind Kind, trackNextHops bool) (*bgpsim.Result, error) {
+	sim := m.pool.Get().(*bgpsim.Simulator)
+	defer m.pool.Put(sim)
+	mask := m.acquireMask(o, kind)
+	defer m.releaseMask(mask)
+	return sim.RunCtx(ctx, bgpsim.Config{Origin: o, Exclude: mask, TrackNextHops: trackNextHops})
+}
+
+// RelianceCtx is Reliance with cancellation (see ReachabilityCtx).
+func (m *Metrics) RelianceCtx(ctx context.Context, o astopo.ASN, kind Kind) ([]RelianceEntry, error) {
+	res, err := m.PropagateCtx(ctx, o, kind, true)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := res.Reliance()
+	if err != nil {
+		return nil, err
+	}
+	g := m.ds.Graph
+	out := make([]RelianceEntry, 0, len(vals)/2)
+	for i, v := range vals {
+		if v > 0 {
+			out = append(out, RelianceEntry{AS: g.ASNAt(i), Value: v})
+		}
+	}
+	return out, nil
+}
+
+// TopRelianceCtx is TopReliance with cancellation (see ReachabilityCtx).
+func (m *Metrics) TopRelianceCtx(ctx context.Context, o astopo.ASN, kind Kind, k int) ([]RelianceEntry, error) {
+	entries, err := m.RelianceCtx(ctx, o, kind)
+	if err != nil {
+		return nil, err
+	}
+	return topReliance(entries, o, k), nil
+}
+
+// ReachabilityMany computes reach(o, kind) for each origin in input order.
+// Requests of at least bgpsim.BatchLanes origins ride the bit-parallel
+// batch engine, 64 origins per propagation; narrower requests run the
+// scalar per-origin path (a batch narrower than a word pays word-width
+// work for lane-count results, so the scalar path wins there). Every
+// origin must be present in the graph.
+func (m *Metrics) ReachabilityMany(ctx context.Context, origins []astopo.ASN, kind Kind) ([]int, error) {
+	g := m.ds.Graph
+	idx := make([]int32, len(origins))
+	for i, o := range origins {
+		oi, ok := g.Index(o)
+		if !ok {
+			return nil, fmt.Errorf("core: origin AS%d not in graph", o)
+		}
+		idx[i] = int32(oi)
+	}
+	out := make([]int, len(origins))
+	if len(origins) < bgpsim.BatchLanes || m.scalarSweep {
+		sim := m.pool.Get().(*bgpsim.Simulator)
+		defer m.pool.Put(sim)
+		for i, o := range origins {
+			mask := m.acquireMask(o, kind)
+			cnt, err := sim.ReachabilityCountCtx(ctx, bgpsim.Config{Origin: o, Exclude: mask})
+			m.releaseMask(mask)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cnt
+		}
+		return out, nil
+	}
+	blocks := (len(origins) + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
+	workers := runtime.GOMAXPROCS(0)
+	engines := make([]*bgpsim.BatchReach, workers)
+	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
+		br := m.batchPool.Get().(*bgpsim.BatchReach)
+		engines[w] = br
+		return func(bi int) error {
+			lo := bi * bgpsim.BatchLanes
+			hi := lo + bgpsim.BatchLanes
+			if hi > len(origins) {
+				hi = len(origins)
+			}
+			return br.CountsCtx(ctx, idx[lo:hi], m.baseMask[kind], kind != Full, out[lo:hi])
+		}
+	})
+	for _, br := range engines {
+		if br != nil {
+			m.batchPool.Put(br)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flatnet/internal/astopo"
+)
+
+func TestKindFromString(t *testing.T) {
+	for k := Full; k <= HierarchyFree; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := KindFromString("bogus"); err == nil {
+		t.Error("KindFromString accepted an unknown kind")
+	}
+}
+
+// TestReachabilityManyMatchesScalar drives both ReachabilityMany paths —
+// the scalar loop (narrow requests) and the 64-lane batch engine (wide
+// requests) — and checks each against per-origin Reachability.
+func TestReachabilityManyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := randomTieredDataset(rng, 150)
+	m := New(ds)
+	all := ds.Graph.ASes()
+	for _, tc := range []struct {
+		name    string
+		origins int
+	}{
+		{"scalar-path", 10},
+		{"batch-path", len(all)},
+	} {
+		origins := all[:tc.origins]
+		for kind := Full; kind <= HierarchyFree; kind++ {
+			got, err := m.ReachabilityMany(context.Background(), origins, kind)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, kind, err)
+			}
+			for i, o := range origins {
+				want, err := m.Reachability(o, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Errorf("%s/%v: ReachabilityMany[AS%d] = %d, want %d", tc.name, kind, o, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestReachabilityManyUnknownOrigin(t *testing.T) {
+	m := New(fixtureDataset(t))
+	if _, err := m.ReachabilityMany(context.Background(), []astopo.ASN{99999}, Full); err == nil {
+		t.Error("ReachabilityMany accepted an origin outside the graph")
+	}
+}
+
+func TestQueryCtxCanceled(t *testing.T) {
+	m := New(fixtureDataset(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ReachabilityCtx(ctx, 100, HierarchyFree); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReachabilityCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := m.RelianceCtx(ctx, 100, Full); !errors.Is(err, context.Canceled) {
+		t.Errorf("RelianceCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := m.TopRelianceCtx(ctx, 100, Full, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopRelianceCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := m.ReachabilityMany(ctx, m.ds.Graph.ASes(), Full); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReachabilityMany: err = %v, want context.Canceled", err)
+	}
+	// The metrics remain usable after aborted queries.
+	n, err := m.Reachability(100, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("Reachability after aborted queries = %d, want 7", n)
+	}
+}

@@ -10,6 +10,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -22,6 +23,14 @@ import (
 // Items may run in any order; with workers <= 1 they run in order on the
 // calling goroutine.
 func For(workers, n int, worker func(w int) func(i int) error) error {
+	return ForCtx(context.Background(), workers, n, worker)
+}
+
+// ForCtx is For with cancellation: when ctx is done, no new items are
+// claimed, in-flight items finish, and ctx.Err() is returned (unless an
+// item error occurred first — item errors take precedence). Item functions
+// that want finer-grained cancellation must observe ctx themselves.
+func ForCtx(ctx context.Context, workers, n int, worker func(w int) func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -31,6 +40,9 @@ func For(workers, n int, worker func(w int) func(i int) error) error {
 	if workers <= 1 {
 		fn := worker(0)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -50,6 +62,9 @@ func For(workers, n int, worker func(w int) func(i int) error) error {
 			defer wg.Done()
 			fn := worker(w)
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -67,5 +82,8 @@ func For(workers, n int, worker func(w int) func(i int) error) error {
 		}(w)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

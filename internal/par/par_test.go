@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -106,5 +107,61 @@ func TestForMoreWorkersThanItems(t *testing.T) {
 	}
 	if ran.Load() != 3 {
 		t.Fatalf("ran %d items, want 3", ran.Load())
+	}
+}
+
+func TestForCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForCtx(ctx, 4, 100, func(int) func(int) error {
+		return func(int) error {
+			ran.Add(1)
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d items ran on a pre-canceled context", got)
+	}
+}
+
+func TestForCtxStopsClaimingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForCtx(ctx, 4, 10000, func(int) func(int) error {
+		return func(int) error {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers may finish in-flight items after the cancel, but must not
+	// claim the whole range.
+	if got := ran.Load(); got > 1000 {
+		t.Fatalf("%d items ran after cancel, want an early stop", got)
+	}
+}
+
+func TestForCtxItemErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForCtx(ctx, 2, 100, func(int) func(int) error {
+		return func(i int) error {
+			if i == 0 {
+				return boom
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want item error", err)
 	}
 }

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+	"flatnet/internal/topogen"
+)
+
+// usageErr marks a RunCLI failure caused by bad flags or arguments (as
+// opposed to a runtime failure), so callers can exit with a usage status.
+type usageErr struct{ err error }
+
+func (e *usageErr) Error() string { return e.err.Error() }
+func (e *usageErr) Unwrap() error { return e.err }
+
+// IsUsageError reports whether a RunCLI error was a flag or argument
+// mistake rather than a runtime failure.
+func IsUsageError(err error) bool {
+	var ue *usageErr
+	return errors.As(err, &ue)
+}
+
+// RunCLI is the shared entry point behind `flatnetd` and `flatnet serve`:
+// it parses flags, loads or generates the topology once, starts the
+// server, and blocks until SIGINT/SIGTERM, then drains in-flight queries.
+// Flag errors are returned (ContinueOnError) so both callers can map them
+// to a uniform usage exit.
+func RunCLI(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
+	year := fs.Int("year", 2020, "preset year (when generating; 2015 or 2020)")
+	topo := fs.String("topo", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
+	cacheSize := fs.Int("cache", 0, "result cache entries (default 4096)")
+	timeout := fs.Duration("timeout", 0, "default per-request deadline (default 5s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "upper bound on client-requested deadlines (default 60s)")
+	concurrency := fs.Int("concurrency", 0, "max concurrent computations (default GOMAXPROCS)")
+	drain := fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight queries")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &usageErr{err} // the FlagSet already printed the message
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "serve: unexpected argument %q\n", fs.Arg(0))
+		return &usageErr{fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))}
+	}
+
+	cfg := Config{
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxConcurrent:  *concurrency,
+	}
+	start := time.Now()
+	if *topo != "" {
+		f, err := os.Open(*topo)
+		if err != nil {
+			return err
+		}
+		g, err := astopo.ReadRelationships(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tier1, tier2 := InferTiers(g)
+		cfg.Dataset = core.Dataset{Graph: g, Tier1: tier1, Tier2: tier2}
+	} else {
+		var spec topogen.Spec
+		switch *year {
+		case 2020:
+			spec = topogen.Internet2020(*scale)
+		case 2015:
+			spec = topogen.Internet2015(*scale)
+		default:
+			return fmt.Errorf("serve: unknown year %d (want 2015 or 2020)", *year)
+		}
+		in, err := topogen.Generate(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
+		cfg.Names = in.Name
+	}
+
+	srv, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "flatnetd: serving %d ASes, %d links (%d Tier-1, %d Tier-2; loaded in %v) on http://%s\n",
+		cfg.Dataset.Graph.NumASes(), cfg.Dataset.Graph.NumLinks(),
+		len(cfg.Dataset.Tier1), len(cfg.Dataset.Tier2),
+		time.Since(start).Round(time.Millisecond), bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(stdout, "flatnetd: shutting down, draining in-flight queries")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return srv.Shutdown(dctx)
+}
+
+// InferTiers derives stand-in Tier-1/Tier-2 exclusion sets for topologies
+// loaded from bare relationship files, which carry no tier labels (the
+// paper takes these sets from ProbLink/AS-Rank; generated presets define
+// them by construction). Tier-1s are provider-free ASes whose customer
+// cone covers at least 1% of the graph; Tier-2s are the remaining ASes
+// with cones covering at least 0.25%.
+func InferTiers(g *astopo.Graph) (tier1, tier2 astopo.ASSet) {
+	g.Freeze()
+	n := g.NumASes()
+	cones := g.ConeSizes()
+	t1Min := n / 100
+	if t1Min < 2 {
+		t1Min = 2
+	}
+	t2Min := n / 400
+	if t2Min < 2 {
+		t2Min = 2
+	}
+	tier1, tier2 = astopo.ASSet{}, astopo.ASSet{}
+	for i := 0; i < n; i++ {
+		a := g.ASNAt(i)
+		switch {
+		case len(g.ProvidersOf(i)) == 0 && cones[i] >= t1Min:
+			tier1.Add(a)
+		case cones[i] >= t2Min:
+			tier2.Add(a)
+		}
+	}
+	return tier1, tier2
+}

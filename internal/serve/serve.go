@@ -1,0 +1,239 @@
+// Package serve is the query layer over the paper's metrics: a
+// long-running HTTP/JSON service answering per-AS reachability, reliance,
+// and route-leak-resilience questions against one immutable topology —
+// the batch artifacts of packages core and bgpsim, reshaped for
+// interactive, many-client serving.
+//
+// The shared immutable state (the frozen graph, the Metrics tier masks,
+// one LeakSweep pre-pass per leak configuration) is computed once; every
+// request then pays only for its own propagation, bounded by:
+//
+//   - an LRU result cache keyed by the full query, so repeated queries are
+//     served without recomputing;
+//   - singleflight coalescing, so a thundering herd on one key computes
+//     once and everyone shares the result;
+//   - a bounded worker pool, so concurrent distinct queries cannot
+//     oversubscribe the CPU;
+//   - per-request deadlines threaded as contexts into the simulators,
+//     which abort propagation between distance buckets (HTTP 504);
+//   - graceful shutdown that stops accepting connections and drains
+//     in-flight queries.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+)
+
+// Config parameterizes a Server. The zero value of every limit picks the
+// documented default.
+type Config struct {
+	// Dataset is the topology plus tier sets the metrics run over.
+	Dataset core.Dataset
+	// Names optionally maps ASNs to display names (topogen's Name map).
+	Names map[astopo.ASN]string
+
+	// CacheSize bounds the result cache, in entries (default 4096).
+	CacheSize int
+	// SweepCacheSize bounds the per-config LeakSweep pre-pass cache
+	// (default 64; each entry holds O(V) snapshot state).
+	SweepCacheSize int
+	// DefaultTimeout is the per-request deadline when the query does not
+	// set one (default 5s); MaxTimeout clamps client-requested deadlines
+	// (default 60s).
+	DefaultTimeout, MaxTimeout time.Duration
+	// MaxConcurrent bounds simultaneously computing requests (default
+	// GOMAXPROCS); excess requests queue until a worker or their deadline
+	// frees them.
+	MaxConcurrent int
+	// MaxTrials caps the trials parameter of /v1/leak (default 2000).
+	MaxTrials int
+	// MaxBatch caps the origins of one /v1/batch request (default 4096).
+	MaxBatch int
+	// MaxTop caps the top parameter of /v1/reliance (default 1000).
+	MaxTop int
+}
+
+func (c *Config) fillDefaults() {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.SweepCacheSize <= 0 {
+		c.SweepCacheSize = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 2000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxTop <= 0 {
+		c.MaxTop = 1000
+	}
+}
+
+// Server answers metric queries over one frozen dataset. It is safe for
+// concurrent use; all mutable state is behind the cache, the flight group,
+// and atomic counters.
+type Server struct {
+	cfg     Config
+	metrics *core.Metrics
+	cache   *lru // query key -> marshaled response body ([]byte)
+	sweeps  *lru // leak config key -> *bgpsim.LeakSweep prototype
+	flights flightGroup
+	sem     chan struct{} // worker-pool slots
+	httpSrv *http.Server
+	started time.Time
+
+	stats struct {
+		requests     atomic.Int64
+		cacheHits    atomic.Int64
+		cacheMisses  atomic.Int64
+		coalesced    atomic.Int64
+		computations atomic.Int64
+		deadlines    atomic.Int64
+		inflight     atomic.Int64
+	}
+
+	// slowdown, when non-nil, runs at the start of every leader
+	// computation. Tests use it to hold computations open so coalescing,
+	// deadline, and drain behavior can be observed deterministically.
+	slowdown func()
+}
+
+// New builds a Server over cfg, precomputing the shared immutable state
+// (frozen graph, tier base masks). The graph must be non-empty.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if cfg.Dataset.Graph == nil || cfg.Dataset.Graph.NumASes() == 0 {
+		return nil, errors.New("serve: empty topology")
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: core.New(cfg.Dataset),
+		cache:   newLRU(cfg.CacheSize),
+		sweeps:  newLRU(cfg.SweepCacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Metrics exposes the underlying metrics (shared, concurrent-safe).
+func (s *Server) Metrics() *core.Metrics { return s.metrics }
+
+// Start listens on addr and serves in a background goroutine, returning
+// the bound address (useful with ":0"). Use Shutdown to stop.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// ErrServerClosed is the normal Shutdown signal; anything else
+		// surfaces on the next request as a connection error.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown stops accepting new connections and blocks until in-flight
+// requests drain or ctx expires — the graceful half of the serving
+// contract.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// timeoutFor resolves the effective deadline for a request: the `timeout`
+// query parameter when present (clamped to MaxTimeout), DefaultTimeout
+// otherwise.
+func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, badRequestf("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, badRequestf("timeout must be positive, got %q", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// serveCached is the shared request path of every cacheable endpoint:
+// result-cache lookup, then singleflight-coalesced computation under the
+// worker pool and the request deadline, then cache fill.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	if b, ok := s.cache.Get(key); ok {
+		s.stats.cacheHits.Add(1)
+		writeBody(w, http.StatusOK, b.([]byte))
+		return
+	}
+	s.stats.cacheMisses.Add(1)
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	body, coalesced, err := s.flights.Do(ctx, key, func() ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		s.stats.inflight.Add(1)
+		defer s.stats.inflight.Add(-1)
+		if s.slowdown != nil {
+			s.slowdown()
+		}
+		s.stats.computations.Add(1)
+		v, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if coalesced {
+		s.stats.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}

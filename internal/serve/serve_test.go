@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/core"
+)
+
+// fixtureDataset is the Fig.-1-style topology used across the repo's
+// tests: cloud 100 with Tier-1 provider 1, peerings with Tier-1 2, Tier-2
+// 3, and user ISPs 4 and 5; ISP 6 behind Tier-1 2, ISP 7 behind Tier-2 3.
+func fixtureDataset(t *testing.T) core.Dataset {
+	t.Helper()
+	g := astopo.NewGraph(0, 0)
+	for _, l := range []struct {
+		a, b astopo.ASN
+		r    astopo.Rel
+	}{
+		{1, 100, astopo.P2C},
+		{100, 2, astopo.P2P},
+		{100, 3, astopo.P2P},
+		{100, 4, astopo.P2P},
+		{100, 5, astopo.P2P},
+		{2, 6, astopo.P2C},
+		{3, 7, astopo.P2C},
+		{1, 2, astopo.P2P},
+	} {
+		if err := g.AddLink(l.a, l.b, l.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return core.Dataset{Graph: g, Tier1: astopo.NewASSet(1, 2), Tier2: astopo.NewASSet(3)}
+}
+
+func testServer(t *testing.T, mut func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Dataset: fixtureDataset(t)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func TestCacheHitServesRepeatedQuery(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+
+	first := get(t, h, "/v1/reach?as=100&kind=hierarchy-free")
+	if first.Code != http.StatusOK {
+		t.Fatalf("first query: status %d, body %s", first.Code, first.Body)
+	}
+	if hits, misses := s.stats.cacheHits.Load(), s.stats.cacheMisses.Load(); hits != 0 || misses != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	second := get(t, h, "/v1/reach?as=100&kind=hierarchy-free")
+	if second.Code != http.StatusOK {
+		t.Fatalf("second query: status %d", second.Code)
+	}
+	if hits := s.stats.cacheHits.Load(); hits != 1 {
+		t.Fatalf("after second query: cache hits = %d, want 1", hits)
+	}
+	if comps := s.stats.computations.Load(); comps != 1 {
+		t.Fatalf("computations = %d, want 1 (second query must be served from cache)", comps)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("cached body differs: %q vs %q", first.Body, second.Body)
+	}
+}
+
+func TestCoalescingComputesOnce(t *testing.T) {
+	const concurrent = 8
+	s := testServer(t, nil)
+	h := s.Handler()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.slowdown = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, concurrent)
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := get(t, h, "/v1/reach?as=100&kind=full")
+			codes[i] = rec.Code
+		}()
+	}
+	launch(0)
+	<-started // the leader is inside its computation, holding the key
+	for i := 1; i < concurrent; i++ {
+		launch(i)
+	}
+	// Release only after every follower has joined the in-flight call.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.flights.joined("reach|100|0") < concurrent-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined", s.flights.joined("reach|100|0"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d: status %d", i, c)
+		}
+	}
+	if comps := s.stats.computations.Load(); comps != 1 {
+		t.Errorf("computations = %d, want exactly 1 for %d concurrent identical queries", comps, concurrent)
+	}
+	if co := s.stats.coalesced.Load(); co != concurrent-1 {
+		t.Errorf("coalesced = %d, want %d", co, concurrent-1)
+	}
+}
+
+func TestDeadlineExceededReturns504(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+	before := runtime.NumGoroutine()
+
+	rec := get(t, h, "/v1/reach?as=100&timeout=1ns")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "deadline_exceeded" {
+		t.Errorf("error code = %q, want deadline_exceeded", body.Error.Code)
+	}
+	if n := s.stats.deadlines.Load(); n != 1 {
+		t.Errorf("deadline counter = %d, want 1", n)
+	}
+
+	// A timed-out query must not leak its goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after timed-out queries", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the same query without the deadline still computes fine.
+	rec = get(t, h, "/v1/reach?as=100")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up query: status %d, body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := testServer(t, nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.slowdown = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	resp := make(chan int, 1)
+	go func() {
+		r, err := http.Get(fmt.Sprintf("http://%s/v1/reach?as=100", addr))
+		if err != nil {
+			resp <- -1
+			return
+		}
+		r.Body.Close()
+		resp <- r.StatusCode
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight query, not cut it off.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) while a query was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if code := <-resp; code != http.StatusOK {
+		t.Fatalf("in-flight query got status %d during graceful shutdown, want 200", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server accepted a connection after Shutdown")
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Put("c", 3) // evicts b (a was refreshed by the Get above)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Error("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Error("c lost")
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Error("Put did not refresh the value")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestFlightGroupJoinerHonorsOwnContext(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = g.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("x"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, coalesced, err := g.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !coalesced {
+		t.Error("second caller should have coalesced")
+	}
+	if err != context.DeadlineExceeded {
+		t.Errorf("joiner err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+}
+
+func TestInferTiers(t *testing.T) {
+	// Provider-free clique {1,2} on top; 3 is a transit AS under 1 with a
+	// cone of 4; everything else is a stub with a unit cone.
+	g := astopo.NewGraph(0, 0)
+	for _, l := range []struct {
+		a, b astopo.ASN
+		r    astopo.Rel
+	}{
+		{1, 2, astopo.P2P},
+		{1, 3, astopo.P2C},
+		{3, 7, astopo.P2C},
+		{3, 8, astopo.P2C},
+		{3, 9, astopo.P2C},
+		{2, 6, astopo.P2C},
+		{1, 10, astopo.P2C},
+	} {
+		if err := g.AddLink(l.a, l.b, l.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tier1, tier2 := InferTiers(g)
+	if !tier1.Has(1) || !tier1.Has(2) {
+		t.Errorf("tier1 = %v, want {1,2}", tier1.Slice())
+	}
+	if tier1.Has(3) {
+		t.Error("AS 3 has a provider and must not be Tier-1")
+	}
+	if !tier2.Has(3) {
+		t.Errorf("tier2 = %v, want 3 included", tier2.Slice())
+	}
+	if tier1.Has(7) || tier2.Has(7) {
+		t.Error("stub AS 7 classified into a tier")
+	}
+}

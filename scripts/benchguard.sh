@@ -1,0 +1,68 @@
+#!/bin/sh
+# Benchmark regression gate: compares each benchmark's median ns/op in a
+# fresh bench.sh run against the checked-in baseline and fails when any
+# benchmark slows down beyond the tolerance. Pure sh+awk, so CI needs no
+# tooling beyond the Go toolchain that produced the files.
+#
+#   ./scripts/benchguard.sh bench-baseline.txt bench-new.txt
+#
+# FLATNET_BENCH_TOLERANCE  (default 30)  allowed regression, percent
+#
+# Medians (not means) absorb the odd slow repetition on noisy CI runners;
+# the -<GOMAXPROCS> name suffix is stripped so baselines recorded on one
+# machine compare against runs on another.
+set -eu
+
+BASE="${1:?usage: benchguard.sh baseline.txt new.txt}"
+NEW="${2:?usage: benchguard.sh baseline.txt new.txt}"
+TOL="${FLATNET_BENCH_TOLERANCE:-30}"
+
+[ -f "$BASE" ] || { echo "benchguard: baseline $BASE not found" >&2; exit 1; }
+[ -f "$NEW" ] || { echo "benchguard: new results $NEW not found" >&2; exit 1; }
+
+awk -v tol="$TOL" '
+function median(v, name, n,    i, j, t, a) {
+    for (i = 1; i <= n; i++) a[i] = v[name "," i]
+    for (i = 2; i <= n; i++) {
+        t = a[i]
+        for (j = i - 1; j >= 1 && a[j] > t; j--) a[j + 1] = a[j]
+        a[j + 1] = t
+    }
+    if (n % 2) return a[(n + 1) / 2]
+    return (a[n / 2] + a[n / 2 + 1]) / 2
+}
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (NR == FNR) { bn[name]++; bv[name "," bn[name]] = $3 }
+    else           { nn[name]++; nv[name "," nn[name]] = $3 }
+}
+END {
+    fail = 0
+    compared = 0
+    for (name in nn) {
+        if (!(name in bn)) {
+            printf "%-55s (new benchmark, no baseline)\n", name
+            continue
+        }
+        bm = median(bv, name, bn[name])
+        nm = median(nv, name, nn[name])
+        delta = bm > 0 ? 100 * (nm - bm) / bm : 0
+        printf "%-55s baseline %14.0f ns/op   new %14.0f ns/op   %+7.1f%%\n", name, bm, nm, delta
+        compared++
+        if (delta > tol) {
+            printf "FAIL: %s regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
+            fail = 1
+        }
+    }
+    for (name in bn) if (!(name in nn)) {
+        printf "FAIL: benchmark %s present in baseline but missing from new run\n", name
+        fail = 1
+    }
+    if (compared == 0) {
+        print "FAIL: no common benchmarks to compare"
+        fail = 1
+    }
+    exit fail
+}
+' "$BASE" "$NEW"
