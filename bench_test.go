@@ -347,6 +347,37 @@ func BenchmarkLeakSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLeakTrialsBatch measures the word-parallel leak-trial engine: a
+// full BatchLanes-wide block of leakers replayed in ONE propagation against
+// a cached pre-pass — the §8 hot path behind Figs. 7–10 and the serving
+// layer's /v1/leak batches. One op here covers BatchLanes leakers, so the
+// scalar-equivalent cost is BenchmarkLeakSweep × BatchLanes.
+// FLATNET_SCALAR_LEAK=1 pins LeakSweep.Trials to the scalar fallback for
+// comparison. allocs/op should be ~0.
+func BenchmarkLeakTrialsBatch(b *testing.B) {
+	e := benchEnv(b)
+	g := e.In2020.Graph
+	google := e.In2020.Clouds["Google"]
+	leakers := bgpsim.SampleLeakers(g, google, bgpsim.BatchLanes, 7)
+	sweep, err := bgpsim.NewLeakSweep(g, bgpsim.Config{Origin: google})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := bgpsim.NewBatchLeak(g)
+	out := make([]bgpsim.LeakTrial, len(leakers))
+	// Warm the dial-queue buckets and scratch high-water marks.
+	if err := bl.Trials(sweep, leakers, nil, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bl.Trials(sweep, leakers, nil, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPropagateNoAlloc measures one steady-state reachability
 // propagation with buffer reuse. allocs/op should be ~0.
 func BenchmarkPropagateNoAlloc(b *testing.B) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,10 +42,17 @@ func cmdLeaks(args []string) error {
 	fmt.Printf("%s exposure of %s (AS%d), %d random misconfigured ASes per scenario:\n\n",
 		kind, in.NameOf(origin), origin, len(leakers))
 	fmt.Printf("%-40s %12s %12s %14s\n", "scenario", "mean detour", "p95 detour", "worst detour")
+	// One explicit LeakSweep per scenario: the leak-free pre-pass runs once
+	// per configuration and all trials replay against it (the batch engines
+	// behind Trials are pooled across scenarios).
 	for _, scen := range bgpsim.LeakScenarios() {
 		cfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, scen)
 		cfg.Hijack = *hijack
-		res, err := bgpsim.RunLeakTrials(in.Graph, cfg, leakers, nil)
+		sweep, err := bgpsim.NewLeakSweep(in.Graph, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sweep.Trials(context.Background(), leakers, nil)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ package astopo
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -194,6 +195,15 @@ func (g *Graph) NumLinks() int { return len(g.links) }
 // Freeze builds the adjacency indexes. It is idempotent and is called
 // automatically by queries that need indexes; exposed so callers can choose
 // when to pay the cost.
+//
+// The adjacency rows are carved out of one shared arena (CSR layout): a
+// counting pass sizes every row up front, so freezing costs a handful of
+// allocations regardless of the node count — per-node append growth would
+// otherwise dominate workloads that rebuild derived graphs in a loop, such
+// as the sensitivity sweep's degraded copies. Rows are filled in link
+// order (P2P links contribute both directions at the same step), keeping
+// the exact neighbor order of incremental appends, which the propagation
+// code's determinism depends on.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
@@ -207,17 +217,39 @@ func (g *Graph) Freeze() {
 	for a := range seen {
 		g.nodes = append(g.nodes, a)
 	}
-	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	slices.Sort(g.nodes)
 	g.idx = make(map[ASN]int, len(g.nodes))
 	for i, a := range g.nodes {
 		g.idx[a] = i
 	}
 	n := len(g.nodes)
-	g.providers = make([][]int32, n)
-	g.customers = make([][]int32, n)
-	g.peers = make([][]int32, n)
-	for _, l := range g.links {
+	// One map resolution per endpoint: the counting pass caches the dense
+	// indexes for the fill pass.
+	ends := make([]int32, 2*len(g.links))
+	deg := make([]int32, 3*n)
+	provDeg, custDeg, peerDeg := deg[:n], deg[n:2*n], deg[2*n:]
+	for k, l := range g.links {
 		ai, bi := int32(g.idx[l.A]), int32(g.idx[l.B])
+		ends[2*k], ends[2*k+1] = ai, bi
+		switch l.Rel {
+		case P2P:
+			peerDeg[ai]++
+			peerDeg[bi]++
+		case P2C:
+			custDeg[ai]++
+			provDeg[bi]++
+		}
+	}
+	rows := make([][]int32, 3*n)
+	arena := make([]int32, 2*len(g.links))
+	off := 0
+	for r, d := range deg {
+		rows[r] = arena[off : off : off+int(d)]
+		off += int(d)
+	}
+	g.providers, g.customers, g.peers = rows[:n:n], rows[n:2*n:2*n], rows[2*n:]
+	for k, l := range g.links {
+		ai, bi := ends[2*k], ends[2*k+1]
 		switch l.Rel {
 		case P2P:
 			g.peers[ai] = append(g.peers[ai], bi)

@@ -1,0 +1,555 @@
+package bgpsim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"flatnet/internal/astopo"
+)
+
+// BatchLeak replays up to BatchLanes leakers per propagation against one
+// LeakSweep snapshot: bit lane k of every word carries leaker k's trial.
+//
+// The scalar LeakSweep already caches everything leaker-invariant (the
+// leak-free pre-pass, the tied-best DAG, its path counts), but each trial
+// still pays a full propagation. The key observation that lets 64 trials
+// share ONE propagation is that the joint origin+leaker propagation is a
+// bucket schedule over (class, distance) pairs — classes in preference
+// order, distances ascending, exactly the scalar engine's settle order —
+// and the buckets are GLOBAL: which bucket a route arrives in depends only
+// on its class and length, never on which leaker produced it. So the
+// engine runs one synchronized bucket sweep where every per-node quantity
+// is a word over leaker lanes:
+//
+//	done[v]   lanes whose class and length are decided at v;
+//	legit[v]  settled lanes with a tied-best route chaining to the origin;
+//	leak[v]   settled lanes with a tied-best route through the leak.
+//
+// Arrivals are (node, legit-word, leak-word) pushes bucketed by distance.
+// A bucket's arrivals are merged (tied flags OR together, the paper's
+// keep-all-ties rule) and then settled against ^done — the word-wise form
+// of the scalar dial queue's min-distance tent with stale-entry skipping.
+// Per-leaker differences enter only as per-node words composed once per
+// batch from the cached snapshot:
+//
+//	accept[v]   lane-uniform exclusion base, minus lane k at leaker k
+//	            (a leaker originates in its own lane and takes no routes);
+//	blocked[v]  lanes whose BGP loop detection rejects every leaked copy
+//	            at v (the pre-pass path-count argument of the scalar
+//	            engine, run once per lane over the cached DAG);
+//
+// plus each leaker's seed, injected at its cached leak-free distance.
+// Peer locking stays lane-uniform because a locked node's acceptance
+// depends only on the sender being the origin.
+//
+// Trial results are bit-for-bit identical to LeakSweep.Trial for every
+// configuration except BreakTies: breaking ties keeps the first tied
+// route in the scalar engine's push order, an order that differs per lane
+// and cannot be replayed word-wise, so those configs are rejected here
+// and stay on the scalar path.
+//
+// A BatchLeak is not safe for concurrent use; create one per goroutine
+// (they share the frozen graph and sweep snapshots safely). All buffers
+// are high-water-reused, so steady-state calls allocate nothing.
+type BatchLeak struct {
+	g *astopo.Graph
+	n int
+
+	// ctx, when non-nil, aborts an in-flight batch between distance
+	// buckets (set by TrialsCtx, nil otherwise).
+	ctx context.Context
+
+	acceptW  []uint64 // lanes that may install routes at each node
+	blockedW []uint64 // lanes whose loop detection strips leaked copies
+	leakerAt []uint64 // bit k set at leaker k's node
+	done     []uint64 // settled lanes
+	legit    []uint64 // settled lanes with a legitimate tied-best route
+	leak     []uint64 // settled lanes with a leaked tied-best route
+
+	// Per-bucket arrival accumulators, nonzero only while a bucket is
+	// being processed.
+	curLegit []uint64
+	curLeak  []uint64
+	touched  []int32
+
+	up, peer, down bucketedPushes
+
+	// Loop-detection scratch: reach/reachSet for the per-lane backward
+	// pass, pos[v] = v's index in the snapshot's distance order (cached
+	// per snapshot, rebuilt when the engine switches sweeps).
+	reach    []float64
+	reachSet []int32
+	pos      []int32
+	posBase  *sweepBase
+
+	lanes   [BatchLanes]int32 // leaker dense index per active lane
+	laneOut [BatchLanes]int   // output slot per active lane
+	counts  [BatchLanes]int
+	wsums   [BatchLanes]float64
+}
+
+// pushT is one bucketed arrival: the lanes in legit|leak reach node at the
+// bucket's distance with the corresponding route-source flags.
+type pushT struct {
+	node  int32
+	legit uint64
+	leak  uint64
+}
+
+// bucketedPushes is a dial queue of arrivals keyed by distance. Buckets
+// keep their high-water capacity across runs.
+type bucketedPushes struct {
+	buckets [][]pushT
+	maxd    int
+}
+
+func (bp *bucketedPushes) add(d int, node int32, legit, leak uint64) {
+	for d >= len(bp.buckets) {
+		bp.buckets = append(bp.buckets, nil)
+	}
+	bp.buckets[d] = append(bp.buckets[d], pushT{node: node, legit: legit, leak: leak})
+	if d > bp.maxd {
+		bp.maxd = d
+	}
+}
+
+func (bp *bucketedPushes) reset() {
+	for i := range bp.buckets {
+		bp.buckets[i] = bp.buckets[i][:0]
+	}
+	bp.maxd = 0
+}
+
+// NewBatchLeak returns a batch leak engine for g. The graph is frozen by
+// the call and must not be mutated afterwards.
+func NewBatchLeak(g *astopo.Graph) *BatchLeak {
+	g.Freeze()
+	n := g.NumASes()
+	return &BatchLeak{
+		g:        g,
+		n:        n,
+		acceptW:  make([]uint64, n),
+		blockedW: make([]uint64, n),
+		leakerAt: make([]uint64, n),
+		done:     make([]uint64, n),
+		legit:    make([]uint64, n),
+		leak:     make([]uint64, n),
+		curLegit: make([]uint64, n),
+		curLeak:  make([]uint64, n),
+		reach:    make([]float64, n),
+		pos:      make([]int32, n),
+		posBase:  nil,
+	}
+}
+
+// batchLeakPool recycles engines across sweeps of the same graph: the
+// serving layer and the experiment drivers run many sweeps (one per
+// origin×scenario) over one topology, and an engine's scratch is sized by
+// the graph alone. A pooled engine built for a different graph is simply
+// dropped.
+var batchLeakPool sync.Pool
+
+func getBatchLeak(g *astopo.Graph) *BatchLeak {
+	if v := batchLeakPool.Get(); v != nil {
+		if bl := v.(*BatchLeak); bl.g == g {
+			return bl
+		}
+	}
+	return NewBatchLeak(g)
+}
+
+func putBatchLeak(bl *BatchLeak) { batchLeakPool.Put(bl) }
+
+// Trials replays every leaker against sw's snapshot, BatchLanes per
+// propagation, and writes one LeakTrial per leaker to out[0:len(leakers)]
+// in input order. weights may be nil; otherwise it must have one entry
+// per dense graph index. Results are identical to calling LeakSweep.Trial
+// per leaker. Configurations with BreakTies set are rejected (see the
+// type comment); callers route those through the scalar path.
+func (bl *BatchLeak) Trials(sw *LeakSweep, leakers []astopo.ASN, weights []float64, out []LeakTrial) error {
+	b := sw.base
+	if b.g != bl.g {
+		return fmt.Errorf("bgpsim: BatchLeak built for a different graph than the sweep")
+	}
+	if b.cfg.BreakTies {
+		return fmt.Errorf("bgpsim: BatchLeak does not support BreakTies configs (scalar tie order is per-lane)")
+	}
+	if len(out) < len(leakers) {
+		return fmt.Errorf("bgpsim: out has %d entries for %d leakers", len(out), len(leakers))
+	}
+	if weights != nil && len(weights) != bl.n {
+		return fmt.Errorf("bgpsim: weights have %d entries, graph has %d ASes", len(weights), bl.n)
+	}
+	for lo := 0; lo < len(leakers); lo += BatchLanes {
+		hi := lo + BatchLanes
+		if hi > len(leakers) {
+			hi = len(leakers)
+		}
+		if err := bl.block(b, leakers[lo:hi], weights, out[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrialsCtx is Trials with cancellation: the batch propagation is aborted
+// between distance buckets once ctx is done, returning ctx.Err().
+func (bl *BatchLeak) TrialsCtx(ctx context.Context, sw *LeakSweep, leakers []astopo.ASN, weights []float64, out []LeakTrial) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	bl.ctx = ctx
+	defer func() { bl.ctx = nil }()
+	return bl.Trials(sw, leakers, weights, out)
+}
+
+// block runs one ≤BatchLanes batch: validation, lane assignment, the
+// three-stage word-wise propagation, and the per-lane detour reduction.
+func (bl *BatchLeak) block(b *sweepBase, leakers []astopo.ASN, weights []float64, out []LeakTrial) error {
+	cfg := b.cfg
+	g, n := bl.g, bl.n
+
+	// ---- Lane assignment ----
+	// Leakers holding no legitimate route have nothing to leak (their
+	// trial is all-zero, matching the scalar path) and get no lane;
+	// hijacks forge an origination and always propagate.
+	nlanes := 0
+	for i, leaker := range leakers {
+		li, ok := g.Index(leaker)
+		if !ok {
+			return fmt.Errorf("bgpsim: leaker AS%d not in graph", leaker)
+		}
+		if leaker == cfg.Origin {
+			return fmt.Errorf("bgpsim: leaker equals origin AS%d", cfg.Origin)
+		}
+		if cfg.Exclude != nil && cfg.Exclude[li] {
+			return fmt.Errorf("bgpsim: leaker AS%d is excluded by the mask", leaker)
+		}
+		out[i] = LeakTrial{Leaker: leaker}
+		if !cfg.Hijack && b.class[li] == ClassNone {
+			continue // nothing to leak
+		}
+		bl.lanes[nlanes] = int32(li)
+		bl.laneOut[nlanes] = i
+		nlanes++
+	}
+	if nlanes == 0 {
+		return nil
+	}
+	allLanes := ^uint64(0) >> (BatchLanes - nlanes)
+
+	// ---- Per-node words from the cached snapshot ----
+	for i := 0; i < n; i++ {
+		bl.blockedW[i] = 0
+		bl.leakerAt[i] = 0
+		bl.done[i] = 0
+		bl.legit[i] = 0
+		bl.leak[i] = 0
+	}
+	if cfg.Exclude == nil {
+		for i := range bl.acceptW {
+			bl.acceptW[i] = allLanes
+		}
+	} else {
+		for i, m := range cfg.Exclude {
+			if m {
+				bl.acceptW[i] = 0
+			} else {
+				bl.acceptW[i] = allLanes
+			}
+		}
+	}
+	origin := b.origin
+	bl.acceptW[origin] = 0
+	bl.done[origin] = allLanes
+	bl.legit[origin] = allLanes
+	for k := 0; k < nlanes; k++ {
+		li := bl.lanes[k]
+		bit := uint64(1) << k
+		bl.acceptW[li] &^= bit
+		bl.leakerAt[li] |= bit
+		bl.done[li] |= bit
+		bl.leak[li] |= bit
+		if !cfg.Hijack {
+			bl.blockedPass(b, li, bit)
+		}
+	}
+
+	// ---- Seeds ----
+	// The origin's announcement is lane-uniform: one legit push per
+	// (policy-allowed) neighbor carrying every lane. Each leaker exports
+	// to all its neighbors in its own lane at its cached leak-free
+	// length (zero for hijacks, which forge an origination).
+	bl.up.reset()
+	bl.peer.reset()
+	bl.down.reset()
+	locking := cfg.Locking
+	seed := func(from int32, d int, lg, lk uint64, policy *Policy) {
+		fromOrigin := from == origin
+		for _, p := range g.ProvidersOf(int(from)) {
+			if policy != nil && !policy.allows(p) {
+				continue
+			}
+			if locking != nil && locking[p] && !fromOrigin {
+				continue
+			}
+			plg := lg & bl.acceptW[p]
+			plk := lk & bl.acceptW[p] &^ bl.blockedW[p]
+			if plg|plk != 0 {
+				bl.up.add(d, p, plg, plk)
+			}
+		}
+		for _, pe := range g.PeersOf(int(from)) {
+			if policy != nil && !policy.allows(pe) {
+				continue
+			}
+			if locking != nil && locking[pe] && !fromOrigin {
+				continue
+			}
+			plg := lg & bl.acceptW[pe]
+			plk := lk & bl.acceptW[pe] &^ bl.blockedW[pe]
+			if plg|plk != 0 {
+				bl.peer.add(d, pe, plg, plk)
+			}
+		}
+		for _, c := range g.CustomersOf(int(from)) {
+			if policy != nil && !policy.allows(c) {
+				continue
+			}
+			if locking != nil && locking[c] && !fromOrigin {
+				continue
+			}
+			plg := lg & bl.acceptW[c]
+			plk := lk & bl.acceptW[c] &^ bl.blockedW[c]
+			if plg|plk != 0 {
+				bl.down.add(d, c, plg, plk)
+			}
+		}
+	}
+	seed(origin, 1, allLanes, 0, cfg.Policy)
+	for k := 0; k < nlanes; k++ {
+		d0 := 0
+		if !cfg.Hijack {
+			d0 = int(b.dist[bl.lanes[k]])
+		}
+		seed(bl.lanes[k], d0+1, 0, uint64(1)<<k, nil)
+	}
+
+	// ---- Stage A: customer routes, ascending length ----
+	// A settling node relays to its providers (growing this stage) and
+	// contributes its peer and customer arrivals for the later stages at
+	// the settled length plus one — the word-wise form of the scalar
+	// engine's stage B/C seeding loops over customer-classed nodes.
+	err := bl.runStage(&bl.up, func(v int32, lg, lk uint64, d int) {
+		for _, p := range g.ProvidersOf(int(v)) {
+			if locking != nil && locking[p] {
+				continue
+			}
+			plg := lg & bl.acceptW[p]
+			plk := lk & bl.acceptW[p] &^ bl.blockedW[p]
+			if plg|plk != 0 {
+				bl.up.add(d+1, p, plg, plk)
+			}
+		}
+		for _, pe := range g.PeersOf(int(v)) {
+			if locking != nil && locking[pe] {
+				continue
+			}
+			plg := lg & bl.acceptW[pe]
+			plk := lk & bl.acceptW[pe] &^ bl.blockedW[pe]
+			if plg|plk != 0 {
+				bl.peer.add(d+1, pe, plg, plk)
+			}
+		}
+		for _, c := range g.CustomersOf(int(v)) {
+			if locking != nil && locking[c] {
+				continue
+			}
+			plg := lg & bl.acceptW[c]
+			plk := lk & bl.acceptW[c] &^ bl.blockedW[c]
+			if plg|plk != 0 {
+				bl.down.add(d+1, c, plg, plk)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// ---- Stage B: peer routes ----
+	// One p2p hop, already bucketed by sender length: the first bucket a
+	// lane arrives in is its shortest peer route, later buckets are
+	// masked by done — the tent/min-distance logic of the scalar stage.
+	// Peer-classed nodes export only to customers.
+	err = bl.runStage(&bl.peer, func(v int32, lg, lk uint64, d int) {
+		for _, c := range g.CustomersOf(int(v)) {
+			if locking != nil && locking[c] {
+				continue
+			}
+			plg := lg & bl.acceptW[c]
+			plk := lk & bl.acceptW[c] &^ bl.blockedW[c]
+			if plg|plk != 0 {
+				bl.down.add(d+1, c, plg, plk)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// ---- Stage C: provider routes, ascending length ----
+	err = bl.runStage(&bl.down, func(v int32, lg, lk uint64, d int) {
+		for _, c := range g.CustomersOf(int(v)) {
+			if locking != nil && locking[c] {
+				continue
+			}
+			plg := lg & bl.acceptW[c]
+			plk := lk & bl.acceptW[c] &^ bl.blockedW[c]
+			if plg|plk != 0 {
+				bl.down.add(d+1, c, plg, plk)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// ---- Reduction ----
+	// detoured(k) = nodes with a leaked tied-best route in lane k, minus
+	// the leaker itself; the origin holds no leak bit by construction but
+	// is skipped for symmetry with the scalar count.
+	for k := 0; k < nlanes; k++ {
+		bl.counts[k] = 0
+		bl.wsums[k] = 0
+	}
+	for v := 0; v < n; v++ {
+		if int32(v) == origin {
+			continue
+		}
+		w := bl.leak[v] &^ bl.leakerAt[v]
+		if w == 0 {
+			continue
+		}
+		if weights == nil {
+			for w != 0 {
+				bl.counts[bits.TrailingZeros64(w)]++
+				w &= w - 1
+			}
+		} else {
+			wv := weights[v]
+			for w != 0 {
+				k := bits.TrailingZeros64(w)
+				bl.counts[k]++
+				bl.wsums[k] += wv
+				w &= w - 1
+			}
+		}
+	}
+	denom := float64(g.NumASes() - 2)
+	for k := 0; k < nlanes; k++ {
+		tr := &out[bl.laneOut[k]]
+		tr.DetouredFrac = float64(bl.counts[k]) / denom
+		if weights != nil {
+			tr.DetouredUserFrac = bl.wsums[k]
+		}
+	}
+	return nil
+}
+
+// runStage drains one stage's dial queue: per ascending bucket, arrivals
+// are merged into the cur accumulators (tied flags OR), unsettled lanes
+// settle, and expand relays the settled lanes onward. The cur arrays are
+// zero outside bucket processing, including after a cancellation.
+func (bl *BatchLeak) runStage(bp *bucketedPushes, expand func(v int32, lg, lk uint64, d int)) error {
+	for d := 0; d <= bp.maxd; d++ {
+		if bl.ctx != nil && bl.ctx.Err() != nil {
+			for i := range bl.curLegit {
+				bl.curLegit[i] = 0
+				bl.curLeak[i] = 0
+			}
+			return bl.ctx.Err()
+		}
+		if d >= len(bp.buckets) || len(bp.buckets[d]) == 0 {
+			continue
+		}
+		touched := bl.touched[:0]
+		for _, e := range bp.buckets[d] {
+			if bl.curLegit[e.node]|bl.curLeak[e.node] == 0 {
+				touched = append(touched, e.node)
+			}
+			bl.curLegit[e.node] |= e.legit
+			bl.curLeak[e.node] |= e.leak
+		}
+		for _, v := range touched {
+			lg, lk := bl.curLegit[v], bl.curLeak[v]
+			bl.curLegit[v], bl.curLeak[v] = 0, 0
+			s := (lg | lk) &^ bl.done[v]
+			if s == 0 {
+				continue
+			}
+			bl.done[v] |= s
+			lg &= s
+			lk &= s
+			bl.legit[v] |= lg
+			bl.leak[v] |= lk
+			expand(v, lg, lk, d)
+		}
+		bl.touched = touched[:0]
+	}
+	return nil
+}
+
+// blockedPass marks, in lane bit of blockedW, the ASes on every tied-best
+// path from the leaker toward the origin — the same path-count argument
+// as the scalar blockedOnAllPaths, restricted to the leaker's ancestry:
+// reach flows only toward strictly shorter best lengths, so the backward
+// pass starts at the leaker's position in the cached distance order and
+// only nodes it touches can satisfy the all-paths product test. The
+// floating-point operations performed are exactly the scalar pass's (the
+// skipped iterations all carry zero reach), so the resulting set is
+// bit-for-bit identical.
+func (bl *BatchLeak) blockedPass(b *sweepBase, li int32, bit uint64) {
+	if bl.posBase != b {
+		for i := range bl.pos {
+			bl.pos[i] = -1
+		}
+		for i, v := range b.order {
+			bl.pos[v] = int32(i)
+		}
+		bl.posBase = b
+	}
+	reach := bl.reach
+	set := bl.reachSet[:0]
+	reach[li] = 1
+	set = append(set, li)
+	order := b.order
+	for i := bl.pos[li]; i >= 0; i-- {
+		v := order[i]
+		rv := reach[v]
+		if rv == 0 {
+			continue
+		}
+		for _, u := range b.csr.at(v) {
+			if reach[u] == 0 {
+				set = append(set, u)
+			}
+			reach[u] += rv
+		}
+	}
+	if total := b.counts[li]; total > 0 {
+		for _, v := range set {
+			if v == li {
+				continue
+			}
+			if p := reach[v] * b.counts[v]; p > 0 && p >= total*(1-1e-9) {
+				bl.blockedW[v] |= bit
+			}
+		}
+	}
+	for _, v := range set {
+		reach[v] = 0
+	}
+	bl.reachSet = set[:0]
+}

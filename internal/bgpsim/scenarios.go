@@ -176,9 +176,10 @@ func CDF(trials []LeakTrial, xs []float64, users bool) []float64 {
 // baseline "average resilience" line. nOrigins origins are sampled, each
 // attacked by nLeakers leakers. Origins run in parallel; each origin's
 // worker builds one LeakSweep (pre-pass computed once) and replays its
-// leakers sequentially against it. Sampling is drawn up-front from a
-// single sequential RNG, so results are deterministic in seed regardless
-// of scheduling.
+// leakers against it through a worker-local BatchLeak engine, up to
+// BatchLanes per propagation (scalar replay with FLATNET_SCALAR_LEAK set).
+// Sampling is drawn up-front from a single sequential RNG, so results are
+// deterministic in seed regardless of scheduling.
 func AverageResilience(g *astopo.Graph, nOrigins, nLeakers int, seed int64, weights []float64) (asFrac, userFrac float64, err error) {
 	g.Freeze()
 	rng := rand.New(rand.NewSource(seed))
@@ -195,17 +196,41 @@ func AverageResilience(g *astopo.Graph, nOrigins, nLeakers int, seed int64, weig
 	sums := make([]float64, len(jobs))
 	wsums := make([]float64, len(jobs))
 	counts := make([]int, len(jobs))
-	err = par.For(runtime.GOMAXPROCS(0), len(jobs), func(int) func(i int) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	engines := make([]*BatchLeak, workers)
+	err = par.For(workers, len(jobs), func(w int) func(i int) error {
+		var trials []LeakTrial
 		return func(i int) error {
 			sweep, err := NewLeakSweep(g, Config{Origin: jobs[i].origin})
 			if err != nil {
 				return err
 			}
-			for _, l := range jobs[i].leakers {
-				tr, err := sweep.Trial(l, weights)
-				if err != nil {
-					return fmt.Errorf("leaker AS%d: %w", l, err)
+			if sweep.base.scalarLeak {
+				for _, l := range jobs[i].leakers {
+					tr, err := sweep.Trial(l, weights)
+					if err != nil {
+						return fmt.Errorf("leaker AS%d: %w", l, err)
+					}
+					sums[i] += tr.DetouredFrac
+					wsums[i] += tr.DetouredUserFrac
+					counts[i]++
 				}
+				return nil
+			}
+			if engines[w] == nil {
+				engines[w] = getBatchLeak(g)
+			}
+			if cap(trials) < len(jobs[i].leakers) {
+				trials = make([]LeakTrial, len(jobs[i].leakers))
+			}
+			trials = trials[:len(jobs[i].leakers)]
+			if err := engines[w].Trials(sweep, jobs[i].leakers, weights, trials); err != nil {
+				return err
+			}
+			for _, tr := range trials {
 				sums[i] += tr.DetouredFrac
 				wsums[i] += tr.DetouredUserFrac
 				counts[i]++
@@ -213,6 +238,11 @@ func AverageResilience(g *astopo.Graph, nOrigins, nLeakers int, seed int64, weig
 			return nil
 		}
 	})
+	for _, bl := range engines {
+		if bl != nil {
+			putBatchLeak(bl)
+		}
+	}
 	if err != nil {
 		return 0, 0, err
 	}

@@ -3,6 +3,7 @@ package bgpsim
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 
 	"flatnet/internal/astopo"
@@ -43,6 +44,11 @@ type sweepBase struct {
 	csr    nextHopCSR
 	order  []int32   // classed nodes in ascending best-length order
 	counts []float64 // N(w): tied-best DAG paths w -> origin
+
+	// scalarLeak pins Trials to the scalar per-leaker path instead of the
+	// word-parallel BatchLeak engine (the batch engine's fallback). Set by
+	// the FLATNET_SCALAR_LEAK env var for debugging and benchmarking.
+	scalarLeak bool
 }
 
 // NewLeakSweep validates base (whose Leaker field is ignored), runs the
@@ -64,6 +70,8 @@ func NewLeakSweep(g *astopo.Graph, base Config) (*LeakSweep, error) {
 		dist:   append([]int32(nil), sim.dist...),
 		csr:    sim.csr().clone(),
 		order:  append([]int32(nil), sim.orderByDistance()...),
+
+		scalarLeak: os.Getenv("FLATNET_SCALAR_LEAK") != "",
 	}
 	b.counts = make([]float64, sim.n)
 	pathCountsCSR(b.csr, b.class, b.dist, b.order, b.counts)
@@ -89,6 +97,27 @@ func (sw *LeakSweep) Clone() *LeakSweep {
 
 // Base returns the sweep's base configuration (Leaker is always zero).
 func (sw *LeakSweep) Base() Config { return sw.base.cfg }
+
+// WithHijack returns a sweep replaying leakers as forged originations
+// (hijack=true) or plain leaks (false), sharing this sweep's pre-pass
+// snapshot: the leak-free propagation is independent of the Hijack flag, so
+// callers comparing leak and hijack exposure of one configuration pay for
+// the pre-pass once. The returned sweep owns fresh mutable buffers (like
+// Clone) when the flag differs, and is the receiver itself when it already
+// matches.
+func (sw *LeakSweep) WithHijack(hijack bool) *LeakSweep {
+	if sw.base.cfg.Hijack == hijack {
+		return sw
+	}
+	nb := *sw.base
+	nb.cfg.Hijack = hijack
+	return &LeakSweep{
+		base:    &nb,
+		sim:     New(nb.g),
+		reach:   make([]float64, len(sw.reach)),
+		blocked: make([]bool, len(sw.blocked)),
+	}
+}
 
 // runLeaker validates the leaker against the cached pre-pass, installs the
 // per-leaker loop-detection mask, and runs the leak propagation into the
@@ -148,11 +177,48 @@ func (sw *LeakSweep) TrialCtx(ctx context.Context, leaker astopo.ASN, weights []
 }
 
 // Trials replays every leaker in parallel against the sweep's shared
-// pre-pass snapshot, one clone per extra worker, and returns one LeakTrial
-// per leaker in input order. weights may be nil. Cancellation stops the
-// sweep between trials (and mid-propagation within a trial).
+// pre-pass snapshot and returns one LeakTrial per leaker in input order.
+// weights may be nil. Cancellation stops the sweep between trials (and
+// mid-propagation within a trial).
+//
+// Batches of at least BatchLanes leakers route through the word-parallel
+// BatchLeak engine, BatchLanes leakers per propagation, with the 64-lane
+// blocks spread over the workers; smaller batches, BreakTies configs (whose
+// tie order is inherently per-lane, see BatchLeak), and runs with
+// FLATNET_SCALAR_LEAK set replay leakers one at a time, one sweep clone per
+// extra worker. Both paths produce identical trials.
 func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
 	out := make([]LeakTrial, len(leakers))
+	b := sw.base
+	if !b.cfg.BreakTies && !b.scalarLeak && len(leakers) >= BatchLanes {
+		nBlocks := (len(leakers) + BatchLanes - 1) / BatchLanes
+		workers := runtime.GOMAXPROCS(0)
+		if workers > nBlocks {
+			workers = nBlocks
+		}
+		engines := make([]*BatchLeak, workers)
+		err := par.ForCtx(ctx, workers, nBlocks, func(w int) func(i int) error {
+			bl := getBatchLeak(b.g)
+			engines[w] = bl
+			return func(i int) error {
+				lo := i * BatchLanes
+				hi := lo + BatchLanes
+				if hi > len(leakers) {
+					hi = len(leakers)
+				}
+				return bl.TrialsCtx(ctx, sw, leakers[lo:hi], weights, out[lo:hi])
+			}
+		})
+		for _, bl := range engines {
+			if bl != nil {
+				putBatchLeak(bl)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err := par.ForCtx(ctx, runtime.GOMAXPROCS(0), len(leakers), func(w int) func(i int) error {
 		s := sw
 		if w > 0 {

@@ -3,9 +3,11 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
+	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
 	"flatnet/internal/core"
 )
@@ -427,6 +429,38 @@ func TestSensitivityShape(t *testing.T) {
 					cloud, prev, r.Reach, 100*r.MissFrac)
 			}
 			prev, prevFrac = r.Reach, r.MissFrac
+		}
+	}
+}
+
+// The direct mask composition the sensitivity sweep uses for its degraded
+// pairs must be interchangeable with the core.Mask overlay it replaces.
+func TestHierarchyFreeReachMatchesCore(t *testing.T) {
+	env := getEnv(t)
+	in := env.In2020
+	links := in.Graph.Links()
+	for _, cloud := range Clouds() {
+		asn := in.Clouds[cloud]
+		peers := in.Graph.Peers(asn)
+		rng := rand.New(rand.NewSource(int64(asn)))
+		perm := rng.Perm(len(peers))
+		drop := make(map[astopo.ASN]bool, len(peers)/2)
+		for i := 0; i < len(peers)/2; i++ {
+			drop[peers[perm[i]]] = true
+		}
+		buf := degradedLinks(nil, links, asn, drop)
+		g := astopo.FromLinks(buf)
+		got, err := hierarchyFreeReach(g, asn, in.Tier1, in.Tier2, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", cloud, err)
+		}
+		m := core.New(core.Dataset{Graph: g, Tier1: in.Tier1, Tier2: in.Tier2})
+		want, err := m.Reachability(asn, core.HierarchyFree)
+		if err != nil {
+			t.Fatalf("%s: %v", cloud, err)
+		}
+		if got != want {
+			t.Errorf("%s: direct mask reach %d != core.New reach %d", cloud, got, want)
 		}
 	}
 }

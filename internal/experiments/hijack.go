@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,8 +29,8 @@ func Hijack(env *Env) ([]HijackRow, error) {
 		origin := in.Clouds[cloud]
 		leakers := bgpsim.SampleLeakers(in.Graph, origin, leakTrialsPerConfig/2, int64(origin)+7)
 		row := HijackRow{Cloud: cloud}
-		run := func(cfg bgpsim.Config) (mean, worst float64, err error) {
-			trials, err := bgpsim.RunLeakTrials(in.Graph, cfg, leakers, nil)
+		run := func(sweep *bgpsim.LeakSweep) (mean, worst float64, err error) {
+			trials, err := sweep.Trials(context.Background(), leakers, nil)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -41,16 +42,26 @@ func Hijack(env *Env) ([]HijackRow, error) {
 			}
 			return mean / float64(len(trials)), worst, nil
 		}
-		var err error
-		if row.LeakMean, row.LeakWorst, err = run(bgpsim.Config{Origin: origin}); err != nil {
+		// The leak and hijack runs share one pre-pass snapshot (WithHijack);
+		// only the locked configuration changes the propagation and needs
+		// its own sweep.
+		sweep, err := bgpsim.NewLeakSweep(in.Graph, bgpsim.Config{Origin: origin})
+		if err != nil {
 			return nil, err
 		}
-		if row.HijackMean, row.HijackWorst, err = run(bgpsim.Config{Origin: origin, Hijack: true}); err != nil {
+		if row.LeakMean, row.LeakWorst, err = run(sweep); err != nil {
+			return nil, err
+		}
+		if row.HijackMean, row.HijackWorst, err = run(sweep.WithHijack(true)); err != nil {
 			return nil, err
 		}
 		lockCfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, bgpsim.AnnounceAllLockT1T2)
 		lockCfg.Hijack = true
-		if row.LockedHijackMean, _, err = run(lockCfg); err != nil {
+		lockSweep, err := bgpsim.NewLeakSweep(in.Graph, lockCfg)
+		if err != nil {
+			return nil, err
+		}
+		if row.LockedHijackMean, _, err = run(lockSweep); err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -45,13 +46,20 @@ func (LeakFigure) Grid() []float64 { return cdfGrid }
 func leakFigure(in *topogen.Internet, originName string, origin astopo.ASN, trials int, weighted bool, weights []float64) (*LeakFigure, error) {
 	fig := &LeakFigure{Origin: originName, OriginASN: origin, UserWeighted: weighted}
 	leakers := bgpsim.SampleLeakers(in.Graph, origin, trials, int64(origin))
+	// One explicit LeakSweep per scenario: each configuration's leak-free
+	// pre-pass runs once, every trial replays against its snapshot, and the
+	// batch engines behind Trials are pooled across scenarios.
 	for _, scen := range bgpsim.LeakScenarios() {
 		cfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, scen)
 		var w []float64
 		if weighted {
 			w = weights
 		}
-		trialsRes, err := bgpsim.RunLeakTrials(in.Graph, cfg, leakers, w)
+		sweep, err := bgpsim.NewLeakSweep(in.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		trialsRes, err := sweep.Trials(context.Background(), leakers, w)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +132,11 @@ func Fig10(env *Env) (*Fig10Result, error) {
 	run := func(in *topogen.Internet) ([]float64, float64, error) {
 		origin := in.Clouds["Google"]
 		leakers := bgpsim.SampleLeakers(in.Graph, origin, leakTrialsPerConfig, 77)
-		trials, err := bgpsim.RunLeakTrials(in.Graph, bgpsim.Config{Origin: origin}, leakers, nil)
+		sweep, err := bgpsim.NewLeakSweep(in.Graph, bgpsim.Config{Origin: origin})
+		if err != nil {
+			return nil, 0, err
+		}
+		trials, err := sweep.Trials(context.Background(), leakers, nil)
 		if err != nil {
 			return nil, 0, err
 		}

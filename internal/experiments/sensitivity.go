@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
 	"flatnet/internal/core"
 )
 
@@ -33,18 +34,22 @@ var sensitivityFractions = []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
 // The inner loop is a single-origin propagation (one cloud per degraded
 // graph), so the bit-parallel all-AS engine does not apply; the cost is
 // instead kept down by reusing one sweep context — the hoisted link slice,
-// one degraded-link buffer, and one nested drop set per cloud — across
-// every (cloud, fraction) pair rather than rebuilding them each time. The
-// frac=0 row bypasses the rebuild entirely and reuses the headline
-// env.M2020: it MUST equal the Fig. 2 hierarchy-free metric (the
-// sensitivityBaseline invariant the tests pin), and sharing the Metrics
-// makes that equality structural.
+// one degraded-link buffer, one exclusion-mask buffer, and one nested drop
+// set per cloud — across every (cloud, fraction) pair rather than
+// rebuilding them each time. Degraded pairs skip core.New entirely: the
+// hierarchy-free mask (Tier-1s, Tier-2s, and the cloud's providers, cloud
+// itself unmasked) is composed directly on the reused buffer and fed to a
+// bare simulator over the degraded graph. The frac=0 row bypasses the
+// rebuild entirely and reuses the headline env.M2020: it MUST equal the
+// Fig. 2 hierarchy-free metric (the sensitivityBaseline invariant the
+// tests pin), and sharing the Metrics makes that equality structural.
 func Sensitivity(env *Env) ([]SensitivityRow, error) {
 	in := env.In2020
 	links := in.Graph.Links()
-	// Degraded-link scratch shared by every rebuilt graph; each graph is
-	// discarded before the buffer's next reuse.
+	// Degraded-link and mask scratch shared by every rebuilt graph; each
+	// graph is discarded before the buffers' next reuse.
 	buf := make([]astopo.Link, 0, len(links))
+	mask := make([]bool, in.Graph.NumASes())
 	var rows []SensitivityRow
 	for _, cloud := range Clouds() {
 		asn := in.Clouds[cloud]
@@ -70,8 +75,7 @@ func Sensitivity(env *Env) ([]SensitivityRow, error) {
 			} else {
 				buf = degradedLinks(buf[:0], links, asn, drop)
 				g := astopo.FromLinks(buf)
-				m := core.New(core.Dataset{Graph: g, Tier1: in.Tier1, Tier2: in.Tier2})
-				n, err = m.Reachability(asn, core.HierarchyFree)
+				n, err = hierarchyFreeReach(g, asn, in.Tier1, in.Tier2, mask)
 				total = float64(g.NumASes() - 1)
 			}
 			if err != nil {
@@ -86,6 +90,41 @@ func Sensitivity(env *Env) ([]SensitivityRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// hierarchyFreeReach computes core.Reachability(origin, HierarchyFree)
+// over g without building a Metrics: the exclusion mask — the Tier-1 and
+// Tier-2 sets plus the origin's transit providers, with the origin itself
+// never masked — is composed on the caller's reusable buffer, replicating
+// core.Mask's overlay semantics (asserted against core.New by the
+// sensitivity tests).
+func hierarchyFreeReach(g *astopo.Graph, origin astopo.ASN, tier1, tier2 astopo.ASSet, mask []bool) (int, error) {
+	g.Freeze()
+	n := g.NumASes()
+	if cap(mask) < n {
+		mask = make([]bool, n)
+	}
+	mask = mask[:n]
+	for i := range mask {
+		mask[i] = false
+	}
+	for a := range tier1 {
+		if i, ok := g.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	for a := range tier2 {
+		if i, ok := g.Index(a); ok {
+			mask[i] = true
+		}
+	}
+	if oi, ok := g.Index(origin); ok {
+		mask[oi] = false
+		for _, p := range g.ProvidersOf(oi) {
+			mask[p] = true
+		}
+	}
+	return bgpsim.New(g).ReachabilityCount(bgpsim.Config{Origin: origin, Exclude: mask})
 }
 
 // degradedLinks appends to dst the topology's links minus the given AS's

@@ -330,7 +330,8 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 		leakers := bgpsim.SampleLeakers(g, origin, trials, seed)
 		// Clone before running: the cached prototype stays untouched so
 		// concurrent requests against the same config never share
-		// mutable simulator state.
+		// mutable simulator state. Trials replays >=64 leakers through
+		// pooled bit-parallel BatchLeak engines, 64 lanes per block.
 		res, err := proto.Clone().Trials(ctx, leakers, nil)
 		if err != nil {
 			return nil, err

@@ -26,8 +26,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go test -race -short (bgpsim + serve, scalar leak path)"
+# The race run above exercises the batch leak engine; this pass forces the
+# scalar fallback so both sides of the FLATNET_SCALAR_LEAK switch stay
+# race-clean.
+FLATNET_SCALAR_LEAK=1 go test -race -short ./internal/bgpsim/ ./internal/serve/
+
 echo "==> benchmark smoke (1 iteration)"
-go test -bench 'BenchmarkLeakSweep|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability' \
+go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability' \
     -benchtime 1x -benchmem -run '^$' .
 
 echo "==> all checks passed"
