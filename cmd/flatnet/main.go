@@ -5,22 +5,26 @@
 // Usage:
 //
 //	flatnet list
-//	flatnet run [-scale 0.35] <experiment-id>... | all
+//	flatnet run [-scale 0.35] [-snapshot file] [-j n] <experiment-id>... | all
 //	flatnet gen [-scale 0.35] [-year 2020] [-o topology.txt]
 //	flatnet stats [-scale 0.35] [-year 2020]
 //	flatnet reach [-scale 0.35] [-year 2020] -as 15169 [-kind hierarchy-free]
-//	flatnet serve [-addr 127.0.0.1:8080]
+//	flatnet snapshot build [-scale 0.35] [-traces all|none] [-o flatnet.snap]
+//	flatnet snapshot info <flatnet.snap>
+//	flatnet serve [-addr 127.0.0.1:8080] [-snapshot flatnet.snap]
 //
 // Exit codes: 0 on success, 1 on runtime failure, 2 on usage mistakes
 // (unknown subcommands, bad flags, missing required arguments).
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -29,6 +33,7 @@ import (
 	"flatnet/internal/experiments"
 	"flatnet/internal/population"
 	"flatnet/internal/serve"
+	"flatnet/internal/snapshot"
 	"flatnet/internal/topogen"
 )
 
@@ -90,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdCollect(args[1:])
 	case "trace":
 		err = cmdTrace(args[1:])
+	case "snapshot":
+		err = cmdSnapshot(args[1:], os.Stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
@@ -130,6 +137,8 @@ func usage(w io.Writer) {
   flatnet audit [-f file | -scale f -year y]    structural topology checks
   flatnet collect [-vps n] [-o rib.mrt]         simulate collectors, write MRT
   flatnet trace [-cloud C] [-o traces.json]     cloud traceroute campaign
+  flatnet snapshot build [-scale f] [-o file]   freeze a prebuilt world to a binary snapshot
+  flatnet snapshot info <file>                  list a snapshot's sections
   flatnet serve [-addr host:port]               HTTP query daemon (see flatnetd)`)
 }
 
@@ -153,6 +162,8 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
 	outdir := fs.String("outdir", "", "also write machine-readable CSV artifacts to this directory")
+	snap := fs.String("snapshot", "", "load the environment from a binary snapshot instead of generating (see 'flatnet snapshot build')")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "experiments run concurrently; output stays in registry order")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -171,40 +182,101 @@ func cmdRun(args []string) error {
 			ids = append(ids, r.ID)
 		}
 	}
-	start := time.Now()
-	env, err := experiments.NewEnv(*scale)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("# generated 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) presets in %v\n",
-		env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
-		env.In2015.Graph.NumASes(), env.In2015.Graph.NumLinks(),
-		time.Since(start).Round(time.Millisecond))
-	for _, id := range ids {
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
 		r, ok := experiments.ByID(id)
 		if !ok {
 			return fmt.Errorf("run: unknown experiment %q", id)
 		}
-		fmt.Printf("\n== %s — %s ==\n", r.ID, r.Title)
-		t0 := time.Now()
-		if err := r.Run(env, os.Stdout); err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+		runners[i] = r
+	}
+	start := time.Now()
+	var env *experiments.Env
+	if *snap != "" {
+		world, err := snapshot.ReadFile(*snap)
+		if err != nil {
+			return err
 		}
-		if *outdir != "" && experiments.HasTables(r.ID) {
-			tables, err := experiments.Tables(env, r.ID)
-			if err != nil {
-				return fmt.Errorf("%s: CSV: %w", r.ID, err)
+		if env, err = experiments.NewEnvFromWorld(world); err != nil {
+			return err
+		}
+		fmt.Printf("# loaded snapshot %s: 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) at scale %g in %v\n",
+			*snap, env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
+			env.In2015.Graph.NumASes(), env.In2015.Graph.NumLinks(),
+			env.Scale, time.Since(start).Round(time.Millisecond))
+	} else {
+		var err error
+		if env, err = experiments.NewEnv(*scale); err != nil {
+			return err
+		}
+		fmt.Printf("# generated 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) presets in %v\n",
+			env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
+			env.In2015.Graph.NumASes(), env.In2015.Graph.NumLinks(),
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	// Experiments run concurrently (bounded by -j); each renders into its
+	// own buffer and results stream to stdout in registry order as they
+	// finish, so the output is byte-identical to a serial run. Lazy env
+	// artifacts are safe to demand concurrently: builds coalesce per key.
+	type result struct {
+		out   bytes.Buffer
+		notes []string
+		took  time.Duration
+		err   error
+	}
+	results := make([]result, len(runners))
+	done := make([]chan struct{}, len(runners))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	for i := range runners {
+		go func(i int) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, res := runners[i], &results[i]
+			t0 := time.Now()
+			if err := r.Run(env, &res.out); err != nil {
+				res.err = fmt.Errorf("%s: %w", r.ID, err)
+				return
 			}
-			for _, tbl := range tables {
-				tbl := tbl
-				path := fmt.Sprintf("%s/%s.csv", *outdir, tbl.Name)
-				if err := writeToFile(path, func(f *os.File) error { return tbl.WriteCSV(f) }); err != nil {
-					return err
+			if *outdir != "" && experiments.HasTables(r.ID) {
+				tables, err := experiments.Tables(env, r.ID)
+				if err != nil {
+					res.err = fmt.Errorf("%s: CSV: %w", r.ID, err)
+					return
 				}
-				fmt.Printf("-- wrote %s\n", path)
+				for _, tbl := range tables {
+					tbl := tbl
+					path := fmt.Sprintf("%s/%s.csv", *outdir, tbl.Name)
+					if err := writeToFile(path, func(f *os.File) error { return tbl.WriteCSV(f) }); err != nil {
+						res.err = err
+						return
+					}
+					res.notes = append(res.notes, fmt.Sprintf("-- wrote %s", path))
+				}
 			}
+			res.took = time.Since(t0)
+		}(i)
+	}
+	for i, r := range runners {
+		<-done[i]
+		res := &results[i]
+		if res.err != nil {
+			return res.err
 		}
-		fmt.Printf("-- %s done in %v\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("\n== %s — %s ==\n", r.ID, r.Title)
+		os.Stdout.Write(res.out.Bytes())
+		for _, n := range res.notes {
+			fmt.Println(n)
+		}
+		fmt.Printf("-- %s done in %v\n", r.ID, res.took.Round(time.Millisecond))
 	}
 	return nil
 }

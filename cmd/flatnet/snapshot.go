@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flatnet/internal/experiments"
+	"flatnet/internal/par"
+	"flatnet/internal/snapshot"
+)
+
+// cmdSnapshot dispatches the snapshot subcommands: `build` freezes a fully
+// prewarmed environment into a binary snapshot, `info` lists a snapshot's
+// sections without decoding payloads.
+func cmdSnapshot(args []string, stdout *os.File) error {
+	if len(args) == 0 {
+		return usagef("snapshot: missing subcommand (build or info)")
+	}
+	switch args[0] {
+	case "build":
+		return cmdSnapshotBuild(args[1:])
+	case "info":
+		return cmdSnapshotInfo(args[1:], stdout)
+	}
+	return usagef("snapshot: unknown subcommand %q (want build or info)", args[0])
+}
+
+func cmdSnapshotBuild(args []string) error {
+	fs := flag.NewFlagSet("snapshot build", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
+	out := fs.String("o", "flatnet.snap", "output snapshot file")
+	traces := fs.String("traces", "all", "trace corpora to include: all (every paper cloud, 2020) or none")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usagef("snapshot build: unexpected argument %q", fs.Arg(0))
+	}
+	switch *traces {
+	case "all", "none":
+	default:
+		return usagef("snapshot build: -traces must be all or none, got %q", *traces)
+	}
+	start := time.Now()
+	env, err := experiments.NewEnv(*scale)
+	if err != nil {
+		return err
+	}
+	if *traces == "all" {
+		err = env.Prewarm()
+	} else {
+		// Plans and rDNS only: still useful for the daemon and the
+		// metric experiments, and much faster to build.
+		tasks := []func() error{
+			func() error { _, err := env.RDNS2020(); return err },
+			func() error { _, err := env.Plan2015(); return err },
+		}
+		err = par.For(len(tasks), len(tasks), func(w int) func(i int) error {
+			return func(i int) error { return tasks[i]() }
+		})
+	}
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+	if err := snapshot.WriteFile(*out, env.World()); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.1f MiB, scale %g, built in %v\n",
+		*out, float64(st.Size())/(1<<20), *scale, built.Round(time.Millisecond))
+	return nil
+}
+
+func cmdSnapshotInfo(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("snapshot info", flag.ContinueOnError)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("snapshot info: exactly one snapshot file expected")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := snapshot.ReadInfo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: version %d, scale %g, %d sections\n",
+		path, info.Version, info.Scale, len(info.Sections))
+	for _, s := range info.Sections {
+		switch s.Kind {
+		case snapshot.KindTraces:
+			fmt.Fprintf(stdout, "  %-10s %4d  %-10s %2d VM groups  %8.1f KiB\n",
+				s.Kind, s.Year, s.Cloud, s.VMs, float64(s.Length)/1024)
+		default:
+			fmt.Fprintf(stdout, "  %-10s %4d  %24s  %8.1f KiB\n",
+				s.Kind, s.Year, "", float64(s.Length)/1024)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package flatnet_bench
+
+import (
+	"os"
+	"testing"
+
+	"flatnet/internal/experiments"
+	"flatnet/internal/snapshot"
+)
+
+// BenchmarkEnvColdStart measures the full cold-start path of the default
+// environment: generate both presets and prewarm every lazy artifact the
+// experiment registry consumes (plans, rDNS, all four clouds' 2020 trace
+// corpora). The trace corpora dominate; the parallel path pays one shared
+// propagation sweep for all clouds.
+func BenchmarkEnvColdStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.NewEnv(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Prewarm(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvColdStartSerial is the same cold start over the serial
+// reference environment (one artifact at a time, one cloud at a time, no
+// shared propagation) — the baseline BenchmarkEnvColdStart's speedup is
+// quoted against.
+func BenchmarkEnvColdStartSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.NewEnvSerial(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Prewarm(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures restoring a fully prewarmed environment
+// from a snapshot file — the `flatnet run -snapshot` / `flatnetd -snapshot`
+// cold-start path (the file is page-cached, as on any warm machine).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	e, err := experiments.NewEnv(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Prewarm(); err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/world.snap"
+	if err := snapshot.WriteFile(path, e.World()); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := snapshot.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.NewEnvFromWorld(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

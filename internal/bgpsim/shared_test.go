@@ -1,0 +1,103 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// RunShared must produce exactly Run's Class/Dist/NextHops for every config
+// it accepts; only the ownership of the backing memory differs.
+func TestRunSharedMatchesRun(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTopology(rng)
+		g.Freeze()
+		n := g.NumASes()
+		simRun := New(g)
+		simShared := New(g)
+		for trial := 0; trial < 8; trial++ {
+			cfg := Config{
+				Origin:        g.ASNAt(rng.Intn(n)),
+				TrackNextHops: rng.Intn(3) > 0,
+				BreakTies:     rng.Intn(4) == 0,
+			}
+			oi, _ := g.Index(cfg.Origin)
+			if rng.Intn(3) == 0 {
+				mask := make([]bool, n)
+				for i := range mask {
+					if i != oi && rng.Intn(6) == 0 {
+						mask[i] = true
+					}
+				}
+				cfg.Exclude = mask
+			}
+			want, errW := simRun.Run(cfg)
+			got, errG := simShared.RunShared(cfg)
+			if (errW != nil) != (errG != nil) {
+				t.Fatalf("seed %d: Run err=%v RunShared err=%v", seed, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			if got.Origin != want.Origin || got.LeakerIdx != want.LeakerIdx {
+				t.Fatalf("seed %d: origin/leaker mismatch: got %d/%d want %d/%d",
+					seed, got.Origin, got.LeakerIdx, want.Origin, want.LeakerIdx)
+			}
+			if !slices.Equal(got.Class, want.Class) {
+				t.Fatalf("seed %d origin %d: Class mismatch", seed, cfg.Origin)
+			}
+			if !slices.Equal(got.Dist, want.Dist) {
+				t.Fatalf("seed %d origin %d: Dist mismatch", seed, cfg.Origin)
+			}
+			if cfg.TrackNextHops {
+				if len(got.NextHops) != len(want.NextHops) {
+					t.Fatalf("seed %d: NextHops length %d want %d", seed, len(got.NextHops), len(want.NextHops))
+				}
+				for i := range want.NextHops {
+					if !slices.Equal(got.NextHops[i], want.NextHops[i]) {
+						t.Fatalf("seed %d origin %d: NextHops[%d] = %v want %v",
+							seed, cfg.Origin, i, got.NextHops[i], want.NextHops[i])
+					}
+				}
+			} else if got.NextHops != nil {
+				t.Fatalf("seed %d: untracked RunShared returned NextHops", seed)
+			}
+		}
+	}
+}
+
+// The shared Result's per-node next-hop headers are kept at high water:
+// after warm-up, tracked propagations must not allocate.
+func TestRunSharedAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomTopology(rng)
+	g.Freeze()
+	n := g.NumASes()
+	sim := New(g)
+	run := func() {
+		for i := 0; i < n; i += 7 {
+			if _, err := sim.RunShared(Config{Origin: g.ASNAt(i), TrackNextHops: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warm arenas, dial queue, and the next-hop view to high water
+	run()
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state RunShared allocated %.1f times per sweep, want 0", allocs)
+	}
+}
+
+// Leak configs need an owned Result; RunShared must refuse them instead of
+// silently aliasing buffers through the leak fallback path.
+func TestRunSharedRejectsLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomTopology(rng)
+	g.Freeze()
+	sim := New(g)
+	if _, err := sim.RunShared(Config{Origin: g.ASNAt(0), Leaker: g.ASNAt(1)}); err == nil {
+		t.Fatal("RunShared accepted a leak config")
+	}
+}

@@ -12,20 +12,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"flatnet/internal/core"
 	"flatnet/internal/netdb"
+	"flatnet/internal/par"
 	"flatnet/internal/population"
 	"flatnet/internal/rdns"
+	"flatnet/internal/single"
 	"flatnet/internal/topogen"
 	"flatnet/internal/tracesim"
 )
 
 // Env bundles the datasets experiments run over. Heavy artifacts (address
-// plans, traceroute corpora) are built lazily and cached.
+// plans, traceroute corpora) are built lazily; builds for distinct keys run
+// concurrently, concurrent demands for the same key coalesce onto one build
+// (per-key singleflight, no coarse lock), and only successful builds are
+// memoized — a transient failure is retried by the next caller.
 type Env struct {
 	Scale float64
 
@@ -33,14 +40,30 @@ type Env struct {
 	M2020, M2015     *core.Metrics
 	Pop2020, Pop2015 *population.Model
 
-	mu        sync.Mutex
-	plan2020  *netdb.Plan
-	plan2015  *netdb.Plan
-	rdns2020  *rdns.Corpus
-	traces    map[traceKey][][]tracesim.Traceroute
-	tracesErr map[traceKey]error
+	// serial pins every build to the original one-artifact-at-a-time,
+	// one-cloud-at-a-time behavior; the cold-start benchmark's baseline.
+	serial bool
+
+	flights single.Group[string, any]
+
+	mu       sync.Mutex // guards the memoization maps below, never held while building
+	plan2020 *netdb.Plan
+	plan2015 *netdb.Plan
+	rdns2020 *rdns.Corpus
+	engines  map[int]*tracesim.Engine
+	traces   map[traceKey][][]tracesim.Traceroute
+
+	// traceBuildHook, when set, is called at the start of every
+	// trace-corpus build with the build's flight key; the concurrency
+	// tests use it to hold two distinct builds open at once.
+	traceBuildHook func(key string)
+	// traceBuilds counts trace-corpus builds actually executed (not
+	// coalesced or served from cache).
+	traceBuilds atomic.Int32
 }
 
+// traceKey identifies one cached corpus; nVMs is the resolved VM count
+// (requests with nVMs <= 0 are normalized to the paper's §4.1 counts).
 type traceKey struct {
 	year  int
 	cloud string
@@ -49,53 +72,132 @@ type traceKey struct {
 
 // NewEnv generates both presets at the given scale (1.0 ≈ 9,900 ASes for
 // 2020). The experiments' default is 0.35, which keeps the whole-Internet
-// sweeps under a minute on a laptop.
+// sweeps under a minute on a laptop. The two presets (and their metrics and
+// population models) are built concurrently; generation is deterministic
+// per preset seed, so the result is identical to a serial build.
 func NewEnv(scale float64) (*Env, error) {
-	in2020, err := topogen.Generate(topogen.Internet2020(scale))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generating 2020 preset: %w", err)
+	return newEnv(scale, false)
+}
+
+// NewEnvSerial is NewEnv with every build — presets here, lazy artifacts
+// later — pinned to the original serial code path. It exists as the
+// baseline BenchmarkEnvColdStart compares against and as a debugging
+// fallback, mirroring the FLATNET_SCALAR_SWEEP/FLATNET_SCALAR_LEAK
+// switches of the simulators.
+func NewEnvSerial(scale float64) (*Env, error) {
+	return newEnv(scale, true)
+}
+
+func newEnv(scale float64, serial bool) (*Env, error) {
+	type parts struct {
+		in  *topogen.Internet
+		m   *core.Metrics
+		pop *population.Model
 	}
-	in2015, err := topogen.Generate(topogen.Internet2015(scale))
+	specs := [2]topogen.Spec{topogen.Internet2020(scale), topogen.Internet2015(scale)}
+	years := [2]int{2020, 2015}
+	var built [2]parts
+	workers := 2
+	if serial {
+		workers = 1
+	}
+	err := par.For(workers, 2, func(w int) func(i int) error {
+		return func(i int) error {
+			in, err := topogen.Generate(specs[i])
+			if err != nil {
+				return fmt.Errorf("experiments: generating %d preset: %w", years[i], err)
+			}
+			built[i] = parts{
+				in:  in,
+				m:   core.New(core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}),
+				pop: population.Build(in, 1.1),
+			}
+			return nil
+		}
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: generating 2015 preset: %w", err)
+		return nil, err
 	}
 	return &Env{
 		Scale:   scale,
-		In2020:  in2020,
-		In2015:  in2015,
-		M2020:   core.New(core.Dataset{Graph: in2020.Graph, Tier1: in2020.Tier1, Tier2: in2020.Tier2}),
-		M2015:   core.New(core.Dataset{Graph: in2015.Graph, Tier1: in2015.Tier1, Tier2: in2015.Tier2}),
-		Pop2020: population.Build(in2020, 1.1),
-		Pop2015: population.Build(in2015, 1.1),
+		In2020:  built[0].in,
+		In2015:  built[1].in,
+		M2020:   built[0].m,
+		M2015:   built[1].m,
+		Pop2020: built[0].pop,
+		Pop2015: built[1].pop,
+		serial:  serial,
 	}, nil
 }
 
 // Plan2020 lazily builds the 2020 address plan.
 func (e *Env) Plan2020() (*netdb.Plan, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.plan2020 == nil {
-		p, err := netdb.Build(e.In2020)
+	p := e.plan2020
+	e.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	v, _, err := e.flights.Do(context.Background(), "plan/2020", func() (any, error) {
+		e.mu.Lock()
+		p := e.plan2020
+		e.mu.Unlock()
+		if p != nil {
+			return p, nil
+		}
+		built, err := netdb.Build(e.In2020)
 		if err != nil {
 			return nil, err
 		}
-		e.plan2020 = p
+		e.mu.Lock()
+		e.plan2020 = built
+		e.mu.Unlock()
+		return built, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return e.plan2020, nil
+	return v.(*netdb.Plan), nil
 }
 
 // Plan2015 lazily builds the 2015 address plan.
 func (e *Env) Plan2015() (*netdb.Plan, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.plan2015 == nil {
-		p, err := netdb.Build(e.In2015)
+	p := e.plan2015
+	e.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	v, _, err := e.flights.Do(context.Background(), "plan/2015", func() (any, error) {
+		e.mu.Lock()
+		p := e.plan2015
+		e.mu.Unlock()
+		if p != nil {
+			return p, nil
+		}
+		built, err := netdb.Build(e.In2015)
 		if err != nil {
 			return nil, err
 		}
-		e.plan2015 = p
+		e.mu.Lock()
+		e.plan2015 = built
+		e.mu.Unlock()
+		return built, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return e.plan2015, nil
+	return v.(*netdb.Plan), nil
+}
+
+func (e *Env) plan(year int) (*netdb.Plan, error) {
+	switch year {
+	case 2020:
+		return e.Plan2020()
+	case 2015:
+		return e.Plan2015()
+	}
+	return nil, fmt.Errorf("experiments: unknown year %d", year)
 }
 
 // RDNS2020 lazily synthesizes the 2020 rDNS corpus.
@@ -105,54 +207,212 @@ func (e *Env) RDNS2020() (*rdns.Corpus, error) {
 		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.rdns2020 == nil {
-		e.rdns2020 = rdns.Synthesize(plan, 20200901)
+	c := e.rdns2020
+	e.mu.Unlock()
+	if c != nil {
+		return c, nil
 	}
-	return e.rdns2020, nil
-}
-
-// Traces returns the cached traceroute corpus for one cloud (nVMs <= 0 uses
-// the paper's §4.1 VM counts).
-func (e *Env) Traces(year int, cloud string, nVMs int) ([][]tracesim.Traceroute, error) {
-	var plan *netdb.Plan
-	var err error
-	switch year {
-	case 2020:
-		plan, err = e.Plan2020()
-	case 2015:
-		plan, err = e.Plan2015()
-	default:
-		return nil, fmt.Errorf("experiments: unknown year %d", year)
-	}
+	v, _, err := e.flights.Do(context.Background(), "rdns/2020", func() (any, error) {
+		e.mu.Lock()
+		c := e.rdns2020
+		e.mu.Unlock()
+		if c != nil {
+			return c, nil
+		}
+		built := rdns.Synthesize(plan, 20200901)
+		e.mu.Lock()
+		e.rdns2020 = built
+		e.mu.Unlock()
+		return built, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	key := traceKey{year, cloud, nVMs}
+	return v.(*rdns.Corpus), nil
+}
+
+// engine returns the year's shared trace engine (one per year so the
+// per-city distance cache is shared across every corpus of that year).
+func (e *Env) engine(year int) (*tracesim.Engine, error) {
+	plan, err := e.plan(year)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.engines == nil {
+		e.engines = make(map[int]*tracesim.Engine)
+	}
+	eng, ok := e.engines[year]
+	if !ok {
+		eng = tracesim.New(plan, tracesim.DefaultOptions(int64(year)))
+		e.engines[year] = eng
+	}
+	return eng, nil
+}
+
+// lookupTraces serves a cached corpus. A request for n VM groups can be
+// served as a prefix of a larger cached corpus of the same (year, cloud):
+// VMs are selected per PoP in deployment order and each group's traces
+// depend only on its own VM and the destination, so group i is identical
+// in every corpus that includes it.
+func (e *Env) lookupTraces(year int, cloud string, n int) ([][]tracesim.Traceroute, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tr, ok := e.traces[traceKey{year, cloud, n}]; ok {
+		return tr, true
+	}
+	if e.serial {
+		return nil, false
+	}
+	for k, tr := range e.traces {
+		if k.year == year && k.cloud == cloud && k.nVMs > n {
+			return tr[:n:n], true
+		}
+	}
+	return nil, false
+}
+
+func (e *Env) storeTraces(key traceKey, tr [][]tracesim.Traceroute) {
 	e.mu.Lock()
 	if e.traces == nil {
 		e.traces = make(map[traceKey][][]tracesim.Traceroute)
-		e.tracesErr = make(map[traceKey]error)
 	}
-	if tr, ok := e.traces[key]; ok {
-		err := e.tracesErr[key]
-		e.mu.Unlock()
-		return tr, err
-	}
+	e.traces[key] = tr
 	e.mu.Unlock()
+}
 
-	engine := tracesim.New(plan, tracesim.DefaultOptions(int64(year)))
+// Traces returns the cached traceroute corpus for one cloud (nVMs <= 0 uses
+// the paper's §4.1 VM counts). A default-count request triggers one shared
+// build of every paper cloud's corpus for that year — the per-destination
+// propagation is cloud-independent, so the four campaigns cost a single
+// sweep — while concurrent callers for other keys build in parallel and
+// callers for the same key coalesce. Errors are returned but never cached.
+func (e *Env) Traces(year int, cloud string, nVMs int) ([][]tracesim.Traceroute, error) {
+	engine, err := e.engine(year)
+	if err != nil {
+		return nil, err
+	}
 	vms, err := engine.VMs(cloud, nVMs)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := engine.TraceAll(vms)
+	n := len(vms)
+	if tr, ok := e.lookupTraces(year, cloud, n); ok {
+		return tr, nil
+	}
 
-	e.mu.Lock()
-	e.traces[key] = tr
-	e.tracesErr[key] = err
-	e.mu.Unlock()
-	return tr, err
+	if e.serial {
+		// Original behavior: one cloud at a time, serial propagation.
+		e.traceBuilds.Add(1)
+		tr, err := engine.TraceAllSerial(vms)
+		if err != nil {
+			return nil, err
+		}
+		e.storeTraces(traceKey{year, cloud, n}, tr)
+		return tr, nil
+	}
+
+	defVMs, err := engine.VMs(cloud, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The build stores into the cache and returns nothing: a joiner on the
+	// shared per-year flight wants its own cloud's entry, not whichever
+	// cloud the flight's leader asked for, so every caller re-reads the
+	// cache after the flight completes.
+	var flightKey string
+	var build func() (any, error)
+	if n == len(defVMs) {
+		// Default-count request: build all paper clouds of this year in
+		// one shared pass and populate every cloud's cache entry.
+		flightKey = fmt.Sprintf("traces/%d", year)
+		build = func() (any, error) {
+			if _, ok := e.lookupTraces(year, cloud, n); ok {
+				return nil, nil
+			}
+			if e.traceBuildHook != nil {
+				e.traceBuildHook(flightKey)
+			}
+			e.traceBuilds.Add(1)
+			clouds := Clouds()
+			sets := make([][]tracesim.VM, len(clouds))
+			for i, c := range clouds {
+				set, err := engine.VMs(c, 0)
+				if err != nil {
+					return nil, err
+				}
+				sets[i] = set
+			}
+			all, err := engine.TraceAllMulti(sets)
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range clouds {
+				e.storeTraces(traceKey{year, c, len(sets[i])}, all[i])
+			}
+			return nil, nil
+		}
+	} else {
+		flightKey = fmt.Sprintf("traces/%d/%s/%d", year, cloud, n)
+		build = func() (any, error) {
+			if _, ok := e.lookupTraces(year, cloud, n); ok {
+				return nil, nil
+			}
+			if e.traceBuildHook != nil {
+				e.traceBuildHook(flightKey)
+			}
+			e.traceBuilds.Add(1)
+			all, err := engine.TraceAllMulti([][]tracesim.VM{vms})
+			if err != nil {
+				return nil, err
+			}
+			e.storeTraces(traceKey{year, cloud, n}, all[0])
+			return nil, nil
+		}
+	}
+	if _, _, err := e.flights.Do(context.Background(), flightKey, build); err != nil {
+		return nil, err
+	}
+	if tr, ok := e.lookupTraces(year, cloud, n); ok {
+		return tr, nil
+	}
+	return nil, fmt.Errorf("experiments: trace build for %s/%d left no corpus", cloud, year)
+}
+
+// Prewarm builds every lazy artifact the experiment registry consumes: both
+// address plans, the rDNS corpus, and the default traceroute corpora of all
+// paper clouds for 2020 (no registered experiment reads 2015 traces). In
+// the default environment the builds overlap — the trace sweep, the rDNS
+// synthesis, and the 2015 plan proceed concurrently, coalescing on the
+// shared 2020 plan — while a serial environment runs them one after
+// another. This is the cold-start path BenchmarkEnvColdStart measures.
+func (e *Env) Prewarm() error {
+	if e.serial {
+		if _, err := e.Plan2020(); err != nil {
+			return err
+		}
+		if _, err := e.Plan2015(); err != nil {
+			return err
+		}
+		if _, err := e.RDNS2020(); err != nil {
+			return err
+		}
+		for _, c := range Clouds() {
+			if _, err := e.Traces(2020, c, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tasks := []func() error{
+		func() error { _, err := e.Traces(2020, "Google", 0); return err },
+		func() error { _, err := e.RDNS2020(); return err },
+		func() error { _, err := e.Plan2015(); return err },
+	}
+	return par.For(len(tasks), len(tasks), func(w int) func(i int) error {
+		return func(i int) error { return tasks[i]() }
+	})
 }
 
 // Clouds lists the four providers in the paper's usual order.

@@ -109,10 +109,13 @@ func Table1(env *Env, topK int) (*Table1Result, error) {
 		}
 		g := in.Graph
 		total := float64(g.NumASes() - 1)
+		// Names are filled only for the rows the result exposes (the top
+		// k and the cloud annotations): NameOf formats "AS<n>" for the
+		// long tail, and doing that for every AS in both years used to
+		// account for nearly all of Table 1's allocations.
 		rows := make([]Table1Row, g.NumASes())
 		for i, n := range all {
-			a := g.ASNAt(i)
-			rows[i] = Table1Row{Name: in.NameOf(a), AS: a, Reach: n, Pct: 100 * float64(n) / total}
+			rows[i] = Table1Row{AS: g.ASNAt(i), Reach: n, Pct: 100 * float64(n) / total}
 		}
 		sort.Slice(rows, func(i, j int) bool {
 			if rows[i].Reach != rows[j].Reach {
@@ -120,13 +123,17 @@ func Table1(env *Env, topK int) (*Table1Result, error) {
 			}
 			return rows[i].AS < rows[j].AS
 		})
+		cloudOf := make(map[astopo.ASN]string, len(in.Clouds))
+		for _, c := range Clouds() {
+			cloudOf[in.Clouds[c]] = c
+		}
 		clouds := make(map[string]Table1Row)
 		for i := range rows {
 			rows[i].Rank = i + 1
-			for _, c := range Clouds() {
-				if rows[i].AS == in.Clouds[c] {
-					clouds[c] = rows[i]
-				}
+			if c, ok := cloudOf[rows[i].AS]; ok {
+				row := rows[i]
+				row.Name = in.NameOf(row.AS)
+				clouds[c] = row
 			}
 		}
 		return rows, clouds, nil
@@ -157,6 +164,12 @@ func Table1(env *Env, topK int) (*Table1Result, error) {
 	}
 	if topK > len(r20) {
 		topK = len(r20)
+	}
+	for i := range r15[:topK] {
+		r15[i].Name = env.In2015.NameOf(r15[i].AS)
+	}
+	for i := range r20[:topK] {
+		r20[i].Name = env.In2020.NameOf(r20[i].AS)
 	}
 	return &Table1Result{
 		Top2015:        r15[:topK],

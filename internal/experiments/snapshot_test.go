@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"flatnet/internal/snapshot"
+)
+
+// A snapshot-loaded environment must be indistinguishable from the fresh one
+// it was captured from: the experiments' rendered output — including the
+// traceroute-derived figures — must match byte for byte.
+func TestSnapshotEnvMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot golden test builds trace corpora")
+	}
+	fresh := getEnv(t)
+	if err := fresh.Prewarm(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, fresh.World()); err != nil {
+		t.Fatal(err)
+	}
+	world, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewEnvFromWorld(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table1 exercises both presets' metrics; fig7 exercises the leak
+	// simulator over the restored graphs; appA reads the trace corpora.
+	for _, id := range []string{"table1", "fig7", "appA"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		var want, got bytes.Buffer
+		if err := r.Run(fresh, &want); err != nil {
+			t.Fatalf("%s on fresh env: %v", id, err)
+		}
+		if err := r.Run(loaded, &got); err != nil {
+			t.Fatalf("%s on snapshot env: %v", id, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s output differs between fresh and snapshot-loaded env\nfresh:\n%s\nsnapshot:\n%s",
+				id, want.String(), got.String())
+		}
+	}
+}
+
+// Trace-corpus builds for distinct keys must run concurrently (no coarse
+// env lock), while every caller of the same year coalesces onto a single
+// build. The hook holds both builds open until each has started; under a
+// coarse lock the second build could never start and the test would time
+// out.
+func TestConcurrentTraceBuildsOverlapAndCoalesce(t *testing.T) {
+	e, err := NewEnv(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Plan2020(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Plan2015(); err != nil {
+		t.Fatal(err)
+	}
+
+	var entered sync.WaitGroup
+	entered.Add(2)
+	barrier := make(chan struct{})
+	e.traceBuildHook = func(key string) {
+		entered.Done()
+		<-barrier
+	}
+	release := make(chan struct{})
+	go func() {
+		entered.Wait()
+		close(barrier)
+		close(release)
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	// Eight same-year callers across all four clouds: one build, shared by
+	// everyone. One different-year caller: a second, concurrent build.
+	for i := 0; i < 8; i++ {
+		cloud := Clouds()[i%len(Clouds())]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Traces(2020, cloud, 0); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Traces(2015, "Google", 0); err != nil {
+			errs <- err
+		}
+	}()
+
+	select {
+	case <-release:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("the two trace builds never overlapped: builds are serialized by a coarse lock")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := e.traceBuilds.Load(); got != 2 {
+		t.Fatalf("ran %d trace builds, want exactly 2 (one per year)", got)
+	}
+	// Every 2020 cloud must now be served from cache without new builds.
+	e.traceBuildHook = nil
+	for _, c := range Clouds() {
+		if _, err := e.Traces(2020, c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.traceBuilds.Load(); got != 2 {
+		t.Fatalf("cache misses after the shared build: %d builds, want 2", got)
+	}
+}
+
+// A failed trace build must not be memoized: the next call retries and
+// succeeds.
+func TestTraceBuildErrorRetried(t *testing.T) {
+	e, err := NewEnv(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.traceBuildHook = func(string) { panic("induced build failure") }
+	if _, err := e.Traces(2020, "Google", 2); err == nil {
+		t.Fatal("induced build failure did not surface as an error")
+	}
+	e.traceBuildHook = nil
+	tr, err := e.Traces(2020, "Google", 2)
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("retry returned %d VM groups, want 2", len(tr))
+	}
+	if got := e.traceBuilds.Load(); got != 1 {
+		t.Fatalf("ran %d successful builds, want 1", got)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flatnet/internal/core"
+	"flatnet/internal/netdb"
+	"flatnet/internal/population"
+	"flatnet/internal/rdns"
+	"flatnet/internal/snapshot"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+// World snapshots everything the Env has built so far — the two presets
+// always, plus whichever lazy artifacts (plans, rDNS, trace corpora) exist
+// at call time. Prewarm first to capture a complete world.
+func (e *Env) World() *snapshot.World {
+	w := &snapshot.World{
+		Scale:     e.Scale,
+		Internets: map[int]*topogen.Internet{2020: e.In2020, 2015: e.In2015},
+		Pops:      map[int]*population.Model{2020: e.Pop2020, 2015: e.Pop2015},
+		Plans:     make(map[int]*netdb.Plan),
+		RDNS:      make(map[int]*rdns.Corpus),
+		Traces:    make(map[snapshot.TraceKey][][]tracesim.Traceroute),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.plan2020 != nil {
+		w.Plans[2020] = e.plan2020
+	}
+	if e.plan2015 != nil {
+		w.Plans[2015] = e.plan2015
+	}
+	if e.rdns2020 != nil {
+		w.RDNS[2020] = e.rdns2020
+	}
+	for k, tr := range e.traces {
+		w.Traces[snapshot.TraceKey{Year: k.year, Cloud: k.cloud, VMs: k.nVMs}] = tr
+	}
+	return w
+}
+
+// NewEnvFromWorld rebuilds a ready Env from a decoded snapshot without any
+// generation: metrics masks are recomputed (cheap, O(n)), and every artifact
+// present in the world seeds the corresponding lazy cache, so experiments
+// that would have triggered a build are served immediately. Artifacts the
+// snapshot lacks are built lazily as usual.
+func NewEnvFromWorld(w *snapshot.World) (*Env, error) {
+	for _, year := range []int{2020, 2015} {
+		if w.Internets[year] == nil {
+			return nil, fmt.Errorf("experiments: snapshot has no %d internet", year)
+		}
+		if w.Pops[year] == nil {
+			return nil, fmt.Errorf("experiments: snapshot has no %d population model", year)
+		}
+	}
+	in2020, in2015 := w.Internets[2020], w.Internets[2015]
+	e := &Env{
+		Scale:   w.Scale,
+		In2020:  in2020,
+		In2015:  in2015,
+		M2020:   core.New(core.Dataset{Graph: in2020.Graph, Tier1: in2020.Tier1, Tier2: in2020.Tier2}),
+		M2015:   core.New(core.Dataset{Graph: in2015.Graph, Tier1: in2015.Tier1, Tier2: in2015.Tier2}),
+		Pop2020: w.Pops[2020],
+		Pop2015: w.Pops[2015],
+	}
+	e.plan2020 = w.Plans[2020]
+	e.plan2015 = w.Plans[2015]
+	e.rdns2020 = w.RDNS[2020]
+	if len(w.Traces) > 0 {
+		e.traces = make(map[traceKey][][]tracesim.Traceroute, len(w.Traces))
+		for k, tr := range w.Traces {
+			e.traces[traceKey{year: k.Year, cloud: k.Cloud, nVMs: k.VMs}] = tr
+		}
+	}
+	return e, nil
+}

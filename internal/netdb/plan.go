@@ -158,22 +158,28 @@ func Build(in *topogen.Internet) (*Plan, error) {
 			lan.OperatorASN = ixpOperatorASNBase + astopo.ASN(k)
 		}
 		next := 10
+		members := make([]astopo.ASN, 0, len(ixp.Members))
 		for _, m := range ixp.Members {
 			if _, dup := lan.MemberAddr[m]; dup {
 				continue
 			}
 			lan.MemberAddr[m] = addrFrom(base + uint32(next))
+			members = append(members, m)
 			next++
 		}
 		// A small share of PeeringDB rows are stale: the address is
 		// recorded against a different member of the same exchange.
+		// Members are visited in LAN-numbering order, not map order: the
+		// rng draw sequence must be deterministic for equal seeds, or
+		// two builds of the same spec diverge (and a snapshot would no
+		// longer reproduce a fresh run).
 		lan.StaleEntries = make(map[netip.Addr]astopo.ASN)
 		if len(ixp.Members) >= 2 {
-			for m, addr := range lan.MemberAddr {
+			for _, m := range members {
 				if rng.Float64() < pdbStaleFrac {
 					wrong := ixp.Members[rng.Intn(len(ixp.Members))]
 					if wrong != m {
-						lan.StaleEntries[addr] = wrong
+						lan.StaleEntries[lan.MemberAddr[m]] = wrong
 					}
 				}
 			}
@@ -261,6 +267,11 @@ func Build(in *topogen.Internet) (*Plan, error) {
 
 // Internet returns the topology the plan was built for.
 func (p *Plan) Internet() *topogen.Internet { return p.in }
+
+// Bind attaches the plan to a topology. Snapshot decoding reconstructs the
+// Internet and the Plan's address maps separately; Bind stitches them back
+// together so the plan's accessors see the live topology again.
+func (p *Plan) Bind(in *topogen.Internet) { p.in = in }
 
 // LinkAddr returns the interface address of the `side` end of the link
 // between a and b, where side refers to the (a, b) ordering as passed (the

@@ -1,6 +1,7 @@
 package netdb
 
 import (
+	"reflect"
 	"testing"
 
 	"flatnet/internal/astopo"
@@ -174,5 +175,14 @@ func TestBuildDeterministic(t *testing.T) {
 		if v2 := p2.Links[k]; v1 != v2 {
 			t.Fatalf("nondeterministic numbering for %v: %v vs %v", k, v1, v2)
 		}
+	}
+	// The stale PeeringDB rows draw from the rng per LAN member; the draw
+	// order must not depend on map iteration, or equal seeds produce
+	// different plans (and snapshots stop reproducing fresh runs).
+	if !reflect.DeepEqual(p1.Lans, p2.Lans) {
+		t.Fatal("nondeterministic IXP LANs (stale-entry assignment depends on iteration order)")
+	}
+	if !reflect.DeepEqual(p1.Infra, p2.Infra) || !reflect.DeepEqual(p1.Extra, p2.Extra) {
+		t.Fatal("nondeterministic infra/extra prefix assignment")
 	}
 }

@@ -13,6 +13,7 @@ package population
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/geo"
@@ -94,6 +95,43 @@ func Build(in *topogen.Internet, zipfS float64) *Model {
 		u := base * metro
 		m.users[a] = u
 		m.total += u
+	}
+	return m
+}
+
+// Entry is one AS's annotations in a Model snapshot. Users is zero for
+// ASes without user mass.
+type Entry struct {
+	AS    astopo.ASN
+	Type  ASType
+	Users float64
+}
+
+// Snapshot returns every AS's annotations sorted by ASN, plus the exact
+// user total. The total is returned explicitly rather than recomputed on
+// restore: float summation order matters in the last ulp, and Share values
+// must survive a snapshot round trip bit-for-bit.
+func (m *Model) Snapshot() ([]Entry, float64) {
+	entries := make([]Entry, 0, len(m.types))
+	for a, t := range m.types {
+		entries = append(entries, Entry{AS: a, Type: t, Users: m.users[a]})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].AS < entries[j].AS })
+	return entries, m.total
+}
+
+// Restore rebuilds a Model from snapshot entries and the exact total.
+func Restore(entries []Entry, total float64) *Model {
+	m := &Model{
+		types: make(map[astopo.ASN]ASType, len(entries)),
+		users: make(map[astopo.ASN]float64),
+		total: total,
+	}
+	for _, e := range entries {
+		m.types[e.AS] = e.Type
+		if e.Users > 0 {
+			m.users[e.AS] = e.Users
+		}
 	}
 	return m
 }

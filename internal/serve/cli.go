@@ -13,6 +13,7 @@ import (
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/core"
+	"flatnet/internal/snapshot"
 	"flatnet/internal/topogen"
 )
 
@@ -42,6 +43,7 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
 	year := fs.Int("year", 2020, "preset year (when generating; 2015 or 2020)")
 	topo := fs.String("topo", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
+	snap := fs.String("snapshot", "", "binary snapshot file (see 'flatnet snapshot build'; skips generation)")
 	cacheSize := fs.Int("cache", 0, "result cache entries (default 4096)")
 	timeout := fs.Duration("timeout", 0, "default per-request deadline (default 5s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "upper bound on client-requested deadlines (default 60s)")
@@ -65,7 +67,22 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		MaxConcurrent:  *concurrency,
 	}
 	start := time.Now()
-	if *topo != "" {
+	if *topo != "" && *snap != "" {
+		fmt.Fprintln(stderr, "serve: -topo and -snapshot are mutually exclusive")
+		return &usageErr{errors.New("serve: -topo and -snapshot are mutually exclusive")}
+	}
+	if *snap != "" {
+		world, err := snapshot.ReadFile(*snap)
+		if err != nil {
+			return err
+		}
+		in, ok := world.Internets[*year]
+		if !ok {
+			return fmt.Errorf("serve: snapshot %s has no %d internet section", *snap, *year)
+		}
+		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
+		cfg.Names = in.Name
+	} else if *topo != "" {
 		f, err := os.Open(*topo)
 		if err != nil {
 			return err

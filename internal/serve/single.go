@@ -1,79 +1,8 @@
 package serve
 
-import (
-	"context"
-	"fmt"
-	"sync"
-)
+import "flatnet/internal/single"
 
-// flightGroup coalesces concurrent computations of the same key: the first
-// caller (the leader) runs fn, every concurrent caller with the same key
-// blocks on the leader's result instead of recomputing — the standard
-// singleflight shape, reimplemented here because the repo takes no
-// external dependencies.
-//
-// Cancellation semantics: the leader computes under its own request
-// context, so its deadline governs the shared computation. A joiner whose
-// own context expires first unblocks with its context's error while the
-// computation keeps running for the others.
-type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flightCall
-}
-
-type flightCall struct {
-	done chan struct{} // closed when the leader finishes
-	val  []byte
-	err  error
-	dups int // joiners so far, guarded by the group mutex
-}
-
-// Do returns the result of fn for key, running fn at most once across
-// concurrent callers. coalesced reports whether this caller joined another
-// caller's in-flight computation rather than leading its own.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, coalesced bool, err error) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
-	}
-	if c, ok := g.m[key]; ok {
-		c.dups++
-		g.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.val, true, c.err
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
-		}
-	}
-	c := &flightCall{done: make(chan struct{})}
-	g.m[key] = c
-	g.mu.Unlock()
-
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				c.err = fmt.Errorf("serve: panic in computation: %v", r)
-			}
-		}()
-		c.val, c.err = fn()
-	}()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.val, false, c.err
-}
-
-// joined reports how many callers have coalesced onto key's in-flight
-// computation so far (0 when the key is not in flight). Tests use it to
-// release a held leader only once every concurrent request has joined.
-func (g *flightGroup) joined(key string) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.m[key]; ok {
-		return c.dups
-	}
-	return 0
-}
+// flightGroup coalesces concurrent computations of the same cache key; the
+// generic implementation lives in internal/single so the experiments
+// environment can share it.
+type flightGroup = single.Group[string, []byte]

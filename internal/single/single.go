@@ -1,0 +1,87 @@
+// Package single provides in-process call coalescing ("singleflight"): the
+// first caller of a key runs the computation, every concurrent caller of the
+// same key blocks on that one result instead of recomputing. The repo takes
+// no external dependencies, so this is a small generic reimplementation of
+// the standard pattern, shared by the serve cache and the experiments
+// environment.
+//
+// A key is forgotten as soon as its computation finishes, so results —
+// including errors — are never memoized here. Callers that want caching
+// layer their own map on top and only store successes; a failed build is
+// retried by whichever caller asks next.
+package single
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group coalesces concurrent computations keyed by K.
+//
+// Cancellation semantics: the leader computes under its own context, so its
+// deadline governs the shared computation. A joiner whose own context
+// expires first unblocks with its context's error while the computation
+// keeps running for the others.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+type call[V any] struct {
+	done chan struct{} // closed when the leader finishes
+	val  V
+	err  error
+	dups int // joiners so far, guarded by the group mutex
+}
+
+// Do returns the result of fn for key, running fn at most once across
+// concurrent callers. coalesced reports whether this caller joined another
+// caller's in-flight computation rather than leading its own.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val V, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("single: panic in computation: %v", r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Joined reports how many callers have coalesced onto key's in-flight
+// computation so far (0 when the key is not in flight). Tests use it to
+// release a held leader only once every concurrent caller has joined.
+func (g *Group[K, V]) Joined(key K) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups
+	}
+	return 0
+}

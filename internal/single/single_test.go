@@ -1,0 +1,154 @@
+package single
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesce holds a leader open until every follower has joined, then
+// checks fn ran exactly once and all callers saw the leader's value.
+func TestCoalesce(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const followers = 8
+	results := make([]int, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, coalesced, err := g.Do(context.Background(), "k", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || coalesced {
+			t.Errorf("leader: v=%d coalesced=%v err=%v", v, coalesced, err)
+		}
+		results[0] = v
+	}()
+	<-started
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, coalesced, err := g.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil || !coalesced {
+				t.Errorf("follower %d: coalesced=%v err=%v", i, coalesced, err)
+			}
+			results[i+1] = v
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Joined("k") < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined", g.Joined("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, v)
+		}
+	}
+}
+
+// TestErrorNotMemoized checks a failed computation is retried by the next
+// caller rather than pinned.
+func TestErrorNotMemoized(t *testing.T) {
+	var g Group[string, string]
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func() (string, error) { return "", boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want boom", err)
+	}
+	v, coalesced, err := g.Do(context.Background(), "k", func() (string, error) { return "ok", nil })
+	if err != nil || coalesced || v != "ok" {
+		t.Fatalf("retry: v=%q coalesced=%v err=%v", v, coalesced, err)
+	}
+}
+
+// TestJoinerContextCancel checks a joiner with an expired context unblocks
+// immediately while the leader keeps computing.
+func TestJoinerContextCancel(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if v != 7 || err != nil {
+			t.Errorf("leader: v=%d err=%v", v, err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, coalesced, err := g.Do(ctx, "k", func() (int, error) { return -1, nil })
+	if !coalesced || !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner: coalesced=%v err=%v, want coalesced canceled", coalesced, err)
+	}
+	close(release)
+	<-leaderDone
+}
+
+// TestDistinctKeysRunIndependently checks two keys can be in flight at once:
+// neither blocks the other.
+func TestDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, int]
+	aStarted := make(chan struct{})
+	bDone := make(chan struct{})
+	go func() {
+		g.Do(context.Background(), 1, func() (int, error) {
+			close(aStarted)
+			<-bDone // key 1 finishes only after key 2 completed
+			return 1, nil
+		})
+	}()
+	<-aStarted
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := g.Do(context.Background(), 2, func() (int, error) { return 2, nil })
+		if v != 2 || err != nil {
+			t.Errorf("key 2: v=%d err=%v", v, err)
+		}
+		close(bDone)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key 2 blocked behind key 1's in-flight computation")
+	}
+}
+
+// TestPanicBecomesError checks a panicking computation surfaces as an error
+// to every caller instead of crashing the process.
+func TestPanicBecomesError(t *testing.T) {
+	var g Group[string, int]
+	_, _, err := g.Do(context.Background(), "k", func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+}

@@ -1,0 +1,1190 @@
+// Package snapshot persists a fully built experiment world — generated
+// topologies, population models, address plans, rDNS corpora, and traceroute
+// campaigns — as one versioned binary blob, so a later process can skip
+// regeneration entirely and cold-start in milliseconds.
+//
+// The format is deliberately boring: little-endian fixed-width integers, a
+// length-prefixed section per artifact, and a trailing CRC-32 over the whole
+// stream. There is no compression and no reflection; every struct is walked
+// by hand in a canonical order (map keys sorted), so equal worlds encode to
+// identical bytes. The codec fails closed — a wrong magic, an unsupported
+// version, an unknown section kind, a truncated stream, or a checksum
+// mismatch all abort the load with an error rather than yielding a partly
+// decoded world.
+//
+// Layout:
+//
+//	magic    [8]byte  "FLATSNAP"
+//	version  uint32   currently 1
+//	scale    float64  the generation scale the world was built at
+//	nsect    uint32   number of sections
+//	sections nsect ×  { kind uint32, length uint64, payload [length]byte }
+//	crc      uint32   IEEE CRC-32 of every preceding byte
+//
+// Every section payload begins with its year (uint32); the traces section
+// continues with the cloud name and VM-group count, so ReadInfo can label
+// sections by reading only their first few bytes.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/netip"
+	"os"
+	"sort"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+	"flatnet/internal/netdb"
+	"flatnet/internal/population"
+	"flatnet/internal/rdns"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+// Version is the current schema version. Readers reject any other value:
+// the payload encoding is positional, so there is no safe way to skip
+// unknown fields within a section.
+const Version = 1
+
+var magic = [8]byte{'F', 'L', 'A', 'T', 'S', 'N', 'A', 'P'}
+
+// Kind identifies a section's artifact type.
+type Kind uint32
+
+// Section kinds. The zero value is invalid so that zeroed corruption is
+// caught structurally as well as by the checksum.
+const (
+	KindInternet   Kind = 1
+	KindPopulation Kind = 2
+	KindPlan       Kind = 3
+	KindRDNS       Kind = 4
+	KindTraces     Kind = 5
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInternet:
+		return "internet"
+	case KindPopulation:
+		return "population"
+	case KindPlan:
+		return "plan"
+	case KindRDNS:
+		return "rdns"
+	case KindTraces:
+		return "traces"
+	}
+	return fmt.Sprintf("kind(%d)", uint32(k))
+}
+
+// TraceKey identifies one cloud's traceroute campaign.
+type TraceKey struct {
+	Year  int
+	Cloud string
+	// VMs is the number of VM groups in the corpus.
+	VMs int
+}
+
+// World is everything a snapshot carries, keyed by preset year. Any map may
+// be partially populated — Write encodes what is present — but consumers
+// (experiments.NewEnvFromWorld) validate that the artifacts they need exist.
+type World struct {
+	Scale     float64
+	Internets map[int]*topogen.Internet
+	Pops      map[int]*population.Model
+	Plans     map[int]*netdb.Plan
+	RDNS      map[int]*rdns.Corpus
+	Traces    map[TraceKey][][]tracesim.Traceroute
+}
+
+// Info describes a snapshot without decoding its payloads.
+type Info struct {
+	Version  uint32
+	Scale    float64
+	Sections []SectionInfo
+}
+
+// SectionInfo labels one section. Cloud and VMs are set for traces sections
+// only.
+type SectionInfo struct {
+	Kind   Kind
+	Length uint64
+	Year   int
+	Cloud  string
+	VMs    int
+}
+
+// Write encodes the world to w. Map iteration order never leaks into the
+// output: all keys are sorted, so two equal worlds produce identical bytes.
+func Write(w io.Writer, world *World) error {
+	var buf bytes.Buffer
+	e := &enc{b: &buf}
+	buf.Write(magic[:])
+	e.u32(Version)
+	e.f64(world.Scale)
+
+	type section struct {
+		kind    Kind
+		payload []byte
+	}
+	var sections []section
+	add := func(kind Kind, encode func(*enc)) {
+		se := &enc{b: &bytes.Buffer{}}
+		encode(se)
+		sections = append(sections, section{kind, se.b.Bytes()})
+	}
+	for _, year := range sortedYears(world.Internets) {
+		in := world.Internets[year]
+		add(KindInternet, func(se *enc) { encodeInternet(se, year, in) })
+	}
+	for _, year := range sortedYears(world.Pops) {
+		pop := world.Pops[year]
+		add(KindPopulation, func(se *enc) { encodePopulation(se, year, pop) })
+	}
+	for _, year := range sortedYears(world.Plans) {
+		plan := world.Plans[year]
+		add(KindPlan, func(se *enc) { encodePlan(se, year, plan) })
+	}
+	for _, year := range sortedYears(world.RDNS) {
+		c := world.RDNS[year]
+		add(KindRDNS, func(se *enc) { encodeRDNS(se, year, c) })
+	}
+	traceKeys := make([]TraceKey, 0, len(world.Traces))
+	for k := range world.Traces {
+		traceKeys = append(traceKeys, k)
+	}
+	sort.Slice(traceKeys, func(i, j int) bool {
+		a, b := traceKeys[i], traceKeys[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		if a.Cloud != b.Cloud {
+			return a.Cloud < b.Cloud
+		}
+		return a.VMs < b.VMs
+	})
+	for _, k := range traceKeys {
+		tr := world.Traces[k]
+		add(KindTraces, func(se *enc) { encodeTraces(se, k, tr) })
+	}
+
+	e.u32(uint32(len(sections)))
+	for _, s := range sections {
+		e.u32(uint32(s.kind))
+		e.u64(uint64(len(s.payload)))
+		buf.Write(s.payload)
+	}
+	e.u32(crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteFile writes the snapshot atomically: encode to path+".tmp", then
+// rename, so a crash never leaves a half-written snapshot in place.
+func WriteFile(path string, world *World) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, world); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read decodes a snapshot. The entire stream is read and checksummed before
+// any section is decoded; any structural problem aborts with an error and a
+// nil world. Decoded plans are bound to their year's decoded Internet (a
+// plan whose year has no internet section is an error — it would be
+// unusable).
+func Read(r io.Reader) (*World, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Decode is Read over bytes already in memory. Every decoded value is
+// copied out; raw may be reused or freed after Decode returns.
+func Decode(raw []byte) (*World, error) {
+	const trailer = 4
+	headerLen := len(magic) + 4 + 8 + 4
+	if len(raw) < headerLen+trailer {
+		return nil, fmt.Errorf("snapshot: truncated: %d bytes", len(raw))
+	}
+	body, sum := raw[:len(raw)-trailer], raw[len(raw)-trailer:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(sum); got != want {
+		return nil, fmt.Errorf("snapshot: checksum mismatch: computed %#x, stored %#x", got, want)
+	}
+	d := &dec{buf: body}
+	var m [8]byte
+	d.bytes(m[:])
+	if m != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", m[:])
+	}
+	if v := d.u32(); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	world := &World{
+		Scale:     d.f64(),
+		Internets: make(map[int]*topogen.Internet),
+		Pops:      make(map[int]*population.Model),
+		Plans:     make(map[int]*netdb.Plan),
+		RDNS:      make(map[int]*rdns.Corpus),
+		Traces:    make(map[TraceKey][][]tracesim.Traceroute),
+	}
+	nsect := int(d.u32())
+	for i := 0; i < nsect && d.err == nil; i++ {
+		kind := Kind(d.u32())
+		length := d.u64()
+		if length > uint64(len(d.buf)-d.off) {
+			return nil, fmt.Errorf("snapshot: section %d (%s) length %d exceeds remaining %d bytes",
+				i, kind, length, len(d.buf)-d.off)
+		}
+		sd := &dec{buf: d.buf[d.off : d.off+int(length)]}
+		d.off += int(length)
+		switch kind {
+		case KindInternet:
+			year, in := decodeInternet(sd)
+			if sd.ok() {
+				world.Internets[year] = in
+			}
+		case KindPopulation:
+			year, pop := decodePopulation(sd)
+			if sd.ok() {
+				world.Pops[year] = pop
+			}
+		case KindPlan:
+			year, plan := decodePlan(sd)
+			if sd.ok() {
+				world.Plans[year] = plan
+			}
+		case KindRDNS:
+			year, c := decodeRDNS(sd)
+			if sd.ok() {
+				world.RDNS[year] = c
+			}
+		case KindTraces:
+			key, tr := decodeTraces(sd)
+			if sd.ok() {
+				world.Traces[key] = tr
+			}
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(kind))
+		}
+		if sd.err != nil {
+			return nil, fmt.Errorf("snapshot: section %d (%s): %w", i, kind, sd.err)
+		}
+		if sd.off != len(sd.buf) {
+			return nil, fmt.Errorf("snapshot: section %d (%s): %d trailing bytes", i, kind, len(sd.buf)-sd.off)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", d.err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", len(d.buf)-d.off)
+	}
+	for year, plan := range world.Plans {
+		in, ok := world.Internets[year]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: plan for year %d has no internet section", year)
+		}
+		plan.Bind(in)
+	}
+	return world, nil
+}
+
+// ReadFile reads and decodes the snapshot at path. The file is read in one
+// pre-sized allocation (os.ReadFile), which is measurably cheaper than
+// streaming growth for multi-megabyte snapshots.
+func ReadFile(path string) (*World, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}
+
+// ReadInfo parses the header and section labels without decoding payloads
+// or verifying the checksum — it is meant for cheap inspection (`flatnet
+// snapshot info`), not validation; use Read to validate.
+func ReadInfo(r io.Reader) (*Info, error) {
+	var hdr [8 + 4 + 8 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+	}
+	info := &Info{
+		Version: binary.LittleEndian.Uint32(hdr[8:12]),
+		Scale:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
+	}
+	if info.Version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", info.Version, Version)
+	}
+	nsect := int(binary.LittleEndian.Uint32(hdr[20:24]))
+	for i := 0; i < nsect; i++ {
+		var sh [12]byte
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section %d header: %w", i, err)
+		}
+		si := SectionInfo{
+			Kind:   Kind(binary.LittleEndian.Uint32(sh[:4])),
+			Length: binary.LittleEndian.Uint64(sh[4:12]),
+		}
+		switch si.Kind {
+		case KindInternet, KindPopulation, KindPlan, KindRDNS, KindTraces:
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(si.Kind))
+		}
+		// Peek the label fields from the front of the payload, then skip
+		// the rest.
+		labelLen := 4 // year
+		if si.Kind == KindTraces {
+			labelLen = int(si.Length) // bounded below; cloud length is inside
+		}
+		if uint64(labelLen) > si.Length {
+			return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
+		}
+		if si.Kind == KindTraces {
+			// year + cloud string header + nVMs: read just enough.
+			var front [8]byte
+			if _, err := io.ReadFull(r, front[:]); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
+			cloudLen := int(binary.LittleEndian.Uint32(front[4:8]))
+			if uint64(8+cloudLen+4) > si.Length {
+				return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
+			}
+			name := make([]byte, cloudLen+4)
+			if _, err := io.ReadFull(r, name); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Cloud = string(name[:cloudLen])
+			si.VMs = int(binary.LittleEndian.Uint32(name[cloudLen:]))
+			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-int64(8+cloudLen+4)); err != nil {
+				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
+			}
+		} else {
+			var front [4]byte
+			if _, err := io.ReadFull(r, front[:]); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
+			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-4); err != nil {
+				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
+			}
+		}
+		info.Sections = append(info.Sections, si)
+	}
+	return info, nil
+}
+
+func sortedYears[V any](m map[int]V) []int {
+	years := make([]int, 0, len(m))
+	for y := range m {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	return years
+}
+
+// ---- primitive encoder / decoder ----
+
+type enc struct {
+	b   *bytes.Buffer
+	tmp [8]byte
+}
+
+func (e *enc) u8(v uint8) { e.b.WriteByte(v) }
+func (e *enc) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.tmp[:4], v)
+	e.b.Write(e.tmp[:4])
+}
+func (e *enc) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.tmp[:8], v)
+	e.b.Write(e.tmp[:8])
+}
+func (e *enc) i32(v int32)      { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)      { e.u64(uint64(v)) }
+func (e *enc) f64(v float64)    { e.u64(math.Float64bits(v)) }
+func (e *enc) asn(a astopo.ASN) { e.u32(uint32(a)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b.WriteString(s)
+}
+
+// addr encodes a netip.Addr as length-prefixed raw bytes (0 = invalid).
+func (e *enc) addr(a netip.Addr) {
+	if !a.IsValid() {
+		e.u8(0)
+		return
+	}
+	raw := a.AsSlice()
+	e.u8(uint8(len(raw)))
+	e.b.Write(raw)
+}
+
+func (e *enc) prefix(p netip.Prefix) {
+	e.addr(p.Addr())
+	e.u8(uint8(p.Bits() + 1)) // +1 so an invalid prefix's -1 encodes as 0
+}
+
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) ok() bool { return d.err == nil }
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil || n < 0 || n > len(d.buf)-d.off {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) bytes(dst []byte) {
+	if b := d.take(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *dec) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *dec) i32() int32      { return int32(d.u32()) }
+func (d *dec) i64() int64      { return int64(d.u64()) }
+func (d *dec) f64() float64    { return math.Float64frombits(d.u64()) }
+func (d *dec) asn() astopo.ASN { return astopo.ASN(d.u32()) }
+func (d *dec) boolean() bool   { return d.u8() != 0 }
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if b := d.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+// strShared decodes a string, returning want (no allocation) when the bytes
+// match — the trace decoder uses it to share one cloud-name string across a
+// whole corpus instead of allocating tens of thousands of copies.
+func (d *dec) strShared(want string) string {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	if string(b) == want { // compiler-optimized comparison, no alloc
+		return want
+	}
+	return string(b)
+}
+
+// count reads a length prefix and sanity-checks it against the remaining
+// bytes (each element needs at least one byte), so a corrupted count cannot
+// drive a huge allocation before the truncation is noticed.
+func (d *dec) count() int {
+	n := int(d.u32())
+	if n < 0 || n > len(d.buf)-d.off {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *dec) addr() netip.Addr {
+	n := int(d.u8())
+	if n == 0 {
+		return netip.Addr{}
+	}
+	b := d.take(n)
+	if b == nil {
+		return netip.Addr{}
+	}
+	a, ok := netip.AddrFromSlice(b)
+	if !ok {
+		d.fail()
+	}
+	return a
+}
+
+func (d *dec) prefix() netip.Prefix {
+	a := d.addr()
+	bits := int(d.u8()) - 1
+	if d.err != nil || !a.IsValid() {
+		return netip.Prefix{}
+	}
+	return netip.PrefixFrom(a, bits)
+}
+
+// ---- internet ----
+
+func encodeProfiles(e *enc, ps []topogen.Profile) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		e.str(p.Name)
+		e.asn(p.ASN)
+		e.u8(uint8(p.Class))
+		e.u32(uint32(p.ProviderCount))
+		e.u32(uint32(p.Tier1Provs))
+		e.u32(uint32(len(p.PreferredProviders)))
+		for _, a := range p.PreferredProviders {
+			e.asn(a)
+		}
+		e.f64(p.PeerTier1)
+		e.f64(p.PeerTier2)
+		e.f64(p.PeerTransit)
+		e.f64(p.PeerAccess)
+		e.f64(p.PeerContent)
+		e.u32(uint32(p.PoPCount))
+		e.boolean(p.Global)
+	}
+}
+
+func decodeProfiles(d *dec) []topogen.Profile {
+	n := d.count()
+	ps := make([]topogen.Profile, n)
+	for i := range ps {
+		p := &ps[i]
+		p.Name = d.str()
+		p.ASN = d.asn()
+		p.Class = topogen.ASClass(d.u8())
+		p.ProviderCount = int(d.u32())
+		p.Tier1Provs = int(d.u32())
+		m := d.count()
+		if m > 0 {
+			p.PreferredProviders = make([]astopo.ASN, m)
+			for j := range p.PreferredProviders {
+				p.PreferredProviders[j] = d.asn()
+			}
+		}
+		p.PeerTier1 = d.f64()
+		p.PeerTier2 = d.f64()
+		p.PeerTransit = d.f64()
+		p.PeerAccess = d.f64()
+		p.PeerContent = d.f64()
+		p.PoPCount = int(d.u32())
+		p.Global = d.boolean()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ps
+}
+
+func sortedASNs[V any](m map[astopo.ASN]V) []astopo.ASN {
+	keys := make([]astopo.ASN, 0, len(m))
+	for a := range m {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func encodeASSet(e *enc, s astopo.ASSet) {
+	e.u32(uint32(len(s)))
+	for _, a := range sortedASNs(s) {
+		e.asn(a)
+	}
+}
+
+func decodeASSet(d *dec) astopo.ASSet {
+	n := d.count()
+	s := make(astopo.ASSet, n)
+	for i := 0; i < n; i++ {
+		s[d.asn()] = struct{}{}
+	}
+	return s
+}
+
+func encodeNamedASNs(e *enc, m map[string]astopo.ASN) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		e.str(n)
+		e.asn(m[n])
+	}
+}
+
+func decodeNamedASNs(d *dec) map[string]astopo.ASN {
+	n := d.count()
+	m := make(map[string]astopo.ASN, n)
+	for i := 0; i < n; i++ {
+		name := d.str()
+		m[name] = d.asn()
+	}
+	return m
+}
+
+func encodeInternet(e *enc, year int, in *topogen.Internet) {
+	e.u32(uint32(year))
+	// Spec.
+	sp := &in.Spec
+	e.str(sp.Name)
+	e.i64(sp.Seed)
+	e.u32(uint32(sp.NumASes))
+	e.u32(uint32(sp.NumTransit))
+	e.f64(sp.FracAccess)
+	e.f64(sp.FracContent)
+	e.u32(uint32(sp.NumIXPs))
+	classes := make([]int, 0, len(sp.Openness))
+	for c := range sp.Openness {
+		classes = append(classes, int(c))
+	}
+	sort.Ints(classes)
+	e.u32(uint32(len(classes)))
+	for _, c := range classes {
+		e.u8(uint8(c))
+		e.f64(sp.Openness[topogen.ASClass(c)])
+	}
+	encodeProfiles(e, sp.Tier1)
+	encodeProfiles(e, sp.Tier2)
+	encodeProfiles(e, sp.Clouds)
+	encodeProfiles(e, sp.Hypergiants)
+	// Graph: the link slice in its original order. Adjacency (CSR) is
+	// rebuilt by Freeze on decode; link order fully determines it, so the
+	// decoded graph's dense indexes match the encoded one's.
+	links := in.Graph.Links()
+	e.u32(uint32(len(links)))
+	for _, l := range links {
+		e.asn(l.A)
+		e.asn(l.B)
+		e.u8(uint8(l.Rel))
+	}
+	encodeASSet(e, in.Tier1)
+	encodeASSet(e, in.Tier2)
+	encodeNamedASNs(e, in.Clouds)
+	encodeNamedASNs(e, in.Hypergiants)
+	e.u32(uint32(len(in.Class)))
+	for _, a := range sortedASNs(in.Class) {
+		e.asn(a)
+		e.u8(uint8(in.Class[a]))
+	}
+	e.u32(uint32(len(in.Name)))
+	for _, a := range sortedASNs(in.Name) {
+		e.asn(a)
+		e.str(in.Name[a])
+	}
+	e.u32(uint32(len(in.HomeCity)))
+	for _, a := range sortedASNs(in.HomeCity) {
+		e.asn(a)
+		e.i32(int32(in.HomeCity[a]))
+	}
+	e.u32(uint32(len(in.PoPs)))
+	for _, a := range sortedASNs(in.PoPs) {
+		e.asn(a)
+		cities := in.PoPs[a]
+		e.u32(uint32(len(cities)))
+		for _, c := range cities {
+			e.i32(int32(c))
+		}
+	}
+	e.u32(uint32(len(in.IXPs)))
+	for _, x := range in.IXPs {
+		e.i32(int32(x.City))
+		e.u32(uint32(len(x.Members)))
+		for _, a := range x.Members {
+			e.asn(a)
+		}
+	}
+}
+
+func decodeInternet(d *dec) (int, *topogen.Internet) {
+	year := int(d.u32())
+	in := &topogen.Internet{}
+	sp := &in.Spec
+	sp.Name = d.str()
+	sp.Seed = d.i64()
+	sp.NumASes = int(d.u32())
+	sp.NumTransit = int(d.u32())
+	sp.FracAccess = d.f64()
+	sp.FracContent = d.f64()
+	sp.NumIXPs = int(d.u32())
+	nOpen := d.count()
+	sp.Openness = make(map[topogen.ASClass]float64, nOpen)
+	for i := 0; i < nOpen; i++ {
+		c := topogen.ASClass(d.u8())
+		sp.Openness[c] = d.f64()
+	}
+	sp.Tier1 = decodeProfiles(d)
+	sp.Tier2 = decodeProfiles(d)
+	sp.Clouds = decodeProfiles(d)
+	sp.Hypergiants = decodeProfiles(d)
+	nLinks := d.count()
+	links := make([]astopo.Link, nLinks)
+	for i := range links {
+		links[i].A = d.asn()
+		links[i].B = d.asn()
+		links[i].Rel = astopo.Rel(d.u8())
+	}
+	if d.err != nil {
+		return year, nil
+	}
+	in.Graph = astopo.FromLinks(links)
+	in.Graph.Freeze()
+	in.Tier1 = decodeASSet(d)
+	in.Tier2 = decodeASSet(d)
+	in.Clouds = decodeNamedASNs(d)
+	in.Hypergiants = decodeNamedASNs(d)
+	nClass := d.count()
+	in.Class = make(map[astopo.ASN]topogen.ASClass, nClass)
+	for i := 0; i < nClass; i++ {
+		a := d.asn()
+		in.Class[a] = topogen.ASClass(d.u8())
+	}
+	nName := d.count()
+	in.Name = make(map[astopo.ASN]string, nName)
+	for i := 0; i < nName; i++ {
+		a := d.asn()
+		in.Name[a] = d.str()
+	}
+	nHome := d.count()
+	in.HomeCity = make(map[astopo.ASN]geo.CityID, nHome)
+	for i := 0; i < nHome; i++ {
+		a := d.asn()
+		in.HomeCity[a] = geo.CityID(d.i32())
+	}
+	nPoPs := d.count()
+	in.PoPs = make(map[astopo.ASN][]geo.CityID, nPoPs)
+	for i := 0; i < nPoPs; i++ {
+		a := d.asn()
+		m := d.count()
+		cities := make([]geo.CityID, m)
+		for j := range cities {
+			cities[j] = geo.CityID(d.i32())
+		}
+		in.PoPs[a] = cities
+	}
+	nIXP := d.count()
+	in.IXPs = make([]topogen.IXP, nIXP)
+	for i := range in.IXPs {
+		in.IXPs[i].City = geo.CityID(d.i32())
+		m := d.count()
+		members := make([]astopo.ASN, m)
+		for j := range members {
+			members[j] = d.asn()
+		}
+		in.IXPs[i].Members = members
+	}
+	return year, in
+}
+
+// ---- population ----
+
+func encodePopulation(e *enc, year int, pop *population.Model) {
+	e.u32(uint32(year))
+	entries, total := pop.Snapshot()
+	e.u32(uint32(len(entries)))
+	for _, en := range entries {
+		e.asn(en.AS)
+		e.u8(uint8(en.Type))
+		e.f64(en.Users)
+	}
+	// The exact float total is carried rather than re-summed on restore:
+	// summation order affects the last ulp and Share must round-trip
+	// bit-for-bit.
+	e.f64(total)
+}
+
+func decodePopulation(d *dec) (int, *population.Model) {
+	year := int(d.u32())
+	n := d.count()
+	entries := make([]population.Entry, n)
+	for i := range entries {
+		entries[i].AS = d.asn()
+		entries[i].Type = population.ASType(d.u8())
+		entries[i].Users = d.f64()
+	}
+	total := d.f64()
+	if d.err != nil {
+		return year, nil
+	}
+	return year, population.Restore(entries, total)
+}
+
+// ---- plan ----
+
+func encodePlan(e *enc, year int, p *netdb.Plan) {
+	e.u32(uint32(year))
+	e.u32(uint32(len(p.ASPrefix)))
+	for _, a := range sortedASNs(p.ASPrefix) {
+		e.asn(a)
+		e.prefix(p.ASPrefix[a])
+	}
+	e.u32(uint32(len(p.Extra)))
+	for _, a := range sortedASNs(p.Extra) {
+		e.asn(a)
+		ps := p.Extra[a]
+		e.u32(uint32(len(ps)))
+		for _, pre := range ps {
+			e.prefix(pre)
+		}
+	}
+	e.u32(uint32(len(p.Infra)))
+	for _, a := range sortedASNs(p.Infra) {
+		e.asn(a)
+		e.prefix(p.Infra[a])
+	}
+	e.u32(uint32(len(p.Lans)))
+	for _, lan := range p.Lans {
+		e.prefix(lan.Prefix)
+		e.asn(lan.OperatorASN)
+		e.boolean(lan.Announced)
+		e.u32(uint32(len(lan.MemberAddr)))
+		for _, a := range sortedASNs(lan.MemberAddr) {
+			e.asn(a)
+			e.addr(lan.MemberAddr[a])
+		}
+		stale := make([]netip.Addr, 0, len(lan.StaleEntries))
+		for addr := range lan.StaleEntries {
+			stale = append(stale, addr)
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i].Compare(stale[j]) < 0 })
+		e.u32(uint32(len(stale)))
+		for _, addr := range stale {
+			e.addr(addr)
+			e.asn(lan.StaleEntries[addr])
+		}
+	}
+	linkKeys := make([][2]astopo.ASN, 0, len(p.Links))
+	for k := range p.Links {
+		linkKeys = append(linkKeys, k)
+	}
+	sort.Slice(linkKeys, func(i, j int) bool {
+		if linkKeys[i][0] != linkKeys[j][0] {
+			return linkKeys[i][0] < linkKeys[j][0]
+		}
+		return linkKeys[i][1] < linkKeys[j][1]
+	})
+	e.u32(uint32(len(linkKeys)))
+	for _, k := range linkKeys {
+		num := p.Links[k]
+		e.asn(k[0])
+		e.asn(k[1])
+		e.addr(num.AAddr)
+		e.addr(num.BAddr)
+		e.asn(num.Owner)
+		e.i32(int32(num.IXP))
+	}
+}
+
+func decodePlan(d *dec) (int, *netdb.Plan) {
+	year := int(d.u32())
+	p := &netdb.Plan{}
+	n := d.count()
+	p.ASPrefix = make(map[astopo.ASN]netip.Prefix, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		p.ASPrefix[a] = d.prefix()
+	}
+	n = d.count()
+	p.Extra = make(map[astopo.ASN][]netip.Prefix, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		m := d.count()
+		ps := make([]netip.Prefix, m)
+		for j := range ps {
+			ps[j] = d.prefix()
+		}
+		p.Extra[a] = ps
+	}
+	n = d.count()
+	p.Infra = make(map[astopo.ASN]netip.Prefix, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		p.Infra[a] = d.prefix()
+	}
+	n = d.count()
+	p.Lans = make([]netdb.IXPLan, n)
+	for i := range p.Lans {
+		lan := &p.Lans[i]
+		lan.Prefix = d.prefix()
+		lan.OperatorASN = d.asn()
+		lan.Announced = d.boolean()
+		m := d.count()
+		lan.MemberAddr = make(map[astopo.ASN]netip.Addr, m)
+		for j := 0; j < m; j++ {
+			a := d.asn()
+			lan.MemberAddr[a] = d.addr()
+		}
+		m = d.count()
+		lan.StaleEntries = make(map[netip.Addr]astopo.ASN, m)
+		for j := 0; j < m; j++ {
+			addr := d.addr()
+			lan.StaleEntries[addr] = d.asn()
+		}
+	}
+	n = d.count()
+	p.Links = make(map[[2]astopo.ASN]netdb.LinkNumbering, n)
+	for i := 0; i < n; i++ {
+		var k [2]astopo.ASN
+		k[0] = d.asn()
+		k[1] = d.asn()
+		var num netdb.LinkNumbering
+		num.AAddr = d.addr()
+		num.BAddr = d.addr()
+		num.Owner = d.asn()
+		num.IXP = int(d.i32())
+		p.Links[k] = num
+	}
+	if d.err != nil {
+		return year, nil
+	}
+	return year, p
+}
+
+// ---- rdns ----
+
+func encodeRDNS(e *enc, year int, c *rdns.Corpus) {
+	e.u32(uint32(year))
+	e.u32(uint32(len(c.ByAS)))
+	for _, a := range sortedASNs(c.ByAS) {
+		e.asn(a)
+		recs := c.ByAS[a]
+		e.u32(uint32(len(recs)))
+		for _, r := range recs {
+			e.addr(r.Addr)
+			e.str(r.Hostname)
+		}
+	}
+	e.u32(uint32(len(c.Aliases)))
+	for _, a := range sortedASNs(c.Aliases) {
+		e.asn(a)
+		groups := c.Aliases[a]
+		e.u32(uint32(len(groups)))
+		for _, g := range groups {
+			e.u32(uint32(len(g)))
+			for _, addr := range g {
+				e.addr(addr)
+			}
+		}
+	}
+	e.u32(uint32(len(c.CoveredPoPs)))
+	for _, a := range sortedASNs(c.CoveredPoPs) {
+		e.asn(a)
+		pops := c.CoveredPoPs[a]
+		cities := make([]int, 0, len(pops))
+		for c := range pops {
+			cities = append(cities, int(c))
+		}
+		sort.Ints(cities)
+		e.u32(uint32(len(cities)))
+		for _, city := range cities {
+			e.i32(int32(city))
+			e.boolean(pops[geo.CityID(city)])
+		}
+	}
+}
+
+func decodeRDNS(d *dec) (int, *rdns.Corpus) {
+	year := int(d.u32())
+	c := &rdns.Corpus{}
+	n := d.count()
+	c.ByAS = make(map[astopo.ASN][]rdns.Record, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		m := d.count()
+		recs := make([]rdns.Record, m)
+		for j := range recs {
+			recs[j].Addr = d.addr()
+			recs[j].Hostname = d.str()
+		}
+		c.ByAS[a] = recs
+	}
+	n = d.count()
+	c.Aliases = make(map[astopo.ASN][][]netip.Addr, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		m := d.count()
+		groups := make([][]netip.Addr, m)
+		for j := range groups {
+			g := d.count()
+			group := make([]netip.Addr, g)
+			for k := range group {
+				group[k] = d.addr()
+			}
+			groups[j] = group
+		}
+		c.Aliases[a] = groups
+	}
+	n = d.count()
+	c.CoveredPoPs = make(map[astopo.ASN]map[geo.CityID]bool, n)
+	for i := 0; i < n; i++ {
+		a := d.asn()
+		m := d.count()
+		pops := make(map[geo.CityID]bool, m)
+		for j := 0; j < m; j++ {
+			city := geo.CityID(d.i32())
+			pops[city] = d.boolean()
+		}
+		c.CoveredPoPs[a] = pops
+	}
+	if d.err != nil {
+		return year, nil
+	}
+	return year, c
+}
+
+// ---- traces ----
+
+func encodeTraces(e *enc, key TraceKey, tr [][]tracesim.Traceroute) {
+	e.u32(uint32(key.Year))
+	e.str(key.Cloud)
+	e.u32(uint32(key.VMs))
+	// Totals let the decoder allocate single arenas for all hops and path
+	// entries of the corpus instead of two slices per traceroute.
+	var totalHops, totalPath uint64
+	for _, group := range tr {
+		for i := range group {
+			totalHops += uint64(len(group[i].Hops))
+			totalPath += uint64(len(group[i].TruePath))
+		}
+	}
+	e.u64(totalHops)
+	e.u64(totalPath)
+	e.u32(uint32(len(tr)))
+	for _, group := range tr {
+		e.u32(uint32(len(group)))
+		for i := range group {
+			t := &group[i]
+			e.str(t.VM.Cloud)
+			e.asn(t.VM.CloudASN)
+			e.i32(int32(t.VM.City))
+			e.u32(uint32(t.VM.Index))
+			e.addr(t.Dst)
+			e.asn(t.DstASN)
+			e.u32(uint32(len(t.Hops)))
+			for _, h := range t.Hops {
+				e.i32(int32(h.TTL))
+				e.addr(h.Addr)
+				e.asn(h.TrueAS)
+			}
+			e.boolean(t.Reached)
+			e.u32(uint32(len(t.TruePath)))
+			for _, a := range t.TruePath {
+				e.asn(a)
+			}
+			e.boolean(t.OnBestPath)
+		}
+	}
+}
+
+func decodeTraces(d *dec) (TraceKey, [][]tracesim.Traceroute) {
+	var key TraceKey
+	key.Year = int(d.u32())
+	key.Cloud = d.str()
+	key.VMs = int(d.u32())
+	totalHops := d.u64()
+	totalPath := d.u64()
+	if d.err != nil || totalHops > uint64(len(d.buf)) || totalPath > uint64(len(d.buf)) {
+		d.fail()
+		return key, nil
+	}
+	hopArena := make([]tracesim.Hop, totalHops)
+	pathArena := make([]astopo.ASN, totalPath)
+	var hopOff, pathOff int
+	n := d.count()
+	tr := make([][]tracesim.Traceroute, n)
+	for gi := range tr {
+		m := d.count()
+		group := make([]tracesim.Traceroute, m)
+		for i := range group {
+			t := &group[i]
+			t.VM.Cloud = d.strShared(key.Cloud)
+			t.VM.CloudASN = d.asn()
+			t.VM.City = geo.CityID(d.i32())
+			t.VM.Index = int(d.u32())
+			t.Dst = d.addr()
+			t.DstASN = d.asn()
+			nh := d.count()
+			if hopOff+nh > len(hopArena) {
+				d.fail()
+				return key, nil
+			}
+			hops := hopArena[hopOff : hopOff+nh : hopOff+nh]
+			hopOff += nh
+			for j := range hops {
+				hops[j].TTL = int(d.i32())
+				hops[j].Addr = d.addr()
+				hops[j].TrueAS = d.asn()
+			}
+			if nh > 0 {
+				t.Hops = hops
+			}
+			t.Reached = d.boolean()
+			np := d.count()
+			if pathOff+np > len(pathArena) {
+				d.fail()
+				return key, nil
+			}
+			path := pathArena[pathOff : pathOff+np : pathOff+np]
+			pathOff += np
+			for j := range path {
+				path[j] = d.asn()
+			}
+			if np > 0 {
+				t.TruePath = path
+			}
+			t.OnBestPath = d.boolean()
+		}
+		tr[gi] = group
+	}
+	return key, tr
+}

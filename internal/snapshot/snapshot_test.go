@@ -1,0 +1,338 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"flatnet/internal/netdb"
+	"flatnet/internal/population"
+	"flatnet/internal/rdns"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+// buildWorld assembles a small but fully populated world: one internet with
+// a plan, rDNS corpus, population model, and a traceroute campaign.
+func buildWorld(t testing.TB) *World {
+	t.Helper()
+	const scale = 0.06
+	in, err := topogen.Generate(topogen.Internet2020(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := netdb.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in15, err := topogen.Generate(topogen.Internet2015(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := tracesim.New(plan, tracesim.DefaultOptions(2020))
+	vms, err := eng.VMs("Google", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := eng.TraceAll(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &World{
+		Scale:     scale,
+		Internets: map[int]*topogen.Internet{2020: in, 2015: in15},
+		Pops:      map[int]*population.Model{2020: population.Build(in, 1.1)},
+		Plans:     map[int]*netdb.Plan{2020: plan},
+		RDNS:      map[int]*rdns.Corpus{2020: rdns.Synthesize(plan, 20200901)},
+		Traces: map[TraceKey][][]tracesim.Traceroute{
+			{Year: 2020, Cloud: "Google", VMs: len(vms)}: traces,
+		},
+	}
+}
+
+func encode(t testing.TB, w *World) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := buildWorld(t)
+	raw := encode(t, w)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != w.Scale {
+		t.Fatalf("scale %v, want %v", got.Scale, w.Scale)
+	}
+	for year, in := range w.Internets {
+		g := got.Internets[year]
+		if g == nil {
+			t.Fatalf("no %d internet after round trip", year)
+		}
+		if !reflect.DeepEqual(g.Spec, in.Spec) {
+			t.Fatalf("%d spec differs", year)
+		}
+		if !slices.Equal(g.Graph.Links(), in.Graph.Links()) {
+			t.Fatalf("%d links differ", year)
+		}
+		for name, a := range map[string]any{
+			"tier1": [2]any{g.Tier1, in.Tier1}, "tier2": [2]any{g.Tier2, in.Tier2},
+			"clouds": [2]any{g.Clouds, in.Clouds}, "hypergiants": [2]any{g.Hypergiants, in.Hypergiants},
+			"class": [2]any{g.Class, in.Class}, "name": [2]any{g.Name, in.Name},
+			"homecity": [2]any{g.HomeCity, in.HomeCity}, "pops": [2]any{g.PoPs, in.PoPs},
+			"ixps": [2]any{g.IXPs, in.IXPs},
+		} {
+			pair := a.([2]any)
+			if !reflect.DeepEqual(pair[0], pair[1]) {
+				t.Fatalf("%d %s differs after round trip", year, name)
+			}
+		}
+	}
+	// Population: entries and the exact float total must survive.
+	gotE, gotTotal := got.Pops[2020].Snapshot()
+	wantE, wantTotal := w.Pops[2020].Snapshot()
+	if !slices.Equal(gotE, wantE) {
+		t.Fatal("population entries differ")
+	}
+	if math.Float64bits(gotTotal) != math.Float64bits(wantTotal) {
+		t.Fatalf("population total %x differs from %x (must be bit-exact)",
+			math.Float64bits(gotTotal), math.Float64bits(wantTotal))
+	}
+	// Plan: all maps equal, and the decoded plan is bound to the decoded
+	// internet.
+	gp, wp := got.Plans[2020], w.Plans[2020]
+	if gp == nil {
+		t.Fatal("no 2020 plan after round trip")
+	}
+	if gp.Internet() != got.Internets[2020] {
+		t.Fatal("decoded plan not bound to decoded internet")
+	}
+	if !reflect.DeepEqual(gp.ASPrefix, wp.ASPrefix) || !reflect.DeepEqual(gp.Extra, wp.Extra) ||
+		!reflect.DeepEqual(gp.Infra, wp.Infra) || !reflect.DeepEqual(gp.Lans, wp.Lans) ||
+		!reflect.DeepEqual(gp.Links, wp.Links) {
+		t.Fatal("plan differs after round trip")
+	}
+	if !reflect.DeepEqual(got.RDNS[2020], w.RDNS[2020]) {
+		t.Fatal("rdns corpus differs after round trip")
+	}
+	if !reflect.DeepEqual(got.Traces, w.Traces) {
+		t.Fatal("trace corpora differ after round trip")
+	}
+}
+
+// Equal worlds must produce identical bytes: nothing about map iteration
+// order or pointer identity may leak into the encoding.
+func TestDeterministicEncoding(t *testing.T) {
+	w := buildWorld(t)
+	a := encode(t, w)
+	b := encode(t, w)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same world differ")
+	}
+	// And an encode of the decode must reproduce the original bytes.
+	got, err := Read(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := encode(t, got)
+	if !bytes.Equal(a, c) {
+		t.Fatal("re-encoding a decoded world changed the bytes")
+	}
+}
+
+// Any single-byte corruption must be rejected — the trailing CRC covers the
+// whole stream, including the header.
+func TestCorruptionRejected(t *testing.T) {
+	raw := encode(t, buildWorld(t))
+	stride := len(raw) / 97
+	if stride == 0 {
+		stride = 1
+	}
+	for off := 0; off < len(raw); off += stride {
+		bad := bytes.Clone(raw)
+		bad[off] ^= 0x40
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipping byte %d of %d was not detected", off, len(raw))
+		}
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	raw := encode(t, buildWorld(t))
+	for _, n := range []int{0, 1, 7, 8, 23, 24, len(raw) / 3, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was not detected", n, len(raw))
+		}
+	}
+}
+
+// reseal recomputes the trailing CRC after a deliberate patch, so the test
+// exercises the structural check rather than the checksum.
+func reseal(raw []byte) []byte {
+	out := bytes.Clone(raw)
+	body := out[:len(out)-4]
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc32.ChecksumIEEE(body))
+	return out
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	raw := encode(t, buildWorld(t))
+	bad := bytes.Clone(raw)
+	binary.LittleEndian.PutUint32(bad[8:12], Version+1)
+	bad = reseal(bad)
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("future version accepted (err=%v)", err)
+	}
+	if _, err := ReadInfo(bytes.NewReader(bad)); err == nil {
+		t.Fatal("ReadInfo accepted a future version")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	raw := encode(t, buildWorld(t))
+	bad := bytes.Clone(raw)
+	bad[0] = 'X'
+	bad = reseal(bad)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadInfo(bytes.NewReader(bad)); err == nil {
+		t.Fatal("ReadInfo accepted bad magic")
+	}
+}
+
+func TestUnknownSectionKindRejected(t *testing.T) {
+	// Hand-build a minimal stream with one unknown section.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], Version)
+	buf.Write(tmp[:4])
+	binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(1.0))
+	buf.Write(tmp[:8])
+	binary.LittleEndian.PutUint32(tmp[:4], 1) // one section
+	buf.Write(tmp[:4])
+	binary.LittleEndian.PutUint32(tmp[:4], 99) // unknown kind
+	buf.Write(tmp[:4])
+	binary.LittleEndian.PutUint64(tmp[:8], 4) // payload: just a year
+	buf.Write(tmp[:8])
+	binary.LittleEndian.PutUint32(tmp[:4], 2020)
+	buf.Write(tmp[:4])
+	sealed := append(buf.Bytes(), 0, 0, 0, 0)
+	sealed = reseal(sealed)
+	_, err := Read(bytes.NewReader(sealed))
+	if err == nil || !strings.Contains(err.Error(), "unknown section kind") {
+		t.Fatalf("unknown section kind accepted (err=%v)", err)
+	}
+	if _, err := ReadInfo(bytes.NewReader(sealed)); err == nil {
+		t.Fatal("ReadInfo accepted an unknown section kind")
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	raw := encode(t, buildWorld(t))
+	bad := append(bytes.Clone(raw[:len(raw)-4]), 1, 2, 3, 4)
+	bad = append(bad, 0, 0, 0, 0)
+	bad = reseal(bad)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestPlanWithoutInternetRejected(t *testing.T) {
+	w := buildWorld(t)
+	orphan := &World{
+		Scale: w.Scale,
+		Plans: map[int]*netdb.Plan{2020: w.Plans[2020]},
+	}
+	raw := encode(t, orphan)
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "no internet section") {
+		t.Fatalf("orphan plan accepted (err=%v)", err)
+	}
+}
+
+func TestReadInfo(t *testing.T) {
+	w := buildWorld(t)
+	raw := encode(t, w)
+	info, err := ReadInfo(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != Version || info.Scale != w.Scale {
+		t.Fatalf("info header = %+v", info)
+	}
+	// 2 internets + 1 pop + 1 plan + 1 rdns + 1 traces.
+	if len(info.Sections) != 6 {
+		t.Fatalf("got %d sections, want 6", len(info.Sections))
+	}
+	counts := map[Kind]int{}
+	var total uint64
+	for _, s := range info.Sections {
+		counts[s.Kind]++
+		total += s.Length
+		if s.Kind == KindTraces {
+			if s.Year != 2020 || s.Cloud != "Google" || s.VMs != 3 {
+				t.Fatalf("traces section label = %+v", s)
+			}
+		}
+	}
+	want := map[Kind]int{KindInternet: 2, KindPopulation: 1, KindPlan: 1, KindRDNS: 1, KindTraces: 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("section kinds = %v, want %v", counts, want)
+	}
+	// Header(24) + 12 per section header + payloads + crc(4) must account
+	// for every byte.
+	if got := 24 + 12*uint64(len(info.Sections)) + total + 4; got != uint64(len(raw)) {
+		t.Fatalf("section lengths sum to %d, file is %d bytes", got, len(raw))
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	w := buildWorld(t)
+	path := t.TempDir() + "/world.snap"
+	if err := WriteFile(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Traces, w.Traces) {
+		t.Fatal("file round trip lost trace corpora")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := io.ReadAll(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), disk) {
+		t.Fatal("re-encoding the file's world changed the bytes")
+	}
+}
+
+func mustOpen(t *testing.T, path string) io.Reader {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -15,19 +15,30 @@
 //   - per-VM path diversity: VMs in different cities take different
 //     tied-best paths, and Amazon's early-exit routing adds per-VM
 //     variance on top (§5's "more locations, more peers, more noise").
+//
+// The per-destination propagation depends only on the destination, never on
+// the vantage point, so TraceAllMulti shares one tracked propagation per
+// destination across every cloud's VM set — the paper's four campaigns cost
+// one propagation sweep instead of four. TraceAllSerial preserves the
+// original one-cloud-at-a-time reference implementation (also reachable via
+// FLATNET_SERIAL_TRACES=1) as the baseline the cold-start benchmark
+// compares against.
 package tracesim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net/netip"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
 	"flatnet/internal/geo"
 	"flatnet/internal/netdb"
+	"flatnet/internal/par"
 	"flatnet/internal/topogen"
 )
 
@@ -91,16 +102,32 @@ func DefaultOptions(seed int64) Options {
 	}
 }
 
-// Engine issues simulated traceroutes over one address plan.
+// Engine issues simulated traceroutes over one address plan. An Engine is
+// safe for concurrent use once built; the per-VM-city distance rows it
+// caches are published copy-on-write.
 type Engine struct {
-	plan *netdb.Plan
-	in   *topogen.Internet
-	opts Options
+	plan   *netdb.Plan
+	in     *topogen.Internet
+	opts   Options
+	serial bool
+
+	// dist caches, per VM city, the distance from that city to every AS's
+	// home city, indexed by dense graph index. Rows are immutable once
+	// published; the map is swapped atomically so the synthesis hot path
+	// reads it without locking.
+	distMu sync.Mutex
+	dist   atomic.Pointer[map[geo.CityID][]float64]
 }
 
-// New returns an Engine.
+// New returns an Engine. FLATNET_SERIAL_TRACES=1 pins TraceAll and
+// TraceAllMulti to the serial reference implementation.
 func New(plan *netdb.Plan, opts Options) *Engine {
-	return &Engine{plan: plan, in: plan.Internet(), opts: opts}
+	return &Engine{
+		plan:   plan,
+		in:     plan.Internet(),
+		opts:   opts,
+		serial: os.Getenv("FLATNET_SERIAL_TRACES") == "1",
+	}
 }
 
 // paperVMCounts are the per-cloud VM deployments of §4.1.
@@ -139,9 +166,76 @@ func (e *Engine) VMs(cloud string, n int) ([]VM, error) {
 }
 
 // TraceAll issues one traceroute from every VM to one address in every AS's
-// announced space (the paper's "every routable prefix", §4.1), in parallel
-// over destinations. The result is grouped per VM in input order.
+// announced space (the paper's "every routable prefix", §4.1). The result
+// is grouped per VM in input order.
 func (e *Engine) TraceAll(vms []VM) ([][]Traceroute, error) {
+	all, err := e.TraceAllMulti([][]VM{vms})
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+// TraceAllMulti runs TraceAll for several VM sets at once, sharing one
+// tracked propagation per destination across all of them: the propagation
+// depends only on the destination, so synthesizing four clouds' campaigns
+// together costs one sweep instead of four. Results are indexed
+// [set][vm][destination] and are identical to per-set TraceAll calls.
+func (e *Engine) TraceAllMulti(vmSets [][]VM) ([][][]Traceroute, error) {
+	if e.serial {
+		out := make([][][]Traceroute, len(vmSets))
+		for si, vms := range vmSets {
+			tr, err := e.TraceAllSerial(vms)
+			if err != nil {
+				return nil, err
+			}
+			out[si] = tr
+		}
+		return out, nil
+	}
+	g := e.in.Graph
+	g.Freeze()
+	dests := g.ASes()
+	out := make([][][]Traceroute, len(vmSets))
+	for si, vms := range vmSets {
+		out[si] = make([][]Traceroute, len(vms))
+		for vi := range vms {
+			out[si][vi] = make([]Traceroute, len(dests))
+		}
+	}
+	// Build the per-city distance rows up front so the parallel section
+	// reads them lock-free.
+	for _, vms := range vmSets {
+		for _, vm := range vms {
+			e.cityRow(vm.City)
+		}
+	}
+	err := par.For(runtime.GOMAXPROCS(0), len(dests), func(w int) func(i int) error {
+		sim := bgpsim.New(g)
+		return func(di int) error {
+			d := dests[di]
+			res, err := sim.RunShared(bgpsim.Config{Origin: d, TrackNextHops: true})
+			if err != nil {
+				return err
+			}
+			for si, vms := range vmSets {
+				for vi, vm := range vms {
+					out[si][vi][di] = e.trace(vm, d, res)
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TraceAllSerial is the reference implementation TraceAllMulti is measured
+// against: one propagation per destination per call, single-threaded, no
+// distance caching. Its output is identical to TraceAll's.
+func (e *Engine) TraceAllSerial(vms []VM) ([][]Traceroute, error) {
 	g := e.in.Graph
 	g.Freeze()
 	dests := g.ASes()
@@ -149,41 +243,56 @@ func (e *Engine) TraceAll(vms []VM) ([][]Traceroute, error) {
 	for i := range out {
 		out[i] = make([]Traceroute, len(dests))
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	var firstErr error
-	var errMu sync.Mutex
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sim := bgpsim.New(g)
-			for di := range work {
-				d := dests[di]
-				res, err := sim.Run(bgpsim.Config{Origin: d, TrackNextHops: true})
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
-				}
-				for vi, vm := range vms {
-					out[vi][di] = e.trace(vm, d, res)
-				}
-			}
-		}()
-	}
-	for di := range dests {
-		work <- di
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	sim := bgpsim.New(g)
+	for di, d := range dests {
+		res, err := sim.Run(bgpsim.Config{Origin: d, TrackNextHops: true})
+		if err != nil {
+			return nil, err
+		}
+		for vi, vm := range vms {
+			out[vi][di] = e.trace(vm, d, res)
+		}
 	}
 	return out, nil
+}
+
+// cityRow returns the cached distance row for a VM city, building and
+// publishing it (copy-on-write) on first use.
+func (e *Engine) cityRow(city geo.CityID) []float64 {
+	if m := e.dist.Load(); m != nil {
+		if row, ok := (*m)[city]; ok {
+			return row
+		}
+	}
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	old := e.dist.Load()
+	if old != nil {
+		if row, ok := (*old)[city]; ok {
+			return row
+		}
+	}
+	g := e.in.Graph
+	g.Freeze()
+	n := g.NumASes()
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		home, ok := e.in.HomeCity[g.ASNAt(i)]
+		if !ok {
+			row[i] = 1e12
+			continue
+		}
+		row[i] = geo.CityDistanceKm(city, home)
+	}
+	next := make(map[geo.CityID][]float64, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[city] = row
+	e.dist.Store(&next)
+	return row
 }
 
 // trace synthesizes one traceroute given the propagation result for the
@@ -193,17 +302,18 @@ func (e *Engine) trace(vm VM, dst astopo.ASN, res *bgpsim.Result) Traceroute {
 	if pfx, ok := e.plan.ASPrefix[dst]; ok {
 		tr.Dst = pfx.Addr().Next()
 	}
-	path := e.forwardPath(vm, dst, res)
+	h := pathHasher(vm, dst)
+	path, onBest := e.forwardPath(vm, dst, res, h)
 	tr.TruePath = path
 	if path == nil {
 		return tr
 	}
-	tr.OnBestPath = e.onBestPath(path, res)
-	h := pathHasher(vm, dst)
+	tr.OnBestPath = onBest
 	rnd := func(mod uint64) uint64 { h = h*6364136223846793005 + 1442695040888963407; return (h >> 33) % mod }
 	chance := func(p float64) bool { return float64(rnd(1_000_000)) < p*1_000_000 }
 
 	ttl := 0
+	tr.Hops = make([]Hop, 0, 4+2*len(path))
 	emit := func(addr netip.Addr, owner astopo.ASN) {
 		ttl++
 		hop := Hop{TTL: ttl, TrueAS: owner}
@@ -265,37 +375,48 @@ func (e *Engine) trace(vm VM, dst astopo.ASN, res *bgpsim.Result) Traceroute {
 // forwardPath walks the tied-best next-hop DAG from the cloud toward the
 // destination, breaking ties deterministically. VMs in different cities
 // land on different tied paths; Amazon's early-exit default adds per-VM
-// index variance (§4.1, Appendix A).
-func (e *Engine) forwardPath(vm VM, dst astopo.ASN, res *bgpsim.Result) []astopo.ASN {
+// index variance (§4.1, Appendix A). h must be pathHasher(vm, dst).
+//
+// Every step after the first follows a tied-best next hop by construction,
+// so the Appendix A containment verdict (onBest) reduces to whether the
+// chosen first hop is one of the cloud's tied-best next hops.
+func (e *Engine) forwardPath(vm VM, dst astopo.ASN, res *bgpsim.Result, h uint64) (path []astopo.ASN, onBest bool) {
 	g := e.in.Graph
 	ci, ok := g.Index(vm.CloudASN)
 	if !ok || res.Class[ci] == bgpsim.ClassNone {
-		return nil
+		return nil, false
 	}
 	if vm.CloudASN == dst {
-		return []astopo.ASN{dst}
+		return []astopo.ASN{dst}, true
 	}
 	oi, _ := g.Index(dst)
 	first, ok := e.firstHop(vm, res, int32(ci), int32(oi))
 	if !ok {
-		return nil
+		return nil, false
 	}
-	path := []astopo.ASN{vm.CloudASN, g.ASNAt(int(first))}
+	onBest = false
+	for _, nh := range res.NextHops[ci] {
+		if nh == first {
+			onBest = true
+			break
+		}
+	}
+	path = make([]astopo.ASN, 2, 8)
+	path[0], path[1] = vm.CloudASN, g.ASNAt(int(first))
 	cur := first
-	h := pathHasher(vm, dst)
 	for cur != int32(oi) {
 		hops := res.NextHops[cur]
 		if len(hops) == 0 {
-			return nil
+			return nil, false
 		}
 		h = h*6364136223846793005 + 1442695040888963407
 		cur = hops[(h>>33)%uint64(len(hops))]
 		path = append(path, g.ASNAt(int(cur)))
 		if len(path) > 64 {
-			return nil // defensive: DAG walks cannot loop, but bound anyway
+			return nil, false // defensive: DAG walks cannot loop, but bound anyway
 		}
 	}
-	return path
+	return path, onBest
 }
 
 // regionalUseKm is how far from a regional peer's interconnection city a VM
@@ -439,6 +560,20 @@ func (e *Engine) globalAS(n int32) bool {
 func (e *Engine) nearestWhere(city geo.CityID, cands []int32, keep func(int32) bool) (int32, bool) {
 	var best int32
 	bestD := -1.0
+	if m := e.dist.Load(); m != nil {
+		if row, ok := (*m)[city]; ok {
+			for _, c := range cands {
+				if !keep(c) {
+					continue
+				}
+				d := row[c]
+				if bestD < 0 || d < bestD || (d == bestD && c < best) {
+					best, bestD = c, d
+				}
+			}
+			return best, bestD >= 0
+		}
+	}
 	for _, c := range cands {
 		if !keep(c) {
 			continue
@@ -452,6 +587,11 @@ func (e *Engine) nearestWhere(city geo.CityID, cands []int32, keep func(int32) b
 }
 
 func (e *Engine) hopDistance(city geo.CityID, hop int32) float64 {
+	if m := e.dist.Load(); m != nil {
+		if row, ok := (*m)[city]; ok {
+			return row[hop]
+		}
+	}
 	home, ok := e.in.HomeCity[e.in.Graph.ASNAt(int(hop))]
 	if !ok {
 		return 1e12
@@ -460,7 +600,9 @@ func (e *Engine) hopDistance(city geo.CityID, hop int32) float64 {
 }
 
 // onBestPath reports whether every step of the forwarding path follows a
-// tied-best next hop of the destination's propagation.
+// tied-best next hop of the destination's propagation. forwardPath computes
+// the same verdict incrementally; this is the reference form kept for the
+// equivalence test.
 func (e *Engine) onBestPath(path []astopo.ASN, res *bgpsim.Result) bool {
 	g := e.in.Graph
 	for k := 1; k < len(path); k++ {
@@ -486,13 +628,36 @@ func (e *Engine) onBestPath(path []astopo.ASN, res *bgpsim.Result) bool {
 	return true
 }
 
+// pathHasher seeds the per-(VM, destination) deterministic noise stream: an
+// FNV-64a hash over "<cloud>/<city>/<dst>" (plus "/<index>" for Amazon,
+// whose early exit makes same-site VMs vary). Hand-rolled over the
+// fmt/hash.Hash formulation — byte-for-byte the same digest, zero
+// allocations — because it runs twice per synthesized traceroute.
 func pathHasher(vm VM, dst astopo.ASN) uint64 {
-	f := fnv.New64a()
-	fmt.Fprintf(f, "%s/%d/%d", vm.Cloud, vm.City, dst)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(vm.Cloud); i++ {
+		h = (h ^ uint64(vm.Cloud[i])) * prime64
+	}
+	h = (h ^ '/') * prime64
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], int64(vm.City), 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for _, c := range strconv.AppendUint(buf[:0], uint64(dst), 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
 	if vm.Cloud == "Amazon" {
 		// Early exit: Amazon tenant traffic egresses near the VM, so
 		// different VMs at the same site still vary.
-		fmt.Fprintf(f, "/%d", vm.Index)
+		h = (h ^ '/') * prime64
+		for _, c := range strconv.AppendInt(buf[:0], int64(vm.Index), 10) {
+			h = (h ^ uint64(c)) * prime64
+		}
 	}
-	return f.Sum64()
+	return h
 }

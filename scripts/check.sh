@@ -33,7 +33,17 @@ echo "==> go test -race -short (bgpsim + serve, scalar leak path)"
 FLATNET_SCALAR_LEAK=1 go test -race -short ./internal/bgpsim/ ./internal/serve/
 
 echo "==> benchmark smoke (1 iteration)"
-go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability' \
+go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad' \
     -benchtime 1x -benchmem -run '^$' .
+
+echo "==> snapshot build/load smoke"
+# Freeze a small world (plans + rDNS, no trace corpora for speed), inspect
+# it, and run an experiment from it — the fast cold-start path end to end.
+SNAPDIR="$(mktemp -d)"
+trap 'rm -rf "$SNAPDIR"' EXIT
+go build -o "$SNAPDIR/flatnet" ./cmd/flatnet
+"$SNAPDIR/flatnet" snapshot build -scale 0.1 -traces none -o "$SNAPDIR/world.snap"
+"$SNAPDIR/flatnet" snapshot info "$SNAPDIR/world.snap"
+"$SNAPDIR/flatnet" run -snapshot "$SNAPDIR/world.snap" table1 > /dev/null
 
 echo "==> all checks passed"
