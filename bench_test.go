@@ -23,9 +23,11 @@ import (
 )
 
 // defaultBenchScale keeps a full -bench=. run in the minutes range; set the
-// FLATNET_BENCH_SCALE env var (e.g. FLATNET_BENCH_SCALE=1.0) to approach
-// the paper's full topology without editing source.
-const defaultBenchScale = 0.15
+// FLATNET_BENCH_SCALE env var (e.g. FLATNET_BENCH_SCALE=1.0) to run every
+// benchmark at the paper's full 69,488-AS topology without editing source.
+// The headline benchmarks additionally have dedicated FullScale variants in
+// fullscale_bench_test.go that are always pinned at scale 1.0.
+const defaultBenchScale = 0.02138
 
 var benchScale = func() float64 {
 	if s := os.Getenv("FLATNET_BENCH_SCALE"); s != "" {
@@ -51,6 +53,15 @@ func benchEnv(b *testing.B) *experiments.Env {
 		b.Fatal(envErr)
 	}
 	return env
+}
+
+// reportNsPerAS normalises a benchmark's wall time by the 2020 topology
+// size. The headline experiments are (near-)linear in AS count, so ns/AS
+// is the scale-independent figure of merit: it should stay flat between
+// the scaled-down suite and the FullScale variants, and a rise flags a
+// stage that stopped scaling linearly.
+func reportNsPerAS(b *testing.B, nASes int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nASes), "ns/AS")
 }
 
 func BenchmarkFig2Reachability(b *testing.B) {
@@ -82,6 +93,7 @@ func BenchmarkTable1TopReachability(b *testing.B) {
 		amazonRank = float64(res.CloudRanks2020["Amazon"].Rank)
 	}
 	b.ReportMetric(amazonRank, "amazon-2020-rank")
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
 }
 
 func BenchmarkFig3ReachVsCone(b *testing.B) {
@@ -95,6 +107,7 @@ func BenchmarkFig3ReachVsCone(b *testing.B) {
 		ratio = float64(res.HighReach) / float64(max(res.HighCone, 1))
 	}
 	b.ReportMetric(ratio, "highreach/highcone")
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
 }
 
 func BenchmarkFig4Unreachable(b *testing.B) {
@@ -131,6 +144,7 @@ func BenchmarkFig7LeakCDFs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
 }
 
 func BenchmarkFig8GoogleLeak(b *testing.B) {
@@ -321,6 +335,7 @@ func BenchmarkReachabilityAll(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
 }
 
 // BenchmarkLeakSweep measures one steady-state leak trial against a cached

@@ -20,7 +20,7 @@ import (
 // RouteViews collectors publish.
 func cmdCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year")
 	vps := fs.Int("vps", 40, "number of vantage points")
 	out := fs.String("o", "rib.mrt", "output MRT file")
@@ -32,8 +32,8 @@ func cmdCollect(args []string) error {
 		return err
 	}
 	var cands []astopo.ASN
-	for _, a := range in.Graph.ASes() {
-		switch in.Class[a] {
+	for i, a := range in.Graph.ASes() {
+		switch in.ClassAt(i) {
 		case topogen.ClassTransit, topogen.ClassTier2, topogen.ClassTier1:
 			cands = append(cands, a)
 		}
@@ -63,7 +63,7 @@ func cmdCollect(args []string) error {
 // the measurements as scamper-style JSON lines.
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year")
 	cloud := fs.String("cloud", "Google", "cloud provider (Google|Microsoft|IBM|Amazon)")
 	vms := fs.Int("vms", 0, "VM count (0 = the paper's §4.1 deployment)")
@@ -106,7 +106,7 @@ func cmdTrace(args []string) error {
 		model := population.Build(in, 1.1)
 		cities := geo.Cities()
 		cc := func(a astopo.ASN) string {
-			if city, ok := in.HomeCity[a]; ok {
+			if city, ok := in.HomeCityOf(a); ok {
 				return cities[city].Country
 			}
 			return "ZZ"

@@ -14,7 +14,7 @@ import (
 // cmdLeaks runs the §8.2 route-leak scenario table for one origin AS.
 func cmdLeaks(args []string) error {
 	fs := flag.NewFlagSet("leaks", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year")
 	asn := fs.String("as", "15169", "origin ASN")
 	trials := fs.Int("trials", 300, "random leakers per scenario")

@@ -5,11 +5,11 @@
 // Usage:
 //
 //	flatnet list
-//	flatnet run [-scale 0.35] [-snapshot file] [-j n] <experiment-id>... | all
-//	flatnet gen [-scale 0.35] [-year 2020] [-o topology.txt]
-//	flatnet stats [-scale 0.35] [-year 2020]
-//	flatnet reach [-scale 0.35] [-year 2020] -as 15169 [-kind hierarchy-free]
-//	flatnet snapshot build [-scale 0.35] [-traces all|none] [-o flatnet.snap]
+//	flatnet run [-scale 0.04987] [-snapshot file] [-j n] <experiment-id>... | all
+//	flatnet gen [-scale 0.04987] [-year 2020] [-o topology.txt]
+//	flatnet stats [-scale 0.04987] [-year 2020]
+//	flatnet reach [-scale 0.04987] [-year 2020] -as 15169 [-kind hierarchy-free]
+//	flatnet snapshot build [-scale 0.04987] [-traces all|none] [-o flatnet.snap]
 //	flatnet snapshot info <flatnet.snap>
 //	flatnet serve [-addr 127.0.0.1:8080] [-snapshot flatnet.snap]
 //
@@ -160,9 +160,10 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	outdir := fs.String("outdir", "", "also write machine-readable CSV artifacts to this directory")
 	snap := fs.String("snapshot", "", "load the environment from a binary snapshot instead of generating (see 'flatnet snapshot build')")
+	verify := fs.Bool("verify", false, "with -snapshot: checksum every section, including the mmap-served hot arrays, before running")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "experiments run concurrently; output stays in registry order")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -193,15 +194,16 @@ func cmdRun(args []string) error {
 	start := time.Now()
 	var env *experiments.Env
 	if *snap != "" {
-		world, err := snapshot.ReadFile(*snap)
-		if err != nil {
+		var err error
+		if env, err = loadSnapshotEnv(*snap, *verify); err != nil {
 			return err
 		}
-		if env, err = experiments.NewEnvFromWorld(world); err != nil {
-			return err
+		kind := "decoded"
+		if env.Mapped() {
+			kind = "mapped"
 		}
-		fmt.Printf("# loaded snapshot %s: 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) at scale %g in %v\n",
-			*snap, env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
+		fmt.Printf("# %s snapshot %s: 2020 (%d ASes, %d links) and 2015 (%d ASes, %d links) at scale %g in %v\n",
+			kind, *snap, env.In2020.Graph.NumASes(), env.In2020.Graph.NumLinks(),
 			env.In2015.Graph.NumASes(), env.In2015.Graph.NumLinks(),
 			env.Scale, time.Since(start).Round(time.Millisecond))
 	} else {
@@ -281,6 +283,30 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// loadSnapshotEnv opens a snapshot on the zero-copy mmap path, falling
+// back to the eager legacy decoder for v1 files. The Reader (when used)
+// stays open for the life of the process: the environment borrows its
+// memory. verify forces a full checksum pass over every section, including
+// the hot arrays the mmap path otherwise only CRCs via this flag.
+func loadSnapshotEnv(path string, verify bool) (*experiments.Env, error) {
+	rd, oerr := snapshot.Open(path)
+	if oerr == nil {
+		if verify {
+			if err := rd.Verify(); err != nil {
+				return nil, err
+			}
+		}
+		return experiments.NewEnvFromSnapshot(rd)
+	}
+	// Not a v2 file: try the legacy eager decoder, which checksums
+	// everything up front. If that fails too, report the v2 error.
+	world, rerr := snapshot.ReadFile(path)
+	if rerr != nil {
+		return nil, oerr
+	}
+	return experiments.NewEnvFromWorld(world)
+}
+
 func genPreset(scale float64, year int) (*topogen.Internet, error) {
 	switch year {
 	case 2020:
@@ -293,7 +319,7 @@ func genPreset(scale float64, year int) (*topogen.Internet, error) {
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year (2015 or 2020)")
 	out := fs.String("o", "", "relationship output file (default stdout, CAIDA serial-1)")
 	cones := fs.String("cones", "", "also write customer cones (CAIDA ppdc-ases format)")
@@ -369,7 +395,7 @@ func cmdGen(args []string) error {
 func cmdAudit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	file := fs.String("f", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
-	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
+	scale := fs.Float64("scale", 0.04987, "topology scale when generating (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year (when generating)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -420,7 +446,7 @@ func writeToFile(path string, write func(*os.File) error) error {
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -443,8 +469,8 @@ func cmdStats(args []string) error {
 	fmt.Printf("links: %d (p2c %d, p2p %d)\n", g.NumLinks(), p2c, p2p)
 	fmt.Printf("tier1: %d, tier2: %d, IXPs: %d\n", len(in.Tier1), len(in.Tier2), len(in.IXPs))
 	byClass := map[topogen.ASClass]int{}
-	for _, a := range g.ASes() {
-		byClass[in.Class[a]]++
+	for i := range g.ASes() {
+		byClass[in.ClassAt(i)]++
 	}
 	for _, c := range []topogen.ASClass{topogen.ClassTier1, topogen.ClassTier2, topogen.ClassTransit,
 		topogen.ClassAccess, topogen.ClassContent, topogen.ClassEnterprise, topogen.ClassCloud} {
@@ -453,14 +479,14 @@ func cmdStats(args []string) error {
 	for _, name := range experiments.Clouds() {
 		a := in.Clouds[name]
 		fmt.Printf("%-10s AS%-7d providers=%d peers=%d PoPs=%d\n",
-			name, a, len(g.Providers(a)), len(g.Peers(a)), len(in.PoPs[a]))
+			name, a, len(g.Providers(a)), len(g.Peers(a)), len(in.PoPsOf(a)))
 	}
 	return nil
 }
 
 func cmdReach(args []string) error {
 	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year")
 	asn := fs.String("as", "", "origin ASN (required)")
 	kind := fs.String("kind", "hierarchy-free", "full | provider-free | tier1-free | hierarchy-free")

@@ -95,7 +95,7 @@ func TestRuntimeErrorExitsOne(t *testing.T) {
 
 func TestGenPreset(t *testing.T) {
 	for _, year := range []int{2015, 2020} {
-		in, err := genPreset(0.1, year)
+		in, err := genPreset(0.01425, year)
 		if err != nil {
 			t.Fatalf("year %d: %v", year, err)
 		}
@@ -103,7 +103,7 @@ func TestGenPreset(t *testing.T) {
 			t.Errorf("year %d: only %d ASes", year, in.Graph.NumASes())
 		}
 	}
-	if _, err := genPreset(0.1, 1999); err == nil {
+	if _, err := genPreset(0.01425, 1999); err == nil {
 		t.Error("unknown year accepted")
 	}
 }

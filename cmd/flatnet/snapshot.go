@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -10,6 +13,22 @@ import (
 	"flatnet/internal/par"
 	"flatnet/internal/snapshot"
 )
+
+// fileSHA256 streams one file through sha256; the hex digest is the
+// snapshot's content address (what a sharded cluster will key worker sync
+// on).
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
 
 // cmdSnapshot dispatches the snapshot subcommands: `build` freezes a fully
 // prewarmed environment into a binary snapshot, `info` lists a snapshot's
@@ -29,9 +48,10 @@ func cmdSnapshot(args []string, stdout *os.File) error {
 
 func cmdSnapshotBuild(args []string) error {
 	fs := flag.NewFlagSet("snapshot build", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.35, "topology scale (1.0 = ~9,900 ASes)")
+	scale := fs.Float64("scale", 0.04987, "topology scale (1.0 = the paper's 69,488 ASes)")
 	out := fs.String("o", "flatnet.snap", "output snapshot file")
 	traces := fs.String("traces", "all", "trace corpora to include: all (every paper cloud, 2020) or none")
+	bare := fs.Bool("bare", false, "topologies and population only — no plans, rDNS, or traces (required for stress scales past the address plan's /18 capacity, e.g. -scale 20)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -43,14 +63,20 @@ func cmdSnapshotBuild(args []string) error {
 	default:
 		return usagef("snapshot build: -traces must be all or none, got %q", *traces)
 	}
+	if *bare && *traces == "all" {
+		return usagef("snapshot build: -bare requires -traces none")
+	}
 	start := time.Now()
 	env, err := experiments.NewEnv(*scale)
 	if err != nil {
 		return err
 	}
-	if *traces == "all" {
+	switch {
+	case *bare:
+		// Nothing beyond what NewEnv built: topologies and population.
+	case *traces == "all":
 		err = env.Prewarm()
-	} else {
+	default:
 		// Plans and rDNS only: still useful for the daemon and the
 		// metric experiments, and much faster to build.
 		tasks := []func() error{
@@ -72,13 +98,19 @@ func cmdSnapshotBuild(args []string) error {
 	if err != nil {
 		return err
 	}
+	sum, err := fileSHA256(*out)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("wrote %s: %.1f MiB, scale %g, built in %v\n",
 		*out, float64(st.Size())/(1<<20), *scale, built.Round(time.Millisecond))
+	fmt.Printf("sha256 %s\n", sum)
 	return nil
 }
 
 func cmdSnapshotInfo(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("snapshot info", flag.ContinueOnError)
+	verify := fs.Bool("verify", false, "fully decode and checksum every section, including the mmap-served hot arrays")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -86,26 +118,31 @@ func cmdSnapshotInfo(args []string, stdout *os.File) error {
 		return usagef("snapshot info: exactly one snapshot file expected")
 	}
 	path := fs.Arg(0)
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	info, err := snapshot.ReadInfo(f)
+	info, err := snapshot.ReadInfo(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s: version %d, scale %g, %d sections\n",
 		path, info.Version, info.Scale, len(info.Sections))
+	fmt.Fprintf(stdout, "sha256 %x\n", sha256.Sum256(raw))
 	for _, s := range info.Sections {
-		switch s.Kind {
-		case snapshot.KindTraces:
-			fmt.Fprintf(stdout, "  %-10s %4d  %-10s %2d VM groups  %8.1f KiB\n",
-				s.Kind, s.Year, s.Cloud, s.VMs, float64(s.Length)/1024)
-		default:
-			fmt.Fprintf(stdout, "  %-10s %4d  %24s  %8.1f KiB\n",
-				s.Kind, s.Year, "", float64(s.Length)/1024)
+		if s.Cloud != "" {
+			fmt.Fprintf(stdout, "  %-12s %4d  %-10s %2d VM groups  %12d B\n",
+				s.Label, s.Year, s.Cloud, s.VMs, s.Length)
+		} else {
+			fmt.Fprintf(stdout, "  %-12s %4d  %24s  %12d B\n",
+				s.Label, s.Year, "", s.Length)
 		}
+	}
+	if *verify {
+		if _, err := snapshot.Decode(raw); err != nil {
+			return fmt.Errorf("snapshot info: verify: %w", err)
+		}
+		fmt.Fprintln(stdout, "verified: every section checksum OK")
 	}
 	return nil
 }

@@ -25,7 +25,7 @@ func main() {
 	trials := flag.Int("trials", 300, "random leakers to simulate per scenario")
 	flag.Parse()
 
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func main() {
 		if added >= *peers {
 			break
 		}
-		switch in.Class[a] {
+		switch in.ClassOf(a) {
 		case topogen.ClassTransit, topogen.ClassAccess:
 			if g.AddPeerIfAbsent(you, a) {
 				added++

@@ -23,7 +23,7 @@ func main() {
 	candidates := flag.Int("candidates", 40, "top transit candidates evaluated per round")
 	flag.Parse()
 
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 	cones := g.ConeSizes()
 	var pool []cand
 	for i, a := range g.ASes() {
-		if in.Class[a] != topogen.ClassTransit {
+		if in.ClassAt(i) != topogen.ClassTransit {
 			continue
 		}
 		if _, linked := g.HasLink(origin, a); linked || a == origin {

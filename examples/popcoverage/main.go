@@ -18,7 +18,7 @@ func main() {
 	budget := flag.Int("pops", 25, "PoPs the greedy deployment may place")
 	flag.Parse()
 
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,10 +57,10 @@ func main() {
 	show(fmt.Sprintf("greedy optimal (%d cities)", *budget), greedy)
 
 	for _, name := range []string{"Google", "Microsoft", "Amazon"} {
-		show(name, in.PoPs[in.Clouds[name]])
+		show(name, in.PoPsOf(in.Clouds[name]))
 	}
-	show("Sprint", in.PoPs[1239])
-	show("HE", in.PoPs[6939])
+	show("Sprint", in.PoPsOf(1239))
+	show("HE", in.PoPsOf(6939))
 
 	fmt.Println("\nfirst greedy picks:")
 	cities := geo.Cities()

@@ -16,7 +16,7 @@ import (
 func main() {
 	// A September-2020-calibrated Internet at 20% of the library's
 	// reference size (~2,000 ASes) — plenty for a quick look.
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		log.Fatal(err)
 	}

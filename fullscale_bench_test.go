@@ -1,0 +1,82 @@
+package flatnet_bench
+
+import (
+	"sync"
+	"testing"
+
+	"flatnet/internal/core"
+	"flatnet/internal/experiments"
+)
+
+// Full-scale variants of the headline benchmarks, pinned at the paper's
+// true scale (scale 1.0 = 69,488 ASes in 2020, 51,801 in 2015) regardless
+// of FLATNET_BENCH_SCALE. The scaled-down suite in bench_test.go tracks
+// day-to-day regressions cheaply; these are the numbers that matter for the
+// reproduction itself, and their ns/AS metric should stay in line with the
+// scaled-down runs — a divergence means some stage stopped scaling
+// linearly in topology size.
+
+var (
+	fullEnvOnce sync.Once
+	fullEnv     *experiments.Env
+	fullEnvErr  error
+)
+
+// fullScaleEnv generates the scale-1.0 environment once per test process
+// (tens of seconds on one core) and shares it across every FullScale
+// benchmark and BenchmarkSnapshotLoad. No prewarm: these benchmarks only
+// exercise the topology/propagation path, not plans or trace corpora.
+func fullScaleEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	fullEnvOnce.Do(func() {
+		fullEnv, fullEnvErr = experiments.NewEnv(1.0)
+	})
+	if fullEnvErr != nil {
+		b.Fatal(fullEnvErr)
+	}
+	return fullEnv
+}
+
+func BenchmarkTable1TopReachabilityFullScale(b *testing.B) {
+	e := fullScaleEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(e, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
+}
+
+func BenchmarkFig3ReachVsConeFullScale(b *testing.B) {
+	e := fullScaleEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
+}
+
+func BenchmarkFig7LeakCDFsFullScale(b *testing.B) {
+	e := fullScaleEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
+}
+
+func BenchmarkReachabilityAllFullScale(b *testing.B) {
+	e := fullScaleEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.M2020.ReachabilityAll(core.HierarchyFree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerAS(b, e.In2020.Graph.NumASes())
+}

@@ -84,13 +84,13 @@ func TestBuildGraphRoundTrip(t *testing.T) {
 // encode that asymmetry; the reproduction's main pipeline consumes the
 // feed view with CAIDA-style labels, not this inference.
 func TestInferOnGeneratedInternet(t *testing.T) {
-	in, err := topogen.Generate(topogen.Internet2020(0.12))
+	in, err := topogen.Generate(topogen.Internet2020(0.0171))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var cands []astopo.ASN
-	for _, a := range in.Graph.ASes() {
-		if in.Class[a] == topogen.ClassTransit || in.Class[a] == topogen.ClassTier2 {
+	for i, a := range in.Graph.ASes() {
+		if c := in.ClassAt(i); c == topogen.ClassTransit || c == topogen.ClassTier2 {
 			cands = append(cands, a)
 		}
 	}

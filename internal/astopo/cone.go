@@ -6,7 +6,7 @@ package astopo
 // hierarchy-free reachability against (§6.6).
 func (g *Graph) CustomerCone(a ASN) []ASN {
 	g.Freeze()
-	start, ok := g.idx[a]
+	start, ok := g.Index(a)
 	if !ok {
 		return nil
 	}
@@ -18,7 +18,7 @@ func (g *Graph) CustomerCone(a ASN) []ASN {
 		v := queue[0]
 		queue = queue[1:]
 		cone = append(cone, g.nodes[v])
-		for _, c := range g.customers[v] {
+		for _, c := range g.CustomersOf(int(v)) {
 			if !seen[c] {
 				seen[c] = true
 				queue = append(queue, c)
@@ -52,7 +52,7 @@ func (g *Graph) ConeSizes() []int {
 			v := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 			count++
-			for _, c := range g.customers[v] {
+			for _, c := range g.CustomersOf(int(v)) {
 				if epoch[c] != int32(s) {
 					epoch[c] = int32(s)
 					queue = append(queue, c)
@@ -74,7 +74,7 @@ func (g *Graph) Clique() []ASN {
 	g.Freeze()
 	var cands []ASN
 	for i, a := range g.nodes {
-		if len(g.providers[i]) == 0 && len(g.customers[i]) > 0 {
+		if len(g.ProvidersOf(i)) == 0 && len(g.CustomersOf(i)) > 0 {
 			cands = append(cands, a)
 		}
 	}

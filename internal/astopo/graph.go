@@ -58,18 +58,30 @@ type Link struct {
 // use. Graphs are cheap to query but are built incrementally; call Freeze
 // (or any query that requires indexes) after the last mutation to build the
 // adjacency indexes.
+//
+// The frozen adjacency state is held in flat arrays (sorted node list,
+// offset-based CSR rows over one shared arena) with no pointer-shaped
+// indexes, so a frozen graph can be reconstructed in O(1) from externally
+// owned memory — see Frozen and FromFrozen. Memory handed to FromFrozen may
+// be read-only (an mmap'd snapshot); the graph never writes to it.
 type Graph struct {
 	links []Link
 
-	// index state, built lazily by Freeze.
-	frozen    bool
-	nodes     []ASN           // sorted unique ASNs
-	idx       map[ASN]int     // ASN -> dense index
-	providers [][]int32       // dense index -> provider dense indexes
-	customers [][]int32       // dense index -> customer dense indexes
-	peers     [][]int32       // dense index -> peer dense indexes
-	linkSet   map[[2]ASN]Rel  // canonical (min,max) -> rel as stored
-	linkDir   map[[2]ASN]bool // canonical pair -> true if stored order was (min,max)
+	// Raw link columns for views built by FromFrozen; Links() materializes
+	// the []Link form lazily from these on first use.
+	rawA, rawB []ASN
+	rawRel     []Rel
+
+	// index state, built by Freeze (or borrowed via FromFrozen).
+	frozen bool
+	nodes  []ASN // sorted unique ASNs
+	// CSR adjacency: row i of providers is arena[provOff[i]:provOff[i+1]],
+	// likewise customers and peers. All offsets are absolute into arena.
+	provOff, custOff, peerOff []int32
+	arena                     []int32
+
+	linkSet map[[2]ASN]Rel  // canonical (min,max) -> rel as stored
+	linkDir map[[2]ASN]bool // canonical pair -> true if stored order was (min,max)
 }
 
 // NewGraph returns an empty graph with capacity hints for n ASes and m links.
@@ -88,10 +100,84 @@ func FromLinks(links []Link) *Graph {
 	return &Graph{links: links}
 }
 
+// Frozen is the flat-array form of a frozen graph: everything Freeze
+// computes, exposed as plain slices so it can be serialized verbatim and
+// reconstructed without re-deriving indexes. Offsets are absolute into
+// Arena; each offset slice has len(Nodes)+1 entries.
+type Frozen struct {
+	Nodes                     []ASN
+	ProvOff, CustOff, PeerOff []int32
+	Arena                     []int32
+	LinkA, LinkB              []ASN
+	LinkRel                   []Rel
+}
+
+// Frozen returns the graph's frozen state. The slices are shared with the
+// graph (and may be borrowed read-only memory); callers must not modify
+// them.
+func (g *Graph) Frozen() Frozen {
+	g.Freeze()
+	f := Frozen{
+		Nodes:   g.nodes,
+		ProvOff: g.provOff, CustOff: g.custOff, PeerOff: g.peerOff,
+		Arena: g.arena,
+		LinkA: g.rawA, LinkB: g.rawB, LinkRel: g.rawRel,
+	}
+	if f.LinkA == nil {
+		m := len(g.links)
+		cols := make([]ASN, 2*m)
+		f.LinkA, f.LinkB = cols[:m], cols[m:]
+		f.LinkRel = make([]Rel, m)
+		for i, l := range g.links {
+			f.LinkA[i], f.LinkB[i], f.LinkRel[i] = l.A, l.B, l.Rel
+		}
+	}
+	return f
+}
+
+// FromFrozen reconstructs a frozen graph view over externally built arrays
+// in O(1), without copying. The arrays may live in read-only memory (an
+// mmap'd snapshot): the graph only writes to them if mutated, in which case
+// AddLink first materializes a private []Link copy and the next Freeze
+// rebuilds the indexes in fresh memory. The caller is responsible for the
+// arrays being consistent (as produced by Frozen); only shape is checked.
+func FromFrozen(f Frozen) (*Graph, error) {
+	n, m := len(f.Nodes), len(f.LinkA)
+	if len(f.ProvOff) != n+1 || len(f.CustOff) != n+1 || len(f.PeerOff) != n+1 {
+		return nil, fmt.Errorf("astopo: offset rows sized %d/%d/%d, want %d",
+			len(f.ProvOff), len(f.CustOff), len(f.PeerOff), n+1)
+	}
+	if len(f.LinkB) != m || len(f.LinkRel) != m {
+		return nil, fmt.Errorf("astopo: link columns sized %d/%d/%d", m, len(f.LinkB), len(f.LinkRel))
+	}
+	if len(f.Arena) != 2*m {
+		return nil, fmt.Errorf("astopo: arena has %d entries, want %d", len(f.Arena), 2*m)
+	}
+	return &Graph{
+		rawA: f.LinkA, rawB: f.LinkB, rawRel: f.LinkRel,
+		frozen:  true,
+		nodes:   f.Nodes,
+		provOff: f.ProvOff, custOff: f.CustOff, peerOff: f.PeerOff,
+		arena: f.Arena,
+	}, nil
+}
+
+// materializeLinks converts raw link columns into the mutable []Link form.
+func (g *Graph) materializeLinks() {
+	if g.links == nil && g.rawA != nil {
+		ls := make([]Link, len(g.rawA))
+		for i := range ls {
+			ls[i] = Link{A: g.rawA[i], B: g.rawB[i], Rel: g.rawRel[i]}
+		}
+		g.links = ls
+	}
+}
+
 // pairIndex returns the duplicate-detection maps, building them from the
 // existing links on first use.
 func (g *Graph) pairIndex() (map[[2]ASN]Rel, map[[2]ASN]bool) {
 	if g.linkSet == nil {
+		g.materializeLinks()
 		g.linkSet = make(map[[2]ASN]Rel, len(g.links))
 		g.linkDir = make(map[[2]ASN]bool, len(g.links))
 		for _, l := range g.links {
@@ -119,7 +205,9 @@ func (g *Graph) AddLink(a, b ASN, rel Rel) error {
 	}
 	linkSet[key] = rel
 	linkDir[key] = key[0] == a
+	g.materializeLinks()
 	g.links = append(g.links, Link{A: a, B: b, Rel: rel})
+	g.rawA, g.rawB, g.rawRel = nil, nil, nil
 	g.frozen = false
 	return nil
 }
@@ -153,7 +241,7 @@ func (g *Graph) AddPeerIfAbsent(a, b ASN) bool {
 // relationship from a's perspective: P2C means a is b's provider, C2P means
 // a is b's customer, P2P means they peer.
 func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
-	if len(g.links) == 0 {
+	if g.NumLinks() == 0 {
 		return 0, false
 	}
 	linkSet, linkDir := g.pairIndex()
@@ -180,17 +268,26 @@ func (g *Graph) HasLink(a, b ASN) (Rel, bool) {
 // Clone returns a deep copy of the graph. The copy is unfrozen; its pair
 // index is rebuilt lazily from the copied links when first needed.
 func (g *Graph) Clone() *Graph {
-	ng := NewGraph(len(g.nodes), len(g.links))
-	ng.links = append(ng.links, g.links...)
+	ng := NewGraph(len(g.nodes), g.NumLinks())
+	ng.links = append(ng.links, g.Links()...)
 	return ng
 }
 
 // Links returns the graph's links. The returned slice is shared; callers
-// must not modify it.
-func (g *Graph) Links() []Link { return g.links }
+// must not modify it. For graphs built by FromFrozen the []Link form is
+// materialized (copied out of the borrowed columns) on first call.
+func (g *Graph) Links() []Link {
+	g.materializeLinks()
+	return g.links
+}
 
 // NumLinks returns the number of links.
-func (g *Graph) NumLinks() int { return len(g.links) }
+func (g *Graph) NumLinks() int {
+	if g.links == nil && g.rawA != nil {
+		return len(g.rawA)
+	}
+	return len(g.links)
+}
 
 // Freeze builds the adjacency indexes. It is idempotent and is called
 // automatically by queries that need indexes; exposed so callers can choose
@@ -208,28 +305,25 @@ func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
-	seen := make(map[ASN]struct{}, len(g.links)*2)
+	// Sorted-unique endpoint list via sort+compact rather than a map: no
+	// pointer-shaped index survives freezing (Index is a binary search),
+	// and at millions of links the sort beats map inserts handily.
+	all := make([]ASN, 0, 2*len(g.links))
 	for _, l := range g.links {
-		seen[l.A] = struct{}{}
-		seen[l.B] = struct{}{}
+		all = append(all, l.A, l.B)
 	}
-	g.nodes = g.nodes[:0]
-	for a := range seen {
-		g.nodes = append(g.nodes, a)
-	}
-	slices.Sort(g.nodes)
-	g.idx = make(map[ASN]int, len(g.nodes))
-	for i, a := range g.nodes {
-		g.idx[a] = i
-	}
+	slices.Sort(all)
+	g.nodes = slices.Compact(all)
 	n := len(g.nodes)
-	// One map resolution per endpoint: the counting pass caches the dense
+	// One binary search per endpoint: the counting pass caches the dense
 	// indexes for the fill pass.
 	ends := make([]int32, 2*len(g.links))
 	deg := make([]int32, 3*n)
 	provDeg, custDeg, peerDeg := deg[:n], deg[n:2*n], deg[2*n:]
 	for k, l := range g.links {
-		ai, bi := int32(g.idx[l.A]), int32(g.idx[l.B])
+		ia, _ := slices.BinarySearch(g.nodes, l.A)
+		ib, _ := slices.BinarySearch(g.nodes, l.B)
+		ai, bi := int32(ia), int32(ib)
 		ends[2*k], ends[2*k+1] = ai, bi
 		switch l.Rel {
 		case P2P:
@@ -240,23 +334,48 @@ func (g *Graph) Freeze() {
 			provDeg[bi]++
 		}
 	}
-	rows := make([][]int32, 3*n)
-	arena := make([]int32, 2*len(g.links))
-	off := 0
-	for r, d := range deg {
-		rows[r] = arena[off : off : off+int(d)]
-		off += int(d)
+	// Prefix-sum the three degree groups into absolute arena offsets
+	// (providers first, then customers, then peers), and fill rows in link
+	// order via a moving cursor. P2P links contribute both directions at
+	// the same step, keeping the exact neighbor order of incremental
+	// appends, which the propagation code's determinism depends on.
+	offs := make([]int32, 3*(n+1))
+	g.provOff, g.custOff, g.peerOff = offs[:n+1], offs[n+1:2*(n+1)], offs[2*(n+1):]
+	var off int32
+	for i := 0; i < n; i++ {
+		g.provOff[i] = off
+		off += provDeg[i]
 	}
-	g.providers, g.customers, g.peers = rows[:n:n], rows[n:2*n:2*n], rows[2*n:]
+	g.provOff[n] = off
+	for i := 0; i < n; i++ {
+		g.custOff[i] = off
+		off += custDeg[i]
+	}
+	g.custOff[n] = off
+	for i := 0; i < n; i++ {
+		g.peerOff[i] = off
+		off += peerDeg[i]
+	}
+	g.peerOff[n] = off
+	g.arena = make([]int32, 2*len(g.links))
+	cur := make([]int32, 3*n)
+	provCur, custCur, peerCur := cur[:n], cur[n:2*n], cur[2*n:]
+	copy(provCur, g.provOff[:n])
+	copy(custCur, g.custOff[:n])
+	copy(peerCur, g.peerOff[:n])
 	for k, l := range g.links {
 		ai, bi := ends[2*k], ends[2*k+1]
 		switch l.Rel {
 		case P2P:
-			g.peers[ai] = append(g.peers[ai], bi)
-			g.peers[bi] = append(g.peers[bi], ai)
+			g.arena[peerCur[ai]] = bi
+			peerCur[ai]++
+			g.arena[peerCur[bi]] = ai
+			peerCur[bi]++
 		case P2C:
-			g.customers[ai] = append(g.customers[ai], bi)
-			g.providers[bi] = append(g.providers[bi], ai)
+			g.arena[custCur[ai]] = bi
+			custCur[ai]++
+			g.arena[provCur[bi]] = ai
+			provCur[bi]++
 		}
 	}
 	g.frozen = true
@@ -277,11 +396,12 @@ func (g *Graph) ASes() []ASN {
 
 // Index returns the dense index of an ASN and whether it is present.
 // Dense indexes are stable for a frozen graph and are the currency of the
-// propagation code in package bgpsim.
+// propagation code in package bgpsim. The lookup is a binary search over
+// the sorted node list — no map is materialized, so graphs reconstructed
+// from a snapshot pay nothing for index availability.
 func (g *Graph) Index(a ASN) (int, bool) {
 	g.Freeze()
-	i, ok := g.idx[a]
-	return i, ok
+	return slices.BinarySearch(g.nodes, a)
 }
 
 // ASNAt returns the ASN at a dense index.
@@ -293,37 +413,37 @@ func (g *Graph) ASNAt(i int) ASN {
 // ProvidersOf returns the dense indexes of i's transit providers.
 func (g *Graph) ProvidersOf(i int) []int32 {
 	g.Freeze()
-	return g.providers[i]
+	return g.arena[g.provOff[i]:g.provOff[i+1]]
 }
 
 // CustomersOf returns the dense indexes of i's customers.
 func (g *Graph) CustomersOf(i int) []int32 {
 	g.Freeze()
-	return g.customers[i]
+	return g.arena[g.custOff[i]:g.custOff[i+1]]
 }
 
 // PeersOf returns the dense indexes of i's settlement-free peers.
 func (g *Graph) PeersOf(i int) []int32 {
 	g.Freeze()
-	return g.peers[i]
+	return g.arena[g.peerOff[i]:g.peerOff[i+1]]
 }
 
 // Providers returns the ASNs of a's transit providers, sorted.
 func (g *Graph) Providers(a ASN) []ASN {
-	return g.relASNs(a, func(i int) []int32 { return g.providers[i] })
+	return g.relASNs(a, g.ProvidersOf)
 }
 
 // Customers returns the ASNs of a's customers, sorted.
 func (g *Graph) Customers(a ASN) []ASN {
-	return g.relASNs(a, func(i int) []int32 { return g.customers[i] })
+	return g.relASNs(a, g.CustomersOf)
 }
 
 // Peers returns the ASNs of a's peers, sorted.
-func (g *Graph) Peers(a ASN) []ASN { return g.relASNs(a, func(i int) []int32 { return g.peers[i] }) }
+func (g *Graph) Peers(a ASN) []ASN { return g.relASNs(a, g.PeersOf) }
 
 func (g *Graph) relASNs(a ASN, pick func(int) []int32) []ASN {
 	g.Freeze()
-	i, ok := g.idx[a]
+	i, ok := g.Index(a)
 	if !ok {
 		return nil
 	}
@@ -338,23 +458,21 @@ func (g *Graph) relASNs(a ASN, pick func(int) []int32) []ASN {
 
 // Degree returns the total number of neighbors of a.
 func (g *Graph) Degree(a ASN) int {
-	g.Freeze()
-	i, ok := g.idx[a]
+	i, ok := g.Index(a)
 	if !ok {
 		return 0
 	}
-	return len(g.providers[i]) + len(g.customers[i]) + len(g.peers[i])
+	return len(g.ProvidersOf(i)) + len(g.CustomersOf(i)) + len(g.PeersOf(i))
 }
 
 // TransitDegree returns the number of unique neighbors that appear on either
 // side of a in transit (p2c) links — the AS-Rank transit degree metric.
 func (g *Graph) TransitDegree(a ASN) int {
-	g.Freeze()
-	i, ok := g.idx[a]
+	i, ok := g.Index(a)
 	if !ok {
 		return 0
 	}
-	return len(g.providers[i]) + len(g.customers[i])
+	return len(g.ProvidersOf(i)) + len(g.CustomersOf(i))
 }
 
 func canonPair(a, b ASN) [2]ASN {

@@ -15,8 +15,8 @@ func collectView(t testing.TB, scale float64, nVPs int) (*topogen.Internet, *Vie
 	}
 	// VPs: transit-class ASes, as with real collectors.
 	var cands []astopo.ASN
-	for _, a := range in.Graph.ASes() {
-		switch in.Class[a] {
+	for i, a := range in.Graph.ASes() {
+		switch in.ClassAt(i) {
 		case topogen.ClassTransit, topogen.ClassTier2:
 			cands = append(cands, a)
 		}
@@ -30,7 +30,7 @@ func collectView(t testing.TB, scale float64, nVPs int) (*topogen.Internet, *Vie
 }
 
 func TestCollectPathsValid(t *testing.T) {
-	in, view := collectView(t, 0.1, 10)
+	in, view := collectView(t, 0.01425, 10)
 	if len(view.Paths) == 0 {
 		t.Fatal("no paths")
 	}
@@ -54,7 +54,7 @@ func TestCollectPathsValid(t *testing.T) {
 // small fraction of the clouds' peerings (§4.1 reports ~10-90% missed
 // depending on the cloud).
 func TestFeedMissesCloudPeering(t *testing.T) {
-	in, view := collectView(t, 0.15, 30)
+	in, view := collectView(t, 0.02138, 30)
 	feed, err := view.BuildGraph()
 	if err != nil {
 		t.Fatal(err)
@@ -107,14 +107,14 @@ func TestFeedMissesCloudPeering(t *testing.T) {
 }
 
 func TestCollectErrors(t *testing.T) {
-	in, _ := collectView(t, 0.1, 2)
+	in, _ := collectView(t, 0.01425, 2)
 	if _, err := Collect(in.Graph, []astopo.ASN{999999999}); err == nil {
 		t.Error("unknown VP accepted")
 	}
 }
 
 func TestVisibleNeighbors(t *testing.T) {
-	_, view := collectView(t, 0.1, 5)
+	_, view := collectView(t, 0.01425, 5)
 	vp := view.VPs[0]
 	ns := view.VisibleNeighbors(vp)
 	if len(ns) == 0 {

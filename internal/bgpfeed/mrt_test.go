@@ -124,7 +124,7 @@ func TestMRTRejectsMalformed(t *testing.T) {
 // End to end: a collector view over a generated Internet survives the MRT
 // round trip with every path intact.
 func TestMRTOnGeneratedView(t *testing.T) {
-	in, view := collectView(t, 0.1, 6)
+	in, view := collectView(t, 0.01425, 6)
 	plan, err := netdb.Build(in)
 	if err != nil {
 		t.Fatal(err)

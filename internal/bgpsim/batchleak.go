@@ -78,11 +78,15 @@ type BatchLeak struct {
 
 	// Loop-detection scratch: reach/reachSet for the per-lane backward
 	// pass, pos[v] = v's index in the snapshot's distance order (cached
-	// per snapshot, rebuilt when the engine switches sweeps).
+	// per snapshot, rebuilt when the engine switches sweeps). The cache
+	// key is the (pointer, generation) pair: released sweeps recycle the
+	// same sweepBase struct for new configurations, so pointer identity
+	// alone would accept a stale index.
 	reach    []float64
 	reachSet []int32
 	pos      []int32
 	posBase  *sweepBase
+	posGen   uint64
 
 	lanes   [BatchLanes]int32 // leaker dense index per active lane
 	laneOut [BatchLanes]int   // output slot per active lane
@@ -511,7 +515,7 @@ func (bl *BatchLeak) runStage(bp *bucketedPushes, expand func(v int32, lg, lk ui
 // skipped iterations all carry zero reach), so the resulting set is
 // bit-for-bit identical.
 func (bl *BatchLeak) blockedPass(b *sweepBase, li int32, bit uint64) {
-	if bl.posBase != b {
+	if bl.posBase != b || bl.posGen != b.gen {
 		for i := range bl.pos {
 			bl.pos[i] = -1
 		}
@@ -519,6 +523,7 @@ func (bl *BatchLeak) blockedPass(b *sweepBase, li int32, bit uint64) {
 			bl.pos[v] = int32(i)
 		}
 		bl.posBase = b
+		bl.posGen = b.gen
 	}
 	reach := bl.reach
 	set := bl.reachSet[:0]

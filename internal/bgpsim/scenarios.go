@@ -125,7 +125,9 @@ func RunLeakTrialsCtx(ctx context.Context, g *astopo.Graph, cfgBase Config, leak
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Trials(ctx, leakers, weights)
+	trials, err := sweep.Trials(ctx, leakers, weights)
+	sweep.Release()
+	return trials, err
 }
 
 // SampleLeakers draws n distinct ASes uniformly at random, excluding the
@@ -208,6 +210,7 @@ func AverageResilience(g *astopo.Graph, nOrigins, nLeakers int, seed int64, weig
 			if err != nil {
 				return err
 			}
+			defer sweep.Release()
 			if sweep.base.scalarLeak {
 				for _, l := range jobs[i].leakers {
 					tr, err := sweep.Trial(l, weights)

@@ -18,7 +18,7 @@ func genInternet(t testing.TB, scale float64) *topogen.Internet {
 }
 
 func TestScenarioConfigLocking(t *testing.T) {
-	in := genInternet(t, 0.15)
+	in := genInternet(t, 0.02138)
 	g := in.Graph
 	google := in.Clouds["Google"]
 
@@ -57,7 +57,7 @@ func TestScenarioConfigLocking(t *testing.T) {
 }
 
 func TestScenarioConfigHierarchyPolicy(t *testing.T) {
-	in := genInternet(t, 0.15)
+	in := genInternet(t, 0.02138)
 	g := in.Graph
 	google := in.Clouds["Google"]
 	cfg := ScenarioConfig(g, google, in.Tier1, in.Tier2, AnnounceHierarchy)
@@ -83,7 +83,7 @@ func TestScenarioConfigHierarchyPolicy(t *testing.T) {
 // announcement must be worse (more detours) than announce-to-all for a
 // richly peered origin — §8.2's central findings, erratum semantics.
 func TestLeakScenarioOrdering(t *testing.T) {
-	in := genInternet(t, 0.15)
+	in := genInternet(t, 0.02138)
 	g := in.Graph
 	google := in.Clouds["Google"]
 	leakers := SampleLeakers(g, google, 60, 42)
@@ -119,7 +119,7 @@ func TestLeakScenarioOrdering(t *testing.T) {
 }
 
 func TestSampleLeakersProperties(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	ls := SampleLeakers(g, origin, 50, 7)
@@ -159,7 +159,7 @@ func TestCDF(t *testing.T) {
 }
 
 func TestAverageResilience(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	frac, _, err := AverageResilience(in.Graph, 4, 5, 99, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/par"
@@ -27,6 +28,11 @@ type LeakSweep struct {
 	base *sweepBase
 	sim  *Simulator
 
+	// ownsBase marks sweeps created by NewLeakSweep (whose Release
+	// recycles the whole sweep); Clone/WithHijack derivatives share the
+	// base and only recycle their simulator.
+	ownsBase bool
+
 	// Per-sweep scratch for the leaker loop-detection pass.
 	reach   []float64
 	blocked []bool
@@ -45,42 +51,113 @@ type sweepBase struct {
 	order  []int32   // classed nodes in ascending best-length order
 	counts []float64 // N(w): tied-best DAG paths w -> origin
 
+	// gen distinguishes successive configurations rebuilt into this same
+	// (pooled) struct: NewLeakSweep bumps it on every rebuild, so caches
+	// keyed by base identity (BatchLeak's position index) must match the
+	// (pointer, gen) pair, not the pointer alone.
+	gen uint64
+
 	// scalarLeak pins Trials to the scalar per-leaker path instead of the
 	// word-parallel BatchLeak engine (the batch engine's fallback). Set by
 	// the FLATNET_SCALAR_LEAK env var for debugging and benchmarking.
 	scalarLeak bool
 }
 
+// simPool recycles Simulators across sweeps and clones of the same graph.
+// A fresh tracked propagation allocates one small via-slice per settled
+// node — by far the dominant allocation count of a sweep's pre-pass — and
+// those slices reach a stable high-water shape after one run, so reusing
+// simulators makes repeated sweep construction (one per origin×scenario in
+// the Figs. 7–10 pipeline) nearly allocation-free. A pooled simulator
+// built for a different graph is simply dropped.
+var simPool sync.Pool
+
+func getSim(g *astopo.Graph) *Simulator {
+	if v := simPool.Get(); v != nil {
+		if s := v.(*Simulator); s.g == g {
+			return s
+		}
+	}
+	return New(g)
+}
+
+func putSim(s *Simulator) {
+	s.ctx = nil
+	s.leakBlocked = nil // points into a sweep's scratch; never outlive it
+	simPool.Put(s)
+}
+
+// sweepPool recycles whole sweeps — simulator, pre-pass snapshot arrays,
+// and loop-detection scratch — returned by LeakSweep.Release.
+var sweepPool sync.Pool
+
 // NewLeakSweep validates base (whose Leaker field is ignored), runs the
 // leak-free pre-pass once, and returns a sweep ready to replay leakers
-// against it. The graph is frozen by the call.
+// against it. The graph is frozen by the call. Release the sweep when
+// done to recycle its buffers for the next configuration.
 func NewLeakSweep(g *astopo.Graph, base Config) (*LeakSweep, error) {
 	base.Leaker = 0
-	sim := New(g)
+	g.Freeze()
+	var sw *LeakSweep
+	if v := sweepPool.Get(); v != nil && v.(*LeakSweep).base.g == g {
+		sw = v.(*LeakSweep)
+	} else {
+		sw = &LeakSweep{base: &sweepBase{g: g}, sim: New(g), ownsBase: true}
+	}
+	sim := sw.sim
 	seeds, _, err := sim.prepare(base)
 	if err != nil {
+		sweepPool.Put(sw)
 		return nil, err
 	}
 	sim.propagate(seeds, base.Exclude, base.Locking, true, base.BreakTies)
-	b := &sweepBase{
-		g:      g,
-		cfg:    base,
-		origin: seeds[0].idx,
-		class:  append([]Class(nil), sim.class...),
-		dist:   append([]int32(nil), sim.dist...),
-		csr:    sim.csr().clone(),
-		order:  append([]int32(nil), sim.orderByDistance()...),
-
-		scalarLeak: os.Getenv("FLATNET_SCALAR_LEAK") != "",
+	b := sw.base
+	b.cfg = base
+	b.origin = seeds[0].idx
+	b.class = append(b.class[:0], sim.class...)
+	b.dist = append(b.dist[:0], sim.dist...)
+	b.csr = nextHopCSR{
+		off:   append(b.csr.off[:0], sim.nhOff...),
+		num:   append(b.csr.num[:0], sim.nhLen...),
+		arena: append(b.csr.arena[:0], sim.nhArena...),
 	}
-	b.counts = make([]float64, sim.n)
+	b.order = append(b.order[:0], sim.orderByDistance()...)
+	b.gen++
+	b.scalarLeak = os.Getenv("FLATNET_SCALAR_LEAK") != ""
+	b.counts = growFloats(b.counts, sim.n)
 	pathCountsCSR(b.csr, b.class, b.dist, b.order, b.counts)
-	return &LeakSweep{
-		base:    b,
-		sim:     sim,
-		reach:   make([]float64, sim.n),
-		blocked: make([]bool, sim.n),
-	}, nil
+	sw.reach = growFloats(sw.reach, sim.n)
+	if cap(sw.blocked) < sim.n {
+		sw.blocked = make([]bool, sim.n)
+	}
+	sw.blocked = sw.blocked[:sim.n]
+	return sw, nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Release returns the sweep's buffers to per-graph pools for reuse by the
+// next NewLeakSweep or Clone over the same graph. Call it only once the
+// sweep AND every Clone/WithHijack derivative is done — the recycled
+// arrays back future sweeps, so any later use corrupts them. Releasing is
+// optional (an unreleased sweep is ordinary garbage) and a derivative's
+// Release recycles only its private simulator.
+func (sw *LeakSweep) Release() {
+	if !sw.ownsBase {
+		if sw.sim != nil {
+			putSim(sw.sim)
+			sw.sim = nil
+		}
+		return
+	}
+	sw.sim.ctx = nil
+	sw.sim.leakBlocked = nil
+	sweepPool.Put(sw)
 }
 
 // Clone returns a sweep sharing this one's immutable pre-pass snapshot but
@@ -89,7 +166,7 @@ func NewLeakSweep(g *astopo.Graph, base Config) (*LeakSweep, error) {
 func (sw *LeakSweep) Clone() *LeakSweep {
 	return &LeakSweep{
 		base:    sw.base,
-		sim:     New(sw.base.g),
+		sim:     getSim(sw.base.g),
 		reach:   make([]float64, len(sw.reach)),
 		blocked: make([]bool, len(sw.blocked)),
 	}
@@ -113,7 +190,7 @@ func (sw *LeakSweep) WithHijack(hijack bool) *LeakSweep {
 	nb.cfg.Hijack = hijack
 	return &LeakSweep{
 		base:    &nb,
-		sim:     New(nb.g),
+		sim:     getSim(nb.g),
 		reach:   make([]float64, len(sw.reach)),
 		blocked: make([]bool, len(sw.blocked)),
 	}
@@ -219,10 +296,13 @@ func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights [
 		}
 		return out, nil
 	}
-	err := par.ForCtx(ctx, runtime.GOMAXPROCS(0), len(leakers), func(w int) func(i int) error {
+	workers := runtime.GOMAXPROCS(0)
+	clones := make([]*LeakSweep, workers)
+	err := par.ForCtx(ctx, workers, len(leakers), func(w int) func(i int) error {
 		s := sw
 		if w > 0 {
 			s = sw.Clone()
+			clones[w] = s
 		}
 		return func(i int) error {
 			tr, err := s.TrialCtx(ctx, leakers[i], weights)
@@ -233,6 +313,11 @@ func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights [
 			return nil
 		}
 	})
+	for _, c := range clones {
+		if c != nil {
+			c.Release()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -50,7 +50,7 @@ func requireResultsIdentical(t *testing.T, label string, want, got *Result) {
 // outcome bit-for-bit across every scenario configuration of §8.2,
 // including restricted announcement policies and peer locking.
 func TestLeakSweepMatchesRunAcrossScenarios(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	leakers := SampleLeakers(g, origin, 40, 13)
@@ -100,7 +100,7 @@ func TestLeakSweepMatchesRunAcrossScenarios(t *testing.T) {
 // Hijacks compete at length zero with no loop detection; the sweep must
 // take the same path as Simulator.Run for them.
 func TestLeakSweepMatchesRunHijack(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	leakers := SampleLeakers(g, origin, 25, 29)
@@ -162,7 +162,7 @@ func TestLeakSweepNoRouteLeaker(t *testing.T) {
 // Clones share the cached pre-pass but not mutable state: concurrent use
 // must agree with the sequential primary.
 func TestLeakSweepCloneMatchesPrimary(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	leakers := SampleLeakers(g, origin, 10, 5)
@@ -212,7 +212,7 @@ func TestLeakSweepTrialAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
-	in := genInternet(t, 0.05)
+	in := genInternet(t, 0.00713)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	leakers := SampleLeakers(g, origin, 8, 3)
@@ -243,7 +243,7 @@ func TestReachabilityCountAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
-	in := genInternet(t, 0.05)
+	in := genInternet(t, 0.00713)
 	g := in.Graph
 	sim := New(g)
 	origins := g.ASes()
@@ -292,7 +292,7 @@ func TestRunLeakTrialsErrorReturnsInsteadOfHanging(t *testing.T) {
 
 // The sweep-backed RunLeakTrials must agree with per-trial simulation.
 func TestRunLeakTrialsMatchesPerTrialRuns(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	g := in.Graph
 	origin := in.Clouds["Google"]
 	leakers := SampleLeakers(g, origin, 30, 11)
@@ -323,7 +323,7 @@ func TestRunLeakTrialsMatchesPerTrialRuns(t *testing.T) {
 // AverageResilience must stay deterministic in its seed now that origins
 // run in parallel.
 func TestAverageResilienceDeterministic(t *testing.T) {
-	in := genInternet(t, 0.1)
+	in := genInternet(t, 0.01425)
 	a1, u1, err := AverageResilience(in.Graph, 4, 5, 99, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -98,7 +98,7 @@ func TestUnreachable(t *testing.T) {
 }
 
 func TestReachabilityAllMatchesSingle(t *testing.T) {
-	in, err := topogen.Generate(topogen.Internet2020(0.12))
+	in, err := topogen.Generate(topogen.Internet2020(0.0171))
 	if err != nil {
 		t.Fatal(err)
 	}

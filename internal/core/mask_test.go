@@ -8,7 +8,7 @@ import (
 
 func genDataset(t *testing.T) Dataset {
 	t.Helper()
-	in, err := topogen.Generate(topogen.Internet2020(0.05))
+	in, err := topogen.Generate(topogen.Internet2020(0.00713))
 	if err != nil {
 		t.Fatal(err)
 	}

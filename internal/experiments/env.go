@@ -4,8 +4,9 @@
 // renderer, and an entry in the Registry used by cmd/flatnet and the
 // benchmark harness.
 //
-// Absolute values differ from the paper's — the substrate is a 1:7-scaled
-// synthetic topology, not the authors' measurement testbed — but the
+// Absolute values differ from the paper's — the substrate is a synthetic
+// topology (true-scale at 1.0: 69,488 ASes for 2020, matching the paper's
+// measured Internet), not the authors' measurement testbed — but the
 // shapes (who wins, by what factor, where curves cross) are the
 // reproduction targets. EXPERIMENTS.md records paper-vs-measured values
 // for every artifact.
@@ -24,6 +25,7 @@ import (
 	"flatnet/internal/population"
 	"flatnet/internal/rdns"
 	"flatnet/internal/single"
+	"flatnet/internal/snapshot"
 	"flatnet/internal/topogen"
 	"flatnet/internal/tracesim"
 )
@@ -43,6 +45,11 @@ type Env struct {
 	// serial pins every build to the original one-artifact-at-a-time,
 	// one-cloud-at-a-time behavior; the cold-start benchmark's baseline.
 	serial bool
+
+	// src, when non-nil, is the snapshot Reader backing this Env
+	// (NewEnvFromSnapshot): lazy artifacts present in the snapshot are
+	// decoded from it on first demand instead of being rebuilt.
+	src *snapshot.Reader
 
 	flights single.Group[string, any]
 
@@ -70,9 +77,10 @@ type traceKey struct {
 	nVMs  int
 }
 
-// NewEnv generates both presets at the given scale (1.0 ≈ 9,900 ASes for
-// 2020). The experiments' default is 0.35, which keeps the whole-Internet
-// sweeps under a minute on a laptop. The two presets (and their metrics and
+// NewEnv generates both presets at the given scale (1.0 = 69,488 ASes for
+// 2020, the paper's measured Internet). The CLI default is 0.04987 (~3.5k
+// ASes), which keeps the whole-Internet sweeps under a minute on a laptop.
+// The two presets (and their metrics and
 // population models) are built concurrently; generation is deterministic
 // per preset seed, so the result is identical to a serial build.
 func NewEnv(scale float64) (*Env, error) {
@@ -145,7 +153,13 @@ func (e *Env) Plan2020() (*netdb.Plan, error) {
 		if p != nil {
 			return p, nil
 		}
-		built, err := netdb.Build(e.In2020)
+		var built *netdb.Plan
+		var err error
+		if e.src != nil && e.src.HasPlan(2020) {
+			built, err = e.src.Plan(2020)
+		} else {
+			built, err = netdb.Build(e.In2020)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +189,13 @@ func (e *Env) Plan2015() (*netdb.Plan, error) {
 		if p != nil {
 			return p, nil
 		}
-		built, err := netdb.Build(e.In2015)
+		var built *netdb.Plan
+		var err error
+		if e.src != nil && e.src.HasPlan(2015) {
+			built, err = e.src.Plan(2015)
+		} else {
+			built, err = netdb.Build(e.In2015)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +239,15 @@ func (e *Env) RDNS2020() (*rdns.Corpus, error) {
 		if c != nil {
 			return c, nil
 		}
-		built := rdns.Synthesize(plan, 20200901)
+		var built *rdns.Corpus
+		if e.src != nil && e.src.HasRDNS(2020) {
+			var err error
+			if built, err = e.src.RDNS(2020); err != nil {
+				return nil, err
+			}
+		} else {
+			built = rdns.Synthesize(plan, 20200901)
+		}
 		e.mu.Lock()
 		e.rdns2020 = built
 		e.mu.Unlock()
@@ -300,6 +328,16 @@ func (e *Env) Traces(year int, cloud string, nVMs int) ([][]tracesim.Traceroute,
 	n := len(vms)
 	if tr, ok := e.lookupTraces(year, cloud, n); ok {
 		return tr, nil
+	}
+	if e.src != nil {
+		tr, ok, err := e.tracesFromSnapshot(year, cloud, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			e.storeTraces(traceKey{year, cloud, n}, tr)
+			return tr, nil
+		}
 	}
 
 	if e.serial {

@@ -23,7 +23,7 @@ var (
 func getEnv(t *testing.T) *Env {
 	t.Helper()
 	testEnvOnce.Do(func() {
-		testEnv, testEnvErr = NewEnv(0.2)
+		testEnv, testEnvErr = NewEnv(0.0285)
 	})
 	if testEnvErr != nil {
 		t.Fatal(testEnvErr)

@@ -20,7 +20,7 @@ func transitProvidersForGeo(in *topogen.Internet) []astopo.ASN {
 	}
 	var out []astopo.ASN
 	for _, a := range list {
-		if len(in.PoPs[a]) > 0 {
+		if len(in.PoPsOf(a)) > 0 {
 			out = append(out, a)
 		}
 	}
@@ -30,7 +30,7 @@ func transitProvidersForGeo(in *topogen.Internet) []astopo.ASN {
 func cloudPoPUnion(in *topogen.Internet) []geo.CityID {
 	var sets [][]geo.CityID
 	for _, c := range Clouds() {
-		sets = append(sets, in.PoPs[in.Clouds[c]])
+		sets = append(sets, in.PoPsOf(in.Clouds[c]))
 	}
 	return geo.Union(sets...)
 }
@@ -38,7 +38,7 @@ func cloudPoPUnion(in *topogen.Internet) []geo.CityID {
 func transitPoPUnion(in *topogen.Internet) []geo.CityID {
 	var sets [][]geo.CityID
 	for _, a := range transitProvidersForGeo(in) {
-		sets = append(sets, in.PoPs[a])
+		sets = append(sets, in.PoPsOf(a))
 	}
 	return geo.Union(sets...)
 }
@@ -148,7 +148,7 @@ func Fig12(env *Env) (*Fig12Result, error) {
 	for _, a := range providers {
 		row := Fig12Row{Label: in.NameOf(a)}
 		for i, r := range geo.PaperRadiiKm {
-			row.Coverage[i] = geo.CoveragePct(in.PoPs[a], r)
+			row.Coverage[i] = geo.CoveragePct(in.PoPsOf(a), r)
 		}
 		res.PerProvider = append(res.PerProvider, row)
 	}

@@ -52,7 +52,11 @@ func Hijack(env *Env) ([]HijackRow, error) {
 		if row.LeakMean, row.LeakWorst, err = run(sweep); err != nil {
 			return nil, err
 		}
-		if row.HijackMean, row.HijackWorst, err = run(sweep.WithHijack(true)); err != nil {
+		hij := sweep.WithHijack(true)
+		row.HijackMean, row.HijackWorst, err = run(hij)
+		hij.Release()
+		sweep.Release()
+		if err != nil {
 			return nil, err
 		}
 		lockCfg := bgpsim.ScenarioConfig(in.Graph, origin, in.Tier1, in.Tier2, bgpsim.AnnounceAllLockT1T2)
@@ -61,7 +65,9 @@ func Hijack(env *Env) ([]HijackRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if row.LockedHijackMean, _, err = run(lockSweep); err != nil {
+		row.LockedHijackMean, _, err = run(lockSweep)
+		lockSweep.Release()
+		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)

@@ -60,6 +60,7 @@ func leakFigure(in *topogen.Internet, originName string, origin astopo.ASN, tria
 			return nil, err
 		}
 		trialsRes, err := sweep.Trials(context.Background(), leakers, w)
+		sweep.Release()
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +138,7 @@ func Fig10(env *Env) (*Fig10Result, error) {
 			return nil, 0, err
 		}
 		trials, err := sweep.Trials(context.Background(), leakers, nil)
+		sweep.Release()
 		if err != nil {
 			return nil, 0, err
 		}

@@ -17,8 +17,8 @@ const feedVPCount = 40
 // feedView collects the BGP-feed-visible topology of a preset.
 func feedView(in *topogen.Internet) (*bgpfeed.View, error) {
 	var cands []astopo.ASN
-	for _, a := range in.Graph.ASes() {
-		switch in.Class[a] {
+	for i, a := range in.Graph.ASes() {
+		switch in.ClassAt(i) {
 		case topogen.ClassTransit, topogen.ClassTier2, topogen.ClassTier1:
 			cands = append(cands, a)
 		}

@@ -236,7 +236,7 @@ func Fig3(env *Env) (*Fig3Result, error) {
 	}
 	for i := range res.Points {
 		a := g.ASNAt(i)
-		res.Points[i] = Fig3Point{AS: a, Cone: cones[i], Reach: reach[i], Type: env.Pop2020.Type(a), Class: in.Class[a]}
+		res.Points[i] = Fig3Point{AS: a, Cone: cones[i], Reach: reach[i], Type: env.Pop2020.Type(a), Class: in.ClassAt(i)}
 		if reach[i] >= res.Threshold {
 			res.HighReach++
 		}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -28,27 +30,48 @@ func TestSnapshotEnvMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := NewEnvFromWorld(world)
+	decoded, err := NewEnvFromWorld(world)
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Second loaded environment: the zero-copy Reader path over an actual
+	// file mapping, exactly as cmd/flatnet -snapshot serves it.
+	path := filepath.Join(t.TempDir(), "world.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := snapshot.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	mapped, err := NewEnvFromSnapshot(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// table1 exercises both presets' metrics; fig7 exercises the leak
-	// simulator over the restored graphs; appA reads the trace corpora.
-	for _, id := range []string{"table1", "fig7", "appA"} {
+	// simulator over the restored graphs; appA reads the trace corpora;
+	// table3 reads the plans and the rDNS corpus.
+	for _, id := range []string{"table1", "fig7", "appA", "table3"} {
 		r, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
 		}
-		var want, got bytes.Buffer
+		var want bytes.Buffer
 		if err := r.Run(fresh, &want); err != nil {
 			t.Fatalf("%s on fresh env: %v", id, err)
 		}
-		if err := r.Run(loaded, &got); err != nil {
-			t.Fatalf("%s on snapshot env: %v", id, err)
-		}
-		if !bytes.Equal(want.Bytes(), got.Bytes()) {
-			t.Errorf("%s output differs between fresh and snapshot-loaded env\nfresh:\n%s\nsnapshot:\n%s",
-				id, want.String(), got.String())
+		for name, env := range map[string]*Env{"decoded": decoded, "mmap": mapped} {
+			var got bytes.Buffer
+			if err := r.Run(env, &got); err != nil {
+				t.Fatalf("%s on %s snapshot env: %v", id, name, err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Errorf("%s output differs between fresh and %s snapshot env\nfresh:\n%s\nsnapshot:\n%s",
+					id, name, want.String(), got.String())
+			}
 		}
 	}
 }
@@ -59,7 +82,7 @@ func TestSnapshotEnvMatchesFresh(t *testing.T) {
 // coarse lock the second build could never start and the test would time
 // out.
 func TestConcurrentTraceBuildsOverlapAndCoalesce(t *testing.T) {
-	e, err := NewEnv(0.1)
+	e, err := NewEnv(0.01425)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +157,7 @@ func TestConcurrentTraceBuildsOverlapAndCoalesce(t *testing.T) {
 // A failed trace build must not be memoized: the next call retries and
 // succeeds.
 func TestTraceBuildErrorRetried(t *testing.T) {
-	e, err := NewEnv(0.1)
+	e, err := NewEnv(0.01425)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ type fixture struct {
 
 func newFixture(t testing.TB) *fixture {
 	t.Helper()
-	in, err := topogen.Generate(topogen.Internet2020(0.15))
+	in, err := topogen.Generate(topogen.Internet2020(0.02138))
 	if err != nil {
 		t.Fatal(err)
 	}

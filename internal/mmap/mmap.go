@@ -1,0 +1,24 @@
+// Package mmap maps files into memory read-only so large on-disk arrays can
+// be served zero-copy, with a plain read-into-heap fallback on platforms
+// without mmap support.
+//
+// The returned bytes are shared with the page cache when mapped: loads fault
+// pages in on demand (load cost is O(pages touched), not O(file size)), and
+// stores are forbidden — the mapping is PROT_READ, so writing to memory
+// borrowed from it faults. Consumers that hold slices cast from a mapping
+// must treat them as immutable and must not use them after Close.
+package mmap
+
+// Mapping is a read-only view of a file's contents.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when backed by an OS mapping rather than the heap
+}
+
+// Data returns the file contents. The slice is read-only when Mapped
+// reports true; treat it as immutable either way.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the bytes are served from an OS file mapping
+// (zero-copy) rather than a heap copy.
+func (m *Mapping) Mapped() bool { return m.mapped }

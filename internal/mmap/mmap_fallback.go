@@ -1,0 +1,22 @@
+//go:build !linux
+
+package mmap
+
+import "os"
+
+// Open reads the file into the heap on platforms without the mmap fast
+// path. Callers observe the same API; Mapped reports false.
+func Open(path string) (*Mapping, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: raw}, nil
+}
+
+// Close releases the buffer. The Mapping's bytes must not be used
+// afterwards.
+func (m *Mapping) Close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,53 @@
+//go:build linux
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps the file at path read-only. Empty files yield an empty,
+// unmapped Mapping. On mmap failure (e.g. a filesystem that rejects
+// mappings) it falls back to reading the file into the heap.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("mmap: %s: size %d overflows int", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, fmt.Errorf("mmap: %s: %v (fallback read: %w)", path, err, rerr)
+		}
+		return &Mapping{data: raw}, nil
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Close releases the mapping. The Mapping's bytes must not be used
+// afterwards.
+func (m *Mapping) Close() error {
+	if !m.mapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	m.mapped = false
+	return syscall.Munmap(data)
+}

@@ -59,7 +59,7 @@ func (f *fixture) infer(t testing.TB, cloud string, nVMs int, stage Stage) (Infe
 // methodology, and the final methodology keeps FDR low while FNR stays
 // moderate (more neighbors exist than measurements can see).
 func TestMethodologyStagesImproveFDR(t *testing.T) {
-	f := newFixture(t, 0.15)
+	f := newFixture(t, 0.02138)
 	_, vNaive := f.infer(t, "Google", 6, StageNaive)
 	_, vDiscard := f.infer(t, "Google", 6, StageDiscard)
 	_, vFinal := f.infer(t, "Google", 6, StageFinal)
@@ -81,7 +81,7 @@ func TestMethodologyStagesImproveFDR(t *testing.T) {
 
 // More VM locations uncover more neighbors (lower FNR), §5.
 func TestMoreVMsLowerFNR(t *testing.T) {
-	f := newFixture(t, 0.15)
+	f := newFixture(t, 0.02138)
 	_, v2 := f.infer(t, "Google", 2, StageFinal)
 	_, v12 := f.infer(t, "Google", 12, StageFinal)
 	t.Logf("2 VMs: FNR=%.3f; 12 VMs: FNR=%.3f", v2.FNR, v12.FNR)
@@ -91,7 +91,7 @@ func TestMoreVMsLowerFNR(t *testing.T) {
 }
 
 func TestInferredNeighborsMostlyReal(t *testing.T) {
-	f := newFixture(t, 0.15)
+	f := newFixture(t, 0.02138)
 	inf, v := f.infer(t, "Microsoft", 0, StageFinal)
 	if len(inf.Neighbors) == 0 {
 		t.Fatal("no neighbors inferred")
@@ -145,7 +145,7 @@ func TestAugment(t *testing.T) {
 // (which strips every ground-truth field) must give identical neighbor
 // sets.
 func TestInferWorksFromWireFormat(t *testing.T) {
-	f := newFixture(t, 0.1)
+	f := newFixture(t, 0.01425)
 	vms, err := f.engine.VMs("Google", 4)
 	if err != nil {
 		t.Fatal(err)

@@ -2,9 +2,11 @@
 // and IP→AS-mapping pipelines operate on, substituting for the real
 // Internet's routed address space (DESIGN.md §2).
 //
-// Every AS is allocated a /16 from which it announces routes and numbers
-// its router interfaces. Inter-AS link subnets follow real-world
-// conventions that drive the paper's §5 inference pitfalls:
+// Every AS is allocated a block (a /16 up to ~21k ASes, a /18 beyond that
+// so the paper's full 69,488-AS topology fits in IPv4) from which it
+// announces routes and numbers its router interfaces. Inter-AS link
+// subnets follow real-world conventions that drive the paper's §5
+// inference pitfalls:
 //
 //   - provider-to-customer links are numbered from the provider's space, so
 //     the customer's border interface resolves to the provider (a
@@ -72,9 +74,11 @@ type IXPLan struct {
 type Plan struct {
 	in *topogen.Internet
 
-	// ASPrefix is each AS's /16 allocation.
+	// ASPrefix is each AS's block allocation (/16, or /18 at large scale).
 	ASPrefix map[astopo.ASN]netip.Prefix
-	// Extra are additional announced /24s for content-heavy ASes.
+	// Extra are additional announced prefixes: /24 more-specifics for
+	// content-heavy ASes, plus overflow link-subnet blocks for hub ASes
+	// whose own block ran out of point-to-point subnets.
 	Extra map[astopo.ASN][]netip.Prefix
 	// Infra maps ASes that number their internal routers from an
 	// unannounced infrastructure block (registered in whois only) — a
@@ -95,8 +99,25 @@ const ixpAnnounceFrac = 0.3
 
 // infraFrac is the fraction of non-cloud ASes numbering internal routers
 // from unannounced infrastructure space (a /20 per AS carved from
-// 100.0.0.0/4, far from both the per-AS /16s and the IXP LANs).
+// 100.0.0.0 upward, far from both the per-AS blocks and the IXP LANs).
 const infraFrac = 0.35
+
+// Address-plan regions (all bases in uint32 address form):
+//
+//	 16.0.0.0 .. <100.0.0.0   per-AS blocks, sequential by dense index
+//	100.0.0.0 .. <122.0.0.0   unannounced infrastructure /20s
+//	130.0.0.0 .. <193.0.0.0   overflow link-subnet blocks for hub ASes
+//	193.0.0.0 ..              IXP LANs, /20 each
+//
+// /16 blocks fit 21,504 ASes below 100.0.0.0; past that Build switches to
+// /18s, which hold 86,016 — comfortably above the paper's 69,488.
+const (
+	asBlockBase   = uint32(16) << 24
+	overflowBase  = uint32(130) << 24
+	overflowLimit = uint32(193) << 24
+	max16ASes     = 21504
+	max18ASes     = 86016
+)
 
 // pdbStaleFrac is the fraction of PeeringDB netixlan rows attributing an
 // exchange address to the wrong member.
@@ -111,9 +132,17 @@ const ixpOperatorASNBase astopo.ASN = 3000000
 func Build(in *topogen.Internet) (*Plan, error) {
 	g := in.Graph
 	g.Freeze()
-	if g.NumASes() > 60000 {
-		return nil, fmt.Errorf("netdb: %d ASes exceed the /16-per-AS plan capacity", g.NumASes())
+	if g.NumASes() > max18ASes {
+		return nil, fmt.Errorf("netdb: %d ASes exceed the /18-per-AS plan capacity (%d)", g.NumASes(), max18ASes)
 	}
+	// Block size: /16s while they fit below the infrastructure region,
+	// /18s for true-scale topologies. Small-scale plans are bit-identical
+	// to the historical /16-only layout.
+	asBits := 16
+	if g.NumASes() > max16ASes {
+		asBits = 18
+	}
+	blockSize := uint32(1) << (32 - asBits)
 	rng := rand.New(rand.NewSource(in.Spec.Seed ^ 0x51ab17e))
 	p := &Plan{
 		in:       in,
@@ -123,22 +152,25 @@ func Build(in *topogen.Internet) (*Plan, error) {
 		Links:    make(map[[2]astopo.ASN]LinkNumbering, g.NumLinks()),
 	}
 
-	// Per-AS /16s carved sequentially from 16.0.0.0 upward (dense index
+	// Per-AS blocks carved sequentially from 16.0.0.0 upward (dense index
 	// order, so deterministic). About a third of non-cloud ASes number
-	// their internal routers from an unannounced /24 in 100.0.0.0/8.
+	// their internal routers from an unannounced /20 past 100.0.0.0.
+	// Extra /24s sit at the same relative position (200/256 of the way
+	// into the block) at every block size.
+	extraSlot := 200 * (blockSize >> 8) / 256
 	for i, a := range g.ASes() {
-		base := uint32(16)<<24 | uint32(i)<<16
-		p.ASPrefix[a] = netip.PrefixFrom(addrFrom(base), 16)
-		if in.Class[a] != topogen.ClassCloud && rng.Float64() < infraFrac {
+		base := asBlockBase + uint32(i)*blockSize
+		p.ASPrefix[a] = netip.PrefixFrom(addrFrom(base), asBits)
+		if in.ClassAt(i) != topogen.ClassCloud && rng.Float64() < infraFrac {
 			infra := uint32(100+i>>12)<<24 | uint32(i&0xfff)<<12
 			p.Infra[a] = netip.PrefixFrom(addrFrom(infra), 20)
 		}
 		// Content networks announce a couple of extra /24s (more
 		// specifics), exercising longest-prefix matching.
-		if in.Class[a] == topogen.ClassContent && rng.Float64() < 0.5 {
+		if in.ClassAt(i) == topogen.ClassContent && rng.Float64() < 0.5 {
 			n := 1 + rng.Intn(2)
 			for k := 0; k < n; k++ {
-				sub := base | uint32(200+k)<<8
+				sub := base | (extraSlot+uint32(k))<<8
 				p.Extra[a] = append(p.Extra[a], netip.PrefixFrom(addrFrom(sub), 24))
 			}
 		}
@@ -208,16 +240,39 @@ func Build(in *topogen.Internet) (*Plan, error) {
 	}
 
 	// Number every link. Per-owner subnet counters allocate /30-style
-	// pairs from the top of the owner's /16.
+	// pairs from the top half of the owner's block, downward. Hub ASes
+	// that exhaust it (transit giants at true scale own thousands of
+	// customer links) continue in announced overflow blocks, so their
+	// link addresses still resolve to them by longest-prefix match — the
+	// multi-block numbering real carriers use. Overflow blocks are
+	// allocated in link-iteration order, so the layout stays
+	// deterministic for equal seeds.
+	pairsPerBlock := int(blockSize / 2 / 4)
+	pairsPerOverflow := int(blockSize / 4)
 	subnetCount := make(map[astopo.ASN]int)
+	overflowOf := make(map[astopo.ASN][]uint32)
+	nextOverflow := overflowBase
 	nextPair := func(owner astopo.ASN) (netip.Addr, netip.Addr, error) {
 		k := subnetCount[owner]
 		subnetCount[owner]++
-		off := 0xFFFC - 4*uint32(k)
-		if off < 0x8000 {
-			return netip.Addr{}, netip.Addr{}, fmt.Errorf("netdb: AS%d exhausted link subnets (%d links)", owner, k)
+		if k < pairsPerBlock {
+			off := blockSize - 4 - 4*uint32(k)
+			base := prefixBase(p.ASPrefix[owner])
+			return addrFrom(base + off + 1), addrFrom(base + off + 2), nil
 		}
-		base := prefixBase(p.ASPrefix[owner])
+		k -= pairsPerBlock
+		blocks := overflowOf[owner]
+		if k/pairsPerOverflow >= len(blocks) {
+			if nextOverflow >= overflowLimit {
+				return netip.Addr{}, netip.Addr{}, fmt.Errorf("netdb: overflow link-subnet space exhausted at AS%d", owner)
+			}
+			blocks = append(blocks, nextOverflow)
+			overflowOf[owner] = blocks
+			p.Extra[owner] = append(p.Extra[owner], netip.PrefixFrom(addrFrom(nextOverflow), asBits))
+			nextOverflow += blockSize
+		}
+		base := blocks[k/pairsPerOverflow]
+		off := blockSize - 4 - 4*uint32(k%pairsPerOverflow)
 		return addrFrom(base + off + 1), addrFrom(base + off + 2), nil
 	}
 
@@ -295,7 +350,8 @@ func (p *Plan) LinkInfo(a, b astopo.ASN) (LinkNumbering, bool) {
 
 // InternalAddr returns the i-th internal router address of an AS: from the
 // AS's unannounced infrastructure block when it has one, otherwise from the
-// bottom of its /16 (away from the link subnets).
+// bottom of its announced block (away from the link subnets in the top
+// half; the capacity scales with the block size).
 func (p *Plan) InternalAddr(a astopo.ASN, i int) (netip.Addr, bool) {
 	if infra, ok := p.Infra[a]; ok {
 		if i < 0 || i >= 0xF00 {
@@ -304,7 +360,11 @@ func (p *Plan) InternalAddr(a astopo.ASN, i int) (netip.Addr, bool) {
 		return addrFrom(prefixBase(infra) + 1 + uint32(i)), true
 	}
 	pfx, ok := p.ASPrefix[a]
-	if !ok || i < 0 || i >= 0x7000 {
+	if !ok {
+		return netip.Addr{}, false
+	}
+	limit := int(uint32(1)<<(32-pfx.Bits())/2) - 0x1000
+	if i < 0 || i >= limit {
 		return netip.Addr{}, false
 	}
 	return addrFrom(prefixBase(pfx) + 0x0100 + uint32(i)), true

@@ -1,6 +1,7 @@
 package netdb
 
 import (
+	"net/netip"
 	"reflect"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func buildPlan(t testing.TB) (*topogen.Internet, *Plan) {
 	t.Helper()
-	in, err := topogen.Generate(topogen.Internet2020(0.15))
+	in, err := topogen.Generate(topogen.Internet2020(0.02138))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,8 +159,144 @@ func TestInternalAddr(t *testing.T) {
 	}
 }
 
+// TestTrueScalePlan exercises the /18 layout that full-scale topologies
+// (more than max16ASes ASes) switch to: distinct blocks below the
+// infrastructure region, link subnets contained in the owner's announced
+// space — via overflow blocks when a hub's own block runs out — and
+// internal addresses that stay clear of the link region.
+func TestTrueScalePlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a >21k-AS topology")
+	}
+	in, err := topogen.Generate(topogen.Internet2020(0.32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := in.Graph.NumASes(); n <= max16ASes {
+		t.Fatalf("scale 0.32 gives %d ASes, need > %d for the /18 path", n, max16ASes)
+	}
+	p, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]astopo.ASN{}
+	for _, a := range in.Graph.ASes() {
+		pfx := p.ASPrefix[a]
+		if pfx.Bits() != 18 {
+			t.Fatalf("AS%d prefix %v is not a /18", a, pfx)
+		}
+		if prefixBase(pfx) >= uint32(100)<<24 {
+			t.Fatalf("AS%d block %v collides with the infrastructure region", a, pfx)
+		}
+		if prev, dup := seen[pfx.String()]; dup {
+			t.Fatalf("prefix %v shared by AS%d and AS%d", pfx, prev, a)
+		}
+		seen[pfx.String()] = a
+	}
+	contained := func(owner astopo.ASN, num LinkNumbering) bool {
+		if p.ASPrefix[owner].Contains(num.AAddr) && p.ASPrefix[owner].Contains(num.BAddr) {
+			return true
+		}
+		for _, e := range p.Extra[owner] {
+			if e.Contains(num.AAddr) && e.Contains(num.BAddr) {
+				return true
+			}
+		}
+		return false
+	}
+	overflowed := false
+	for _, l := range in.Graph.Links() {
+		num, ok := p.LinkInfo(l.A, l.B)
+		if !ok {
+			t.Fatalf("link %v unnumbered", l)
+		}
+		if num.IXP >= 0 {
+			continue
+		}
+		if !contained(num.Owner, num) {
+			t.Fatalf("link %v: addrs %v/%v outside owner AS%d announced space", l, num.AAddr, num.BAddr, num.Owner)
+		}
+		if !p.ASPrefix[num.Owner].Contains(num.AAddr) {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Log("no owner exhausted its /18 link region at this scale (overflow path untested here)")
+	}
+	a := in.Clouds["Google"]
+	addr, ok := p.InternalAddr(a, 3)
+	if !ok || !p.ASPrefix[a].Contains(addr) {
+		t.Fatalf("internal addr %v (ok=%v) outside AS%d /18", addr, ok, a)
+	}
+	if _, ok := p.InternalAddr(a, 0x1000); ok {
+		t.Error("internal index past the /18 capacity accepted")
+	}
+}
+
+// TestOverflowLinkSubnets drives the overflow allocator deterministically:
+// a star topology past the /18 threshold whose hub provider numbers every
+// customer link — far more than the 2,048 pairs one /18's link region
+// holds. Every address must land in the hub's announced space (own block
+// or an overflow block in Extra) and stay pairwise distinct.
+func TestOverflowLinkSubnets(t *testing.T) {
+	n := max16ASes + 64
+	hub := astopo.ASN(500)
+	links := make([]astopo.Link, n-1)
+	for i := range links {
+		links[i] = astopo.Link{A: hub, B: astopo.ASN(1000 + i), Rel: astopo.P2C}
+	}
+	in := &topogen.Internet{
+		Spec:  topogen.Spec{Seed: 42},
+		Graph: astopo.FromLinks(links),
+		Meta:  &topogen.ASMeta{Class: make([]topogen.ASClass, n)},
+	}
+	p, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ASPrefix[hub].Bits(); got != 18 {
+		t.Fatalf("hub prefix is a /%d, want /18", got)
+	}
+	if len(p.Extra[hub]) == 0 {
+		t.Fatal("hub exhausted no overflow blocks despite >2048 owned links")
+	}
+	inHubSpace := func(a netip.Addr) bool {
+		if p.ASPrefix[hub].Contains(a) {
+			return true
+		}
+		for _, e := range p.Extra[hub] {
+			if e.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[netip.Addr]bool, 2*(n-1))
+	for _, l := range links {
+		num, ok := p.LinkInfo(l.A, l.B)
+		if !ok {
+			t.Fatalf("link %v unnumbered", l)
+		}
+		if num.Owner != hub {
+			t.Fatalf("link %v owned by AS%d, want hub", l, num.Owner)
+		}
+		if !inHubSpace(num.AAddr) || !inHubSpace(num.BAddr) {
+			t.Fatalf("link %v addrs %v/%v outside hub announced space", l, num.AAddr, num.BAddr)
+		}
+		if seen[num.AAddr] || seen[num.BAddr] {
+			t.Fatalf("link %v reuses an address (%v or %v)", l, num.AAddr, num.BAddr)
+		}
+		seen[num.AAddr], seen[num.BAddr] = true, true
+	}
+	for _, e := range p.Extra[hub] {
+		if base := prefixBase(e); base < overflowBase || base >= overflowLimit {
+			t.Fatalf("overflow block %v outside the overflow region", e)
+		}
+	}
+}
+
 func TestBuildDeterministic(t *testing.T) {
-	in, err := topogen.Generate(topogen.Internet2020(0.1))
+	in, err := topogen.Generate(topogen.Internet2020(0.01425))
 	if err != nil {
 		t.Fatal(err)
 	}

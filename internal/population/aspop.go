@@ -104,7 +104,11 @@ func WriteASPop(w io.Writer, records []ASPopRecord) error {
 func (m *Model) Export(cc func(astopo.ASN) string) []ASPopRecord {
 	const scaleUsers = 4.5e9 // "Internet users" the synthetic world holds
 	var out []ASPopRecord
-	for a, u := range m.users {
+	for i, u := range m.users {
+		if u == 0 {
+			continue
+		}
+		a := m.asns[i]
 		country := "ZZ"
 		if cc != nil {
 			country = cc(a)
@@ -133,31 +137,68 @@ func (m *Model) Export(cc func(astopo.ASN) string) []ASPopRecord {
 // access for every listed AS and enterprise otherwise; callers needing full
 // typing should combine with a CAIDA as2type file via TypeOverrides.
 func ModelFromASPop(records []ASPopRecord) *Model {
+	sorted := append([]ASPopRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].AS < sorted[j].AS })
 	m := &Model{
-		types: make(map[astopo.ASN]ASType, len(records)),
-		users: make(map[astopo.ASN]float64, len(records)),
+		asns:  make([]astopo.ASN, 0, len(sorted)),
+		types: make([]ASType, 0, len(sorted)),
+		users: make([]float64, 0, len(sorted)),
 	}
+	for _, r := range sorted {
+		if n := len(m.asns); n > 0 && m.asns[n-1] == r.AS {
+			m.users[n-1] += r.Users // duplicate rows merge, as map writes did
+			continue
+		}
+		m.asns = append(m.asns, r.AS)
+		m.types = append(m.types, TypeAccess)
+		m.users = append(m.users, r.Users)
+	}
+	// Sum in record order so the total matches the pre-dense behavior
+	// bit-for-bit.
 	for _, r := range records {
-		m.types[r.AS] = TypeAccess
-		m.users[r.AS] = r.Users
 		m.total += r.Users
 	}
 	return m
 }
 
 // TypeOverrides applies CAIDA as2type labels on top of the model's types.
+// Labeled ASes absent from the model are inserted with zero users. The
+// model's columns are re-allocated, never written in place, so overrides
+// are safe even on a model backed by read-only snapshot memory.
 func (m *Model) TypeOverrides(labels map[astopo.ASN]astopo.AS2TypeRecord) {
+	var missing []astopo.ASN
+	for a := range labels {
+		if _, ok := m.index(a); !ok {
+			missing = append(missing, a)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	na := make([]astopo.ASN, 0, len(m.asns)+len(missing))
+	nt := make([]ASType, 0, cap(na))
+	nu := make([]float64, 0, cap(na))
+	i, j := 0, 0
+	for i < len(m.asns) || j < len(missing) {
+		if j >= len(missing) || (i < len(m.asns) && m.asns[i] < missing[j]) {
+			na, nt, nu = append(na, m.asns[i]), append(nt, m.types[i]), append(nu, m.users[i])
+			i++
+		} else {
+			na, nt, nu = append(na, missing[j]), append(nt, TypeEnterprise), append(nu, 0)
+			j++
+		}
+	}
+	m.asns, m.types, m.users = na, nt, nu
 	for a, rec := range labels {
+		k, _ := m.index(a)
 		switch rec.Type {
 		case astopo.TypeLabelContent:
-			m.types[a] = TypeContent
+			m.types[k] = TypeContent
 		case astopo.TypeLabelEnterprise:
-			m.types[a] = TypeEnterprise
+			m.types[k] = TypeEnterprise
 		case astopo.TypeLabelTransitAccess:
-			if m.users[a] > 0 {
-				m.types[a] = TypeAccess // the paper's §4.3 refinement
+			if m.users[k] > 0 {
+				m.types[k] = TypeAccess // the paper's §4.3 refinement
 			} else {
-				m.types[a] = TypeTransit
+				m.types[k] = TypeTransit
 			}
 		}
 	}

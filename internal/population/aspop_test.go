@@ -48,7 +48,7 @@ func TestReadASPopErrors(t *testing.T) {
 }
 
 func TestASPopRoundTripAndExport(t *testing.T) {
-	in, err := topogen.Generate(topogen.Internet2020(0.15))
+	in, err := topogen.Generate(topogen.Internet2020(0.02138))
 	if err != nil {
 		t.Fatal(err)
 	}

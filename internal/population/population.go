@@ -48,10 +48,14 @@ func (t ASType) String() string {
 	return "unknown"
 }
 
-// Model holds the per-AS annotations.
+// Model holds the per-AS annotations in dense columns parallel to a sorted
+// ASN list (the graph's node order). Lookups are binary searches; no
+// pointer-shaped state exists, so a model can be reconstructed in O(1) from
+// externally owned (possibly read-only, mmap'd) memory via FromDense.
 type Model struct {
-	types map[astopo.ASN]ASType
-	users map[astopo.ASN]float64
+	asns  []astopo.ASN // sorted ascending
+	types []ASType
+	users []float64 // 0 for ASes without user mass
 	total float64
 }
 
@@ -62,38 +66,37 @@ type Model struct {
 // The Zipf exponent s (≈1.1 matches APNIC's skew) and the rng seed make the
 // assignment deterministic per Internet.
 func Build(in *topogen.Internet, zipfS float64) *Model {
+	nodes := in.Graph.ASes()
 	m := &Model{
-		types: make(map[astopo.ASN]ASType, in.Graph.NumASes()),
-		users: make(map[astopo.ASN]float64),
+		asns:  nodes, // shared with the graph; never mutated
+		types: make([]ASType, len(nodes)),
+		users: make([]float64, len(nodes)),
 	}
 	rng := rand.New(rand.NewSource(in.Spec.Seed ^ 0x9e3779b9))
-	var accessASes []astopo.ASN
-	for _, a := range in.Graph.ASes() {
-		switch in.Class[a] {
+	var accessIdx []int
+	for i := range nodes {
+		switch in.ClassAt(i) {
 		case topogen.ClassAccess:
-			m.types[a] = TypeAccess
-			accessASes = append(accessASes, a)
+			m.types[i] = TypeAccess
+			accessIdx = append(accessIdx, i)
 		case topogen.ClassContent, topogen.ClassCloud:
-			m.types[a] = TypeContent
+			m.types[i] = TypeContent
 		case topogen.ClassEnterprise:
-			m.types[a] = TypeEnterprise
+			m.types[i] = TypeEnterprise
 		default:
-			m.types[a] = TypeTransit
+			m.types[i] = TypeTransit
 		}
 	}
 	// Zipf ranks shuffled across access ASes, weighted by home-metro
 	// population so that a big-metro AS tends to hold more users.
-	perm := rng.Perm(len(accessASes))
+	perm := rng.Perm(len(accessIdx))
 	cities := geo.Cities()
 	for rank, pi := range perm {
-		a := accessASes[pi]
+		i := accessIdx[pi]
 		base := 1.0 / math.Pow(float64(rank+1), zipfS)
-		metro := 1.0
-		if c, ok := in.HomeCity[a]; ok {
-			metro = 0.5 + cities[c].PopM/10
-		}
+		metro := 0.5 + cities[in.HomeCityAt(i)].PopM/10
 		u := base * metro
-		m.users[a] = u
+		m.users[i] = u
 		m.total += u
 	}
 	return m
@@ -112,55 +115,89 @@ type Entry struct {
 // restore: float summation order matters in the last ulp, and Share values
 // must survive a snapshot round trip bit-for-bit.
 func (m *Model) Snapshot() ([]Entry, float64) {
-	entries := make([]Entry, 0, len(m.types))
-	for a, t := range m.types {
-		entries = append(entries, Entry{AS: a, Type: t, Users: m.users[a]})
+	entries := make([]Entry, len(m.asns))
+	for i, a := range m.asns {
+		entries[i] = Entry{AS: a, Type: m.types[i], Users: m.users[i]}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].AS < entries[j].AS })
 	return entries, m.total
 }
 
 // Restore rebuilds a Model from snapshot entries and the exact total.
 func Restore(entries []Entry, total float64) *Model {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].AS < sorted[j].AS })
 	m := &Model{
-		types: make(map[astopo.ASN]ASType, len(entries)),
-		users: make(map[astopo.ASN]float64),
+		asns:  make([]astopo.ASN, len(sorted)),
+		types: make([]ASType, len(sorted)),
+		users: make([]float64, len(sorted)),
 		total: total,
 	}
-	for _, e := range entries {
-		m.types[e.AS] = e.Type
-		if e.Users > 0 {
-			m.users[e.AS] = e.Users
-		}
+	for i, e := range sorted {
+		m.asns[i] = e.AS
+		m.types[i] = e.Type
+		m.users[i] = e.Users
 	}
 	return m
 }
 
+// Dense returns the model's columns — ASNs sorted ascending with parallel
+// types and users — and the exact user total. The slices are shared (and
+// possibly read-only); callers must not modify them.
+func (m *Model) Dense() (asns []astopo.ASN, types []ASType, users []float64, total float64) {
+	return m.asns, m.types, m.users, m.total
+}
+
+// FromDense wires a model over externally built columns in O(1), without
+// copying. The columns may live in read-only memory (an mmap'd snapshot);
+// asns must be sorted ascending and all three slices must have equal
+// length.
+func FromDense(asns []astopo.ASN, types []ASType, users []float64, total float64) *Model {
+	return &Model{asns: asns, types: types, users: users, total: total}
+}
+
+func (m *Model) index(a astopo.ASN) (int, bool) {
+	lo, hi := 0, len(m.asns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.asns[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(m.asns) && m.asns[lo] == a
+}
+
 // Type returns the AS's type; unknown ASes are enterprises.
 func (m *Model) Type(a astopo.ASN) ASType {
-	if t, ok := m.types[a]; ok {
-		return t
+	if i, ok := m.index(a); ok {
+		return m.types[i]
 	}
 	return TypeEnterprise
 }
 
 // Users returns the AS's user mass (arbitrary units; use Share for
 // fractions).
-func (m *Model) Users(a astopo.ASN) float64 { return m.users[a] }
+func (m *Model) Users(a astopo.ASN) float64 {
+	if i, ok := m.index(a); ok {
+		return m.users[i]
+	}
+	return 0
+}
 
 // Share returns the AS's fraction of all Internet users.
 func (m *Model) Share(a astopo.ASN) float64 {
 	if m.total == 0 {
 		return 0
 	}
-	return m.users[a] / m.total
+	return m.Users(a) / m.total
 }
 
 // TotalUsers returns the summed user mass.
 func (m *Model) TotalUsers() float64 { return m.total }
 
 // IsEyeball reports whether the AS hosts end users.
-func (m *Model) IsEyeball(a astopo.ASN) bool { return m.users[a] > 0 }
+func (m *Model) IsEyeball(a astopo.ASN) bool { return m.Users(a) > 0 }
 
 // WeightsDense returns per-AS user weights indexed by the graph's dense
 // index, normalized to sum to 1 — the form bgpsim.Result.DetouredWeight
@@ -171,9 +208,12 @@ func (m *Model) WeightsDense(g *astopo.Graph) []float64 {
 	if m.total == 0 {
 		return w
 	}
-	for a, u := range m.users {
-		if i, ok := g.Index(a); ok {
-			w[i] = u / m.total
+	for i, u := range m.users {
+		if u == 0 {
+			continue
+		}
+		if gi, ok := g.Index(m.asns[i]); ok {
+			w[gi] = u / m.total
 		}
 	}
 	return w

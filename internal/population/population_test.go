@@ -10,7 +10,7 @@ import (
 
 func buildModel(t *testing.T) (*topogen.Internet, *Model) {
 	t.Helper()
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,10 +19,10 @@ func buildModel(t *testing.T) (*topogen.Internet, *Model) {
 
 func TestTypesFollowClasses(t *testing.T) {
 	in, m := buildModel(t)
-	for _, a := range in.Graph.ASes() {
+	for i, a := range in.Graph.ASes() {
 		got := m.Type(a)
 		var want ASType
-		switch in.Class[a] {
+		switch in.ClassAt(i) {
 		case topogen.ClassAccess:
 			want = TypeAccess
 		case topogen.ClassContent, topogen.ClassCloud:
@@ -33,7 +33,7 @@ func TestTypesFollowClasses(t *testing.T) {
 			want = TypeTransit
 		}
 		if got != want {
-			t.Fatalf("AS%d: type %v, want %v (class %v)", a, got, want, in.Class[a])
+			t.Fatalf("AS%d: type %v, want %v (class %v)", a, got, want, in.ClassAt(i))
 		}
 	}
 	if m.Type(4000000000) != TypeEnterprise {
@@ -44,12 +44,12 @@ func TestTypesFollowClasses(t *testing.T) {
 func TestOnlyAccessHasUsers(t *testing.T) {
 	in, m := buildModel(t)
 	for _, a := range in.Graph.ASes() {
-		if in.Class[a] == topogen.ClassAccess {
+		if in.ClassOf(a) == topogen.ClassAccess {
 			if !m.IsEyeball(a) {
 				t.Fatalf("access AS%d has no users", a)
 			}
 		} else if m.IsEyeball(a) {
-			t.Fatalf("non-access AS%d (%v) has users", a, in.Class[a])
+			t.Fatalf("non-access AS%d (%v) has users", a, in.ClassOf(a))
 		}
 	}
 }
@@ -98,7 +98,7 @@ func TestUserDistributionHeavyTailed(t *testing.T) {
 }
 
 func TestDeterministic(t *testing.T) {
-	in, err := topogen.Generate(topogen.Internet2020(0.2))
+	in, err := topogen.Generate(topogen.Internet2020(0.0285))
 	if err != nil {
 		t.Fatal(err)
 	}

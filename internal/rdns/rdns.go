@@ -19,7 +19,6 @@ import (
 	"math/rand"
 	"net/netip"
 	"regexp"
-	"sort"
 	"strings"
 
 	"flatnet/internal/astopo"
@@ -121,14 +120,17 @@ func Synthesize(plan *netdb.Plan, seed int64) *Corpus {
 	}
 	cities := geo.Cities()
 
-	asns := make([]astopo.ASN, 0, len(in.PoPs))
-	for asn := range in.PoPs {
-		asns = append(asns, asn)
+	// Named networks are the ones with PoP lists; the graph's node order
+	// is already sorted by ASN.
+	var asns []astopo.ASN
+	for i, asn := range in.Graph.ASes() {
+		if len(in.PoPsAt(i)) > 0 {
+			asns = append(asns, asn)
+		}
 	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 
 	for _, asn := range asns {
-		pops := in.PoPs[asn]
+		pops := in.PoPsOf(asn)
 		name := in.NameOf(asn)
 		cov, ok := Table3Coverage[name]
 		if !ok {
@@ -180,7 +182,7 @@ func ExtractIATA(re *regexp.Regexp, hostname string) (string, bool) {
 // network's hostnames with the given regex and count how many of its PoP
 // cities are confirmed. Returns (confirmed, total PoPs, hostnames seen).
 func ConfirmedPoPs(in *topogen.Internet, corpus *Corpus, asn astopo.ASN, re *regexp.Regexp) (confirmed, total, hostnames int) {
-	pops := in.PoPs[asn]
+	pops := in.PoPsOf(asn)
 	total = len(pops)
 	records := corpus.ByAS[asn]
 	hostnames = len(records)

@@ -11,7 +11,7 @@ import (
 
 func buildCorpus(t testing.TB) (*topogen.Internet, *netdb.Plan, *Corpus) {
 	t.Helper()
-	in, err := topogen.Generate(topogen.Internet2020(0.15))
+	in, err := topogen.Generate(topogen.Internet2020(0.02138))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestCoverageTracksTable3(t *testing.T) {
 	ntt := astopo.ASN(2914)
 	orange := astopo.ASN(5511)
 	frac := func(asn astopo.ASN) float64 {
-		return float64(len(corpus.CoveredPoPs[asn])) / float64(len(in.PoPs[asn]))
+		return float64(len(corpus.CoveredPoPs[asn])) / float64(len(in.PoPsOf(asn)))
 	}
 	if f := frac(ntt); f < 0.9 {
 		t.Errorf("NTT coverage %.2f, want ~1.0", f)
@@ -61,8 +61,8 @@ func TestManualExtraction(t *testing.T) {
 		if confirmed != covered {
 			t.Errorf("%s: confirmed %d PoPs, want %d (all rDNS-covered PoPs)", name, confirmed, covered)
 		}
-		if total != len(in.PoPs[asn]) {
-			t.Errorf("%s: total = %d, want %d", name, total, len(in.PoPs[asn]))
+		if total != len(in.PoPsOf(asn)) {
+			t.Errorf("%s: total = %d, want %d", name, total, len(in.PoPsOf(asn)))
 		}
 	}
 }

@@ -40,10 +40,11 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	scale := fs.Float64("scale", 0.35, "topology scale (when generating)")
+	scale := fs.Float64("scale", 0.04987, "topology scale when generating (1.0 = the paper's 69,488 ASes)")
 	year := fs.Int("year", 2020, "preset year (when generating; 2015 or 2020)")
 	topo := fs.String("topo", "", "CAIDA serial-1/serial-2 relationship file (default: generated preset)")
 	snap := fs.String("snapshot", "", "binary snapshot file (see 'flatnet snapshot build'; skips generation)")
+	verify := fs.Bool("verify", false, "with -snapshot: checksum every section, including the mmap-served hot arrays, before serving")
 	cacheSize := fs.Int("cache", 0, "result cache entries (default 4096)")
 	timeout := fs.Duration("timeout", 0, "default per-request deadline (default 5s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "upper bound on client-requested deadlines (default 60s)")
@@ -72,16 +73,29 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		return &usageErr{errors.New("serve: -topo and -snapshot are mutually exclusive")}
 	}
 	if *snap != "" {
-		world, err := snapshot.ReadFile(*snap)
-		if err != nil {
-			return err
+		// Zero-copy mmap path first; fall back to the eager legacy decoder
+		// for v1 files. The Reader stays open for the daemon's lifetime —
+		// the served graph borrows its memory.
+		var in *topogen.Internet
+		if rd, oerr := snapshot.Open(*snap); oerr == nil {
+			if *verify {
+				if err := rd.Verify(); err != nil {
+					return err
+				}
+			}
+			in = rd.Internet(*year)
+		} else {
+			world, rerr := snapshot.ReadFile(*snap)
+			if rerr != nil {
+				return oerr
+			}
+			in = world.Internets[*year]
 		}
-		in, ok := world.Internets[*year]
-		if !ok {
+		if in == nil {
 			return fmt.Errorf("serve: snapshot %s has no %d internet section", *snap, *year)
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
-		cfg.Names = in.Name
+		cfg.Names = in.NameOf
 	} else if *topo != "" {
 		f, err := os.Open(*topo)
 		if err != nil {
@@ -109,7 +123,7 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
-		cfg.Names = in.Name
+		cfg.Names = in.NameOf
 	}
 
 	srv, err := New(cfg)

@@ -161,7 +161,12 @@ func parseIntParam(r *http.Request, name string, def, max int) (int, error) {
 	return v, nil
 }
 
-func (s *Server) nameOf(a astopo.ASN) string { return s.cfg.Names[a] }
+func (s *Server) nameOf(a astopo.ASN) string {
+	if s.cfg.Names == nil {
+		return ""
+	}
+	return s.cfg.Names(a)
+}
 
 // ---- endpoints ----
 

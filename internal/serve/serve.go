@@ -39,8 +39,8 @@ import (
 type Config struct {
 	// Dataset is the topology plus tier sets the metrics run over.
 	Dataset core.Dataset
-	// Names optionally maps ASNs to display names (topogen's Name map).
-	Names map[astopo.ASN]string
+	// Names optionally resolves ASNs to display names (topogen's NameOf).
+	Names func(astopo.ASN) string
 
 	// CacheSize bounds the result cache, in entries (default 4096).
 	CacheSize int

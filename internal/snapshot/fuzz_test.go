@@ -1,0 +1,35 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes at the version dispatcher, both
+// decoders, and the info reader. The contract under fuzz is purely "never
+// panic, never hang": a valid world decodes, everything else must come back
+// as an error. Seeds cover both format versions plus systematic one-byte
+// corruptions and truncations of a valid v2 file.
+func FuzzSnapshotDecode(f *testing.F) {
+	raw := encode(f, buildWorld(f))
+	f.Add(raw)
+	if legacy, err := os.ReadFile("testdata/v1-mini.snap"); err == nil {
+		f.Add(legacy)
+	}
+	for _, off := range []int{0, 9, 21, 30, 40, len(raw) / 2, len(raw) - 3} {
+		bad := bytes.Clone(raw)
+		bad[off] ^= 0xff
+		f.Add(bad)
+	}
+	f.Add(raw[:24])
+	f.Add(raw[:len(raw)/3])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if w, err := Decode(b); err == nil && w == nil {
+			t.Fatal("Decode returned neither world nor error")
+		}
+		if info, err := ReadInfo(bytes.NewReader(b)); err == nil && info == nil {
+			t.Fatal("ReadInfo returned neither info nor error")
+		}
+	})
+}

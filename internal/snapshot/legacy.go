@@ -1,0 +1,259 @@
+package snapshot
+
+// The version 1 format: a single concatenated stream of length-prefixed
+// sections guarded by one trailing whole-file CRC, with every value —
+// including the topology adjacency — decoded and copied eagerly. Old
+// snapshot files on disk still load through this path; new files are
+// written in the v2 aligned format only (see v2.go).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/geo"
+	"flatnet/internal/netdb"
+	"flatnet/internal/population"
+	"flatnet/internal/rdns"
+	"flatnet/internal/topogen"
+	"flatnet/internal/tracesim"
+)
+
+// decodeV1 decodes the legacy v1 stream: whole-file CRC, then every section
+// decoded eagerly.
+func decodeV1(raw []byte) (*World, error) {
+	const trailer = 4
+	headerLen := len(magic) + 4 + 8 + 4
+	if len(raw) < headerLen+trailer {
+		return nil, fmt.Errorf("snapshot: truncated: %d bytes", len(raw))
+	}
+	body, sum := raw[:len(raw)-trailer], raw[len(raw)-trailer:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(sum); got != want {
+		return nil, fmt.Errorf("snapshot: checksum mismatch: computed %#x, stored %#x", got, want)
+	}
+	d := &dec{buf: body}
+	var m [8]byte
+	d.bytes(m[:])
+	d.u32() // version, checked by the dispatcher
+	world := &World{
+		Scale:     d.f64(),
+		Internets: make(map[int]*topogen.Internet),
+		Pops:      make(map[int]*population.Model),
+		Plans:     make(map[int]*netdb.Plan),
+		RDNS:      make(map[int]*rdns.Corpus),
+		Traces:    make(map[TraceKey][][]tracesim.Traceroute),
+	}
+	nsect := int(d.u32())
+	for i := 0; i < nsect && d.err == nil; i++ {
+		kind := Kind(d.u32())
+		length := d.u64()
+		if length > uint64(len(d.buf)-d.off) {
+			return nil, fmt.Errorf("snapshot: section %d (%s) length %d exceeds remaining %d bytes",
+				i, kind, length, len(d.buf)-d.off)
+		}
+		sd := &dec{buf: d.buf[d.off : d.off+int(length)]}
+		d.off += int(length)
+		switch kind {
+		case KindInternet:
+			year, in := decodeInternetV1(sd)
+			if sd.ok() {
+				world.Internets[year] = in
+			}
+		case KindPopulation:
+			year, pop := decodePopulationV1(sd)
+			if sd.ok() {
+				world.Pops[year] = pop
+			}
+		case KindPlan:
+			year, plan := decodePlan(sd)
+			if sd.ok() {
+				world.Plans[year] = plan
+			}
+		case KindRDNS:
+			year, c := decodeRDNS(sd)
+			if sd.ok() {
+				world.RDNS[year] = c
+			}
+		case KindTraces:
+			key, tr := decodeTraces(sd)
+			if sd.ok() {
+				world.Traces[key] = tr
+			}
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(kind))
+		}
+		if sd.err != nil {
+			return nil, fmt.Errorf("snapshot: section %d (%s): %w", i, kind, sd.err)
+		}
+		if sd.off != len(sd.buf) {
+			return nil, fmt.Errorf("snapshot: section %d (%s): %d trailing bytes", i, kind, len(sd.buf)-sd.off)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", d.err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", len(d.buf)-d.off)
+	}
+	for year, plan := range world.Plans {
+		in, ok := world.Internets[year]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: plan for year %d has no internet section", year)
+		}
+		plan.Bind(in)
+	}
+	return world, nil
+}
+
+// readInfoV1 labels the sections of a legacy v1 stream, whose header has
+// already been consumed.
+func readInfoV1(r io.Reader, info *Info, nsect int) (*Info, error) {
+	for i := 0; i < nsect; i++ {
+		var sh [12]byte
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section %d header: %w", i, err)
+		}
+		si := SectionInfo{
+			Kind:   Kind(binary.LittleEndian.Uint32(sh[:4])),
+			Length: binary.LittleEndian.Uint64(sh[4:12]),
+		}
+		si.Label = si.Kind.String()
+		switch si.Kind {
+		case KindInternet, KindPopulation, KindPlan, KindRDNS, KindTraces:
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(si.Kind))
+		}
+		// Peek the label fields from the front of the payload, then skip
+		// the rest.
+		labelLen := 4 // year
+		if si.Kind == KindTraces {
+			labelLen = int(si.Length) // bounded below; cloud length is inside
+		}
+		if uint64(labelLen) > si.Length {
+			return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
+		}
+		if si.Kind == KindTraces {
+			// year + cloud string header + nVMs: read just enough.
+			var front [8]byte
+			if _, err := io.ReadFull(r, front[:]); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
+			cloudLen := int(binary.LittleEndian.Uint32(front[4:8]))
+			if uint64(8+cloudLen+4) > si.Length {
+				return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
+			}
+			name := make([]byte, cloudLen+4)
+			if _, err := io.ReadFull(r, name); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Cloud = string(name[:cloudLen])
+			si.VMs = int(binary.LittleEndian.Uint32(name[cloudLen:]))
+			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-int64(8+cloudLen+4)); err != nil {
+				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
+			}
+		} else {
+			var front [4]byte
+			if _, err := io.ReadFull(r, front[:]); err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
+			}
+			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
+			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-4); err != nil {
+				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
+			}
+		}
+		info.Sections = append(info.Sections, si)
+	}
+	return info, nil
+}
+
+// decodeInternetV1 decodes a v1 internet section: spec, link list (CSR is
+// rebuilt by Freeze — link order fully determines it, so dense indexes
+// match the encoded graph's), tier sets, and map-form annotations, which
+// are converted to the dense ASMeta table the rest of the system now uses.
+func decodeInternetV1(d *dec) (int, *topogen.Internet) {
+	year := int(d.u32())
+	in := &topogen.Internet{}
+	sp := &in.Spec
+	decodeSpec(d, sp)
+	nLinks := d.count()
+	links := make([]astopo.Link, nLinks)
+	for i := range links {
+		links[i].A = d.asn()
+		links[i].B = d.asn()
+		links[i].Rel = astopo.Rel(d.u8())
+	}
+	if d.err != nil {
+		return year, nil
+	}
+	in.Graph = astopo.FromLinks(links)
+	in.Graph.Freeze()
+	in.Tier1 = decodeASSet(d)
+	in.Tier2 = decodeASSet(d)
+	in.Clouds = decodeNamedASNs(d)
+	in.Hypergiants = decodeNamedASNs(d)
+	nClass := d.count()
+	class := make(map[astopo.ASN]topogen.ASClass, nClass)
+	for i := 0; i < nClass; i++ {
+		a := d.asn()
+		class[a] = topogen.ASClass(d.u8())
+	}
+	nName := d.count()
+	name := make(map[astopo.ASN]string, nName)
+	for i := 0; i < nName; i++ {
+		a := d.asn()
+		name[a] = d.str()
+	}
+	nHome := d.count()
+	home := make(map[astopo.ASN]geo.CityID, nHome)
+	for i := 0; i < nHome; i++ {
+		a := d.asn()
+		home[a] = geo.CityID(d.i32())
+	}
+	nPoPs := d.count()
+	pops := make(map[astopo.ASN][]geo.CityID, nPoPs)
+	for i := 0; i < nPoPs; i++ {
+		a := d.asn()
+		m := d.count()
+		cities := make([]geo.CityID, m)
+		for j := range cities {
+			cities[j] = geo.CityID(d.i32())
+		}
+		pops[a] = cities
+	}
+	nIXP := d.count()
+	in.IXPs = make([]topogen.IXP, nIXP)
+	for i := range in.IXPs {
+		in.IXPs[i].City = geo.CityID(d.i32())
+		m := d.count()
+		members := make([]astopo.ASN, m)
+		for j := range members {
+			members[j] = d.asn()
+		}
+		in.IXPs[i].Members = members
+	}
+	if d.err != nil {
+		return year, nil
+	}
+	in.Meta = topogen.NewASMeta(in.Graph, class, name, home, pops)
+	return year, in
+}
+
+// decodePopulationV1 decodes a v1 entry-list population section.
+func decodePopulationV1(d *dec) (int, *population.Model) {
+	year := int(d.u32())
+	n := d.count()
+	entries := make([]population.Entry, n)
+	for i := range entries {
+		entries[i].AS = d.asn()
+		entries[i].Type = population.ASType(d.u8())
+		entries[i].Users = d.f64()
+	}
+	total := d.f64()
+	if d.err != nil {
+		return year, nil
+	}
+	return year, population.Restore(entries, total)
+}

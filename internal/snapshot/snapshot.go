@@ -3,34 +3,43 @@
 // campaigns — as one versioned binary blob, so a later process can skip
 // regeneration entirely and cold-start in milliseconds.
 //
-// The format is deliberately boring: little-endian fixed-width integers, a
-// length-prefixed section per artifact, and a trailing CRC-32 over the whole
-// stream. There is no compression and no reflection; every struct is walked
-// by hand in a canonical order (map keys sorted), so equal worlds encode to
-// identical bytes. The codec fails closed — a wrong magic, an unsupported
-// version, an unknown section kind, a truncated stream, or a checksum
-// mismatch all abort the load with an error rather than yielding a partly
-// decoded world.
+// Version 2 is a zero-copy format: every hot array (the frozen CSR topology
+// arena, link columns, dense per-AS metadata, population columns) is laid
+// out 8-byte-aligned in the file and served directly from an mmap'd region
+// without decoding — see Open and Reader. Only pointer-shaped state (the
+// spec's profiles, tier sets, address plans, rDNS corpora, trace corpora)
+// is decoded, lazily where possible. Loading therefore costs O(pages
+// touched), not O(world size).
 //
-// Layout:
+// The codec fails closed — a wrong magic, an unsupported version, an
+// unknown section kind, a truncated stream, a misaligned or overlapping
+// section table, or a checksum mismatch all abort the load with an error
+// rather than yielding a partly decoded world. Integrity is per section: a
+// header CRC covers the section table eagerly; cold sections are checked
+// when decoded; mmap-served hot sections are checked by Verify (the
+// `-verify` flag), so the zero-copy load path never has to touch every
+// page. The eager Decode/Read/ReadFile entry points verify everything.
+//
+// Version 2 layout (all integers little-endian; hot payloads are raw
+// host-endian arrays, so the format is little-endian-host only):
 //
 //	magic    [8]byte  "FLATSNAP"
-//	version  uint32   currently 1
+//	version  uint32   2
 //	scale    float64  the generation scale the world was built at
 //	nsect    uint32   number of sections
-//	sections nsect ×  { kind uint32, length uint64, payload [length]byte }
-//	crc      uint32   IEEE CRC-32 of every preceding byte
+//	table    nsect ×  { kind uint32, year uint32, off uint64, len uint64, crc uint32 }
+//	hcrc     uint32   IEEE CRC-32 of every preceding byte
+//	payloads           8-aligned, zero-padded gaps, file ends at the last payload
 //
-// Every section payload begins with its year (uint32); the traces section
-// continues with the cloud name and VM-group count, so ReadInfo can label
-// sections by reading only their first few bytes.
+// Version 1 (a single concatenated stream of length-prefixed sections with
+// one trailing CRC, every value decoded eagerly) is still read — see
+// legacy.go — but no longer written.
 package snapshot
 
 import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"net/netip"
@@ -46,10 +55,13 @@ import (
 	"flatnet/internal/tracesim"
 )
 
-// Version is the current schema version. Readers reject any other value:
-// the payload encoding is positional, so there is no safe way to skip
-// unknown fields within a section.
-const Version = 1
+// Version is the current schema version. Readers accept it and
+// VersionLegacy only: the payload encoding is positional, so there is no
+// safe way to skip unknown fields within a section.
+const Version = 2
+
+// VersionLegacy is the v1 stream format, still decodable for old files.
+const VersionLegacy = 1
 
 var magic = [8]byte{'F', 'L', 'A', 'T', 'S', 'N', 'A', 'P'}
 
@@ -109,79 +121,23 @@ type Info struct {
 	Sections []SectionInfo
 }
 
-// SectionInfo labels one section. Cloud and VMs are set for traces sections
-// only.
+// SectionInfo labels one section. Label is the human-readable section
+// name in either format version; Kind is set for v1 sections only. Cloud
+// and VMs are set for traces sections only.
 type SectionInfo struct {
 	Kind   Kind
+	Label  string
 	Length uint64
 	Year   int
 	Cloud  string
 	VMs    int
 }
 
-// Write encodes the world to w. Map iteration order never leaks into the
-// output: all keys are sorted, so two equal worlds produce identical bytes.
+// Write encodes the world to w in the current (v2) format. Map iteration
+// order never leaks into the output: all keys are sorted, so two equal
+// worlds produce identical bytes.
 func Write(w io.Writer, world *World) error {
-	var buf bytes.Buffer
-	e := &enc{b: &buf}
-	buf.Write(magic[:])
-	e.u32(Version)
-	e.f64(world.Scale)
-
-	type section struct {
-		kind    Kind
-		payload []byte
-	}
-	var sections []section
-	add := func(kind Kind, encode func(*enc)) {
-		se := &enc{b: &bytes.Buffer{}}
-		encode(se)
-		sections = append(sections, section{kind, se.b.Bytes()})
-	}
-	for _, year := range sortedYears(world.Internets) {
-		in := world.Internets[year]
-		add(KindInternet, func(se *enc) { encodeInternet(se, year, in) })
-	}
-	for _, year := range sortedYears(world.Pops) {
-		pop := world.Pops[year]
-		add(KindPopulation, func(se *enc) { encodePopulation(se, year, pop) })
-	}
-	for _, year := range sortedYears(world.Plans) {
-		plan := world.Plans[year]
-		add(KindPlan, func(se *enc) { encodePlan(se, year, plan) })
-	}
-	for _, year := range sortedYears(world.RDNS) {
-		c := world.RDNS[year]
-		add(KindRDNS, func(se *enc) { encodeRDNS(se, year, c) })
-	}
-	traceKeys := make([]TraceKey, 0, len(world.Traces))
-	for k := range world.Traces {
-		traceKeys = append(traceKeys, k)
-	}
-	sort.Slice(traceKeys, func(i, j int) bool {
-		a, b := traceKeys[i], traceKeys[j]
-		if a.Year != b.Year {
-			return a.Year < b.Year
-		}
-		if a.Cloud != b.Cloud {
-			return a.Cloud < b.Cloud
-		}
-		return a.VMs < b.VMs
-	})
-	for _, k := range traceKeys {
-		tr := world.Traces[k]
-		add(KindTraces, func(se *enc) { encodeTraces(se, k, tr) })
-	}
-
-	e.u32(uint32(len(sections)))
-	for _, s := range sections {
-		e.u32(uint32(s.kind))
-		e.u64(uint64(len(s.payload)))
-		buf.Write(s.payload)
-	}
-	e.u32(crc32.ChecksumIEEE(buf.Bytes()))
-	_, err := w.Write(buf.Bytes())
-	return err
+	return writeV2(w, world)
 }
 
 // WriteFile writes the snapshot atomically: encode to path+".tmp", then
@@ -217,95 +173,35 @@ func Read(r io.Reader) (*World, error) {
 	return Decode(raw)
 }
 
-// Decode is Read over bytes already in memory. Every decoded value is
-// copied out; raw may be reused or freed after Decode returns.
+// Decode is Read over bytes already in memory. Every section is verified
+// and every value decoded eagerly; raw may be reused or freed after Decode
+// returns. It accepts both the current and the legacy format.
 func Decode(raw []byte) (*World, error) {
-	const trailer = 4
-	headerLen := len(magic) + 4 + 8 + 4
-	if len(raw) < headerLen+trailer {
-		return nil, fmt.Errorf("snapshot: truncated: %d bytes", len(raw))
+	v, err := sniffVersion(raw)
+	if err != nil {
+		return nil, err
 	}
-	body, sum := raw[:len(raw)-trailer], raw[len(raw)-trailer:]
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(sum); got != want {
-		return nil, fmt.Errorf("snapshot: checksum mismatch: computed %#x, stored %#x", got, want)
+	if v == VersionLegacy {
+		return decodeV1(raw)
 	}
-	d := &dec{buf: body}
+	return decodeV2(raw)
+}
+
+// sniffVersion validates the magic and returns the supported version.
+func sniffVersion(raw []byte) (uint32, error) {
+	if len(raw) < len(magic)+4 {
+		return 0, fmt.Errorf("snapshot: truncated: %d bytes", len(raw))
+	}
 	var m [8]byte
-	d.bytes(m[:])
+	copy(m[:], raw)
 	if m != magic {
-		return nil, fmt.Errorf("snapshot: bad magic %q", m[:])
+		return 0, fmt.Errorf("snapshot: bad magic %q", m[:])
 	}
-	if v := d.u32(); v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
+	v := binary.LittleEndian.Uint32(raw[8:12])
+	if v != Version && v != VersionLegacy {
+		return 0, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
 	}
-	world := &World{
-		Scale:     d.f64(),
-		Internets: make(map[int]*topogen.Internet),
-		Pops:      make(map[int]*population.Model),
-		Plans:     make(map[int]*netdb.Plan),
-		RDNS:      make(map[int]*rdns.Corpus),
-		Traces:    make(map[TraceKey][][]tracesim.Traceroute),
-	}
-	nsect := int(d.u32())
-	for i := 0; i < nsect && d.err == nil; i++ {
-		kind := Kind(d.u32())
-		length := d.u64()
-		if length > uint64(len(d.buf)-d.off) {
-			return nil, fmt.Errorf("snapshot: section %d (%s) length %d exceeds remaining %d bytes",
-				i, kind, length, len(d.buf)-d.off)
-		}
-		sd := &dec{buf: d.buf[d.off : d.off+int(length)]}
-		d.off += int(length)
-		switch kind {
-		case KindInternet:
-			year, in := decodeInternet(sd)
-			if sd.ok() {
-				world.Internets[year] = in
-			}
-		case KindPopulation:
-			year, pop := decodePopulation(sd)
-			if sd.ok() {
-				world.Pops[year] = pop
-			}
-		case KindPlan:
-			year, plan := decodePlan(sd)
-			if sd.ok() {
-				world.Plans[year] = plan
-			}
-		case KindRDNS:
-			year, c := decodeRDNS(sd)
-			if sd.ok() {
-				world.RDNS[year] = c
-			}
-		case KindTraces:
-			key, tr := decodeTraces(sd)
-			if sd.ok() {
-				world.Traces[key] = tr
-			}
-		default:
-			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(kind))
-		}
-		if sd.err != nil {
-			return nil, fmt.Errorf("snapshot: section %d (%s): %w", i, kind, sd.err)
-		}
-		if sd.off != len(sd.buf) {
-			return nil, fmt.Errorf("snapshot: section %d (%s): %d trailing bytes", i, kind, len(sd.buf)-sd.off)
-		}
-	}
-	if d.err != nil {
-		return nil, fmt.Errorf("snapshot: %w", d.err)
-	}
-	if d.off != len(d.buf) {
-		return nil, fmt.Errorf("snapshot: %d trailing bytes after last section", len(d.buf)-d.off)
-	}
-	for year, plan := range world.Plans {
-		in, ok := world.Internets[year]
-		if !ok {
-			return nil, fmt.Errorf("snapshot: plan for year %d has no internet section", year)
-		}
-		plan.Bind(in)
-	}
-	return world, nil
+	return v, nil
 }
 
 // ReadFile reads and decodes the snapshot at path. The file is read in one
@@ -320,8 +216,8 @@ func ReadFile(path string) (*World, error) {
 }
 
 // ReadInfo parses the header and section labels without decoding payloads
-// or verifying the checksum — it is meant for cheap inspection (`flatnet
-// snapshot info`), not validation; use Read to validate.
+// or verifying checksums — it is meant for cheap inspection (`flatnet
+// snapshot info`), not validation; use Read or Verify to validate.
 func ReadInfo(r io.Reader) (*Info, error) {
 	var hdr [8 + 4 + 8 + 4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -334,66 +230,14 @@ func ReadInfo(r io.Reader) (*Info, error) {
 		Version: binary.LittleEndian.Uint32(hdr[8:12]),
 		Scale:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
 	}
-	if info.Version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", info.Version, Version)
-	}
 	nsect := int(binary.LittleEndian.Uint32(hdr[20:24]))
-	for i := 0; i < nsect; i++ {
-		var sh [12]byte
-		if _, err := io.ReadFull(r, sh[:]); err != nil {
-			return nil, fmt.Errorf("snapshot: reading section %d header: %w", i, err)
-		}
-		si := SectionInfo{
-			Kind:   Kind(binary.LittleEndian.Uint32(sh[:4])),
-			Length: binary.LittleEndian.Uint64(sh[4:12]),
-		}
-		switch si.Kind {
-		case KindInternet, KindPopulation, KindPlan, KindRDNS, KindTraces:
-		default:
-			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(si.Kind))
-		}
-		// Peek the label fields from the front of the payload, then skip
-		// the rest.
-		labelLen := 4 // year
-		if si.Kind == KindTraces {
-			labelLen = int(si.Length) // bounded below; cloud length is inside
-		}
-		if uint64(labelLen) > si.Length {
-			return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
-		}
-		if si.Kind == KindTraces {
-			// year + cloud string header + nVMs: read just enough.
-			var front [8]byte
-			if _, err := io.ReadFull(r, front[:]); err != nil {
-				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
-			}
-			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
-			cloudLen := int(binary.LittleEndian.Uint32(front[4:8]))
-			if uint64(8+cloudLen+4) > si.Length {
-				return nil, fmt.Errorf("snapshot: section %d (%s) too short for label", i, si.Kind)
-			}
-			name := make([]byte, cloudLen+4)
-			if _, err := io.ReadFull(r, name); err != nil {
-				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
-			}
-			si.Cloud = string(name[:cloudLen])
-			si.VMs = int(binary.LittleEndian.Uint32(name[cloudLen:]))
-			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-int64(8+cloudLen+4)); err != nil {
-				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
-			}
-		} else {
-			var front [4]byte
-			if _, err := io.ReadFull(r, front[:]); err != nil {
-				return nil, fmt.Errorf("snapshot: section %d label: %w", i, err)
-			}
-			si.Year = int(binary.LittleEndian.Uint32(front[:4]))
-			if _, err := io.CopyN(io.Discard, r, int64(si.Length)-4); err != nil {
-				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
-			}
-		}
-		info.Sections = append(info.Sections, si)
+	switch info.Version {
+	case VersionLegacy:
+		return readInfoV1(r, info, nsect)
+	case Version:
+		return readInfoV2(r, info, nsect)
 	}
-	return info, nil
+	return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", info.Version, Version)
 }
 
 func sortedYears[V any](m map[int]V) []int {
@@ -673,10 +517,9 @@ func decodeNamedASNs(d *dec) map[string]astopo.ASN {
 	return m
 }
 
-func encodeInternet(e *enc, year int, in *topogen.Internet) {
-	e.u32(uint32(year))
-	// Spec.
-	sp := &in.Spec
+// encodeSpec writes the generation spec — the one pointer-shaped piece of
+// an Internet that both format versions serialize field-by-field.
+func encodeSpec(e *enc, sp *topogen.Spec) {
 	e.str(sp.Name)
 	e.i64(sp.Seed)
 	e.u32(uint32(sp.NumASes))
@@ -698,58 +541,9 @@ func encodeInternet(e *enc, year int, in *topogen.Internet) {
 	encodeProfiles(e, sp.Tier2)
 	encodeProfiles(e, sp.Clouds)
 	encodeProfiles(e, sp.Hypergiants)
-	// Graph: the link slice in its original order. Adjacency (CSR) is
-	// rebuilt by Freeze on decode; link order fully determines it, so the
-	// decoded graph's dense indexes match the encoded one's.
-	links := in.Graph.Links()
-	e.u32(uint32(len(links)))
-	for _, l := range links {
-		e.asn(l.A)
-		e.asn(l.B)
-		e.u8(uint8(l.Rel))
-	}
-	encodeASSet(e, in.Tier1)
-	encodeASSet(e, in.Tier2)
-	encodeNamedASNs(e, in.Clouds)
-	encodeNamedASNs(e, in.Hypergiants)
-	e.u32(uint32(len(in.Class)))
-	for _, a := range sortedASNs(in.Class) {
-		e.asn(a)
-		e.u8(uint8(in.Class[a]))
-	}
-	e.u32(uint32(len(in.Name)))
-	for _, a := range sortedASNs(in.Name) {
-		e.asn(a)
-		e.str(in.Name[a])
-	}
-	e.u32(uint32(len(in.HomeCity)))
-	for _, a := range sortedASNs(in.HomeCity) {
-		e.asn(a)
-		e.i32(int32(in.HomeCity[a]))
-	}
-	e.u32(uint32(len(in.PoPs)))
-	for _, a := range sortedASNs(in.PoPs) {
-		e.asn(a)
-		cities := in.PoPs[a]
-		e.u32(uint32(len(cities)))
-		for _, c := range cities {
-			e.i32(int32(c))
-		}
-	}
-	e.u32(uint32(len(in.IXPs)))
-	for _, x := range in.IXPs {
-		e.i32(int32(x.City))
-		e.u32(uint32(len(x.Members)))
-		for _, a := range x.Members {
-			e.asn(a)
-		}
-	}
 }
 
-func decodeInternet(d *dec) (int, *topogen.Internet) {
-	year := int(d.u32())
-	in := &topogen.Internet{}
-	sp := &in.Spec
+func decodeSpec(d *dec, sp *topogen.Spec) {
 	sp.Name = d.str()
 	sp.Seed = d.i64()
 	sp.NumASes = int(d.u32())
@@ -767,96 +561,6 @@ func decodeInternet(d *dec) (int, *topogen.Internet) {
 	sp.Tier2 = decodeProfiles(d)
 	sp.Clouds = decodeProfiles(d)
 	sp.Hypergiants = decodeProfiles(d)
-	nLinks := d.count()
-	links := make([]astopo.Link, nLinks)
-	for i := range links {
-		links[i].A = d.asn()
-		links[i].B = d.asn()
-		links[i].Rel = astopo.Rel(d.u8())
-	}
-	if d.err != nil {
-		return year, nil
-	}
-	in.Graph = astopo.FromLinks(links)
-	in.Graph.Freeze()
-	in.Tier1 = decodeASSet(d)
-	in.Tier2 = decodeASSet(d)
-	in.Clouds = decodeNamedASNs(d)
-	in.Hypergiants = decodeNamedASNs(d)
-	nClass := d.count()
-	in.Class = make(map[astopo.ASN]topogen.ASClass, nClass)
-	for i := 0; i < nClass; i++ {
-		a := d.asn()
-		in.Class[a] = topogen.ASClass(d.u8())
-	}
-	nName := d.count()
-	in.Name = make(map[astopo.ASN]string, nName)
-	for i := 0; i < nName; i++ {
-		a := d.asn()
-		in.Name[a] = d.str()
-	}
-	nHome := d.count()
-	in.HomeCity = make(map[astopo.ASN]geo.CityID, nHome)
-	for i := 0; i < nHome; i++ {
-		a := d.asn()
-		in.HomeCity[a] = geo.CityID(d.i32())
-	}
-	nPoPs := d.count()
-	in.PoPs = make(map[astopo.ASN][]geo.CityID, nPoPs)
-	for i := 0; i < nPoPs; i++ {
-		a := d.asn()
-		m := d.count()
-		cities := make([]geo.CityID, m)
-		for j := range cities {
-			cities[j] = geo.CityID(d.i32())
-		}
-		in.PoPs[a] = cities
-	}
-	nIXP := d.count()
-	in.IXPs = make([]topogen.IXP, nIXP)
-	for i := range in.IXPs {
-		in.IXPs[i].City = geo.CityID(d.i32())
-		m := d.count()
-		members := make([]astopo.ASN, m)
-		for j := range members {
-			members[j] = d.asn()
-		}
-		in.IXPs[i].Members = members
-	}
-	return year, in
-}
-
-// ---- population ----
-
-func encodePopulation(e *enc, year int, pop *population.Model) {
-	e.u32(uint32(year))
-	entries, total := pop.Snapshot()
-	e.u32(uint32(len(entries)))
-	for _, en := range entries {
-		e.asn(en.AS)
-		e.u8(uint8(en.Type))
-		e.f64(en.Users)
-	}
-	// The exact float total is carried rather than re-summed on restore:
-	// summation order affects the last ulp and Share must round-trip
-	// bit-for-bit.
-	e.f64(total)
-}
-
-func decodePopulation(d *dec) (int, *population.Model) {
-	year := int(d.u32())
-	n := d.count()
-	entries := make([]population.Entry, n)
-	for i := range entries {
-		entries[i].AS = d.asn()
-		entries[i].Type = population.ASType(d.u8())
-		entries[i].Users = d.f64()
-	}
-	total := d.f64()
-	if d.err != nil {
-		return year, nil
-	}
-	return year, population.Restore(entries, total)
 }
 
 // ---- plan ----

@@ -27,12 +27,14 @@ func Generate(spec Spec) (*Internet, error) {
 		Tier2:       make(astopo.ASSet),
 		Clouds:      make(map[string]astopo.ASN),
 		Hypergiants: make(map[string]astopo.ASN),
-		Class:       make(map[astopo.ASN]ASClass, spec.NumASes),
-		Name:        make(map[astopo.ASN]string),
-		HomeCity:    make(map[astopo.ASN]geo.CityID, spec.NumASes),
-		PoPs:        make(map[astopo.ASN][]geo.CityID),
 	}
-	b := &builder{spec: spec, rng: rng, in: in}
+	b := &builder{
+		spec: spec, rng: rng, in: in,
+		class: make(map[astopo.ASN]ASClass, spec.NumASes),
+		name:  make(map[astopo.ASN]string),
+		home:  make(map[astopo.ASN]geo.CityID, spec.NumASes),
+		pops:  make(map[astopo.ASN][]geo.CityID),
+	}
 	b.placeCities()
 	b.createNamed()
 	b.createSynthetic()
@@ -43,6 +45,7 @@ func Generate(spec Spec) (*Internet, error) {
 	b.buildIXPs()
 	b.wireNamedPeering()
 	in.Graph.Freeze()
+	in.Meta = NewASMeta(in.Graph, b.class, b.name, b.home, b.pops)
 	return in, nil
 }
 
@@ -77,6 +80,13 @@ type builder struct {
 	spec Spec
 	rng  *rand.Rand
 	in   *Internet
+
+	// per-AS annotations, map-shaped while the graph is still growing;
+	// converted to the dense Internet.Meta table after Freeze.
+	class map[astopo.ASN]ASClass
+	name  map[astopo.ASN]string
+	home  map[astopo.ASN]geo.CityID
+	pops  map[astopo.ASN][]geo.CityID
 
 	// city machinery
 	citiesByContinent map[geo.Continent][]geo.CityID
@@ -158,11 +168,11 @@ func weightedIndex(rng *rand.Rand, cum []float64) int {
 func (b *builder) createNamed() {
 	in := b.in
 	register := func(p Profile, class ASClass) {
-		in.Class[p.ASN] = class
-		in.Name[p.ASN] = p.Name
-		in.PoPs[p.ASN] = b.pickPoPs(p)
-		if len(in.PoPs[p.ASN]) > 0 {
-			in.HomeCity[p.ASN] = in.PoPs[p.ASN][0]
+		b.class[p.ASN] = class
+		b.name[p.ASN] = p.Name
+		b.pops[p.ASN] = b.pickPoPs(p)
+		if len(b.pops[p.ASN]) > 0 {
+			b.home[p.ASN] = b.pops[p.ASN][0]
 		}
 	}
 	for _, p := range b.spec.Tier1 {
@@ -221,8 +231,7 @@ func (b *builder) pickPoPs(p Profile) []geo.CityID {
 }
 
 func (b *builder) createSynthetic() {
-	in := b.in
-	named := len(in.Class)
+	named := len(b.class)
 	nEdge := b.spec.NumASes - named - b.spec.NumTransit
 	nAccess := int(float64(nEdge) * b.spec.FracAccess)
 	nContent := int(float64(nEdge) * b.spec.FracContent)
@@ -233,10 +242,10 @@ func (b *builder) createSynthetic() {
 	add := func(class ASClass) astopo.ASN {
 		a := next
 		next++
-		in.Class[a] = class
+		b.class[a] = class
 		cont := b.randContinent()
 		city := b.randCity(cont, false)
-		in.HomeCity[a] = city
+		b.home[a] = city
 		return a
 	}
 	for i := 0; i < b.spec.NumTransit; i++ {
@@ -256,7 +265,7 @@ func (b *builder) createSynthetic() {
 	// Seed the attachment urns.
 	b.custCount = make(map[astopo.ASN]int)
 	for _, a := range b.transits {
-		cont := geo.Cities()[in.HomeCity[a]].Continent
+		cont := geo.Cities()[b.home[a]].Continent
 		b.transitUrn[cont] = append(b.transitUrn[cont], a)
 		b.anyTransit = append(b.anyTransit, a)
 	}
@@ -335,7 +344,7 @@ func (b *builder) wireNamedProviders() {
 // the Tier-1s and Tier-2s (Tier-2-heavy, mirroring the hierarchy).
 func (b *builder) wireTransitProviders() {
 	for _, a := range b.transits {
-		if _, named := b.in.Name[a]; named {
+		if _, named := b.name[a]; named {
 			continue // hypergiant transit profiles picked their own
 		}
 		n := 1 + b.rng.Intn(3)
@@ -373,7 +382,7 @@ func (b *builder) wireTransitProviders() {
 func (b *builder) wireEdgeProviders() {
 	in := b.in
 	attach := func(a astopo.ASN, nProv int) {
-		cont := geo.Cities()[in.HomeCity[a]].Continent
+		cont := geo.Cities()[b.home[a]].Continent
 		used := map[astopo.ASN]bool{a: true}
 		for len(used)-1 < nProv {
 			var prov astopo.ASN
@@ -397,8 +406,8 @@ func (b *builder) wireEdgeProviders() {
 			}
 			in.Graph.MustAddLink(prov, a, astopo.P2C)
 			b.custCount[prov]++
-			if in.Class[prov] == ClassTransit {
-				pc := geo.Cities()[in.HomeCity[prov]].Continent
+			if b.class[prov] == ClassTransit {
+				pc := geo.Cities()[b.home[prov]].Continent
 				b.transitUrn[pc] = append(b.transitUrn[pc], prov)
 				b.anyTransit = append(b.anyTransit, prov)
 			}

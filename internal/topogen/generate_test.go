@@ -5,6 +5,7 @@ import (
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
+	"flatnet/internal/geo"
 )
 
 func gen2020(t testing.TB, scale float64) *Internet {
@@ -17,8 +18,8 @@ func gen2020(t testing.TB, scale float64) *Internet {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := gen2020(t, 0.2)
-	b := gen2020(t, 0.2)
+	a := gen2020(t, 0.0285)
+	b := gen2020(t, 0.0285)
 	la, lb := a.Graph.Links(), b.Graph.Links()
 	if len(la) != len(lb) {
 		t.Fatalf("link counts differ: %d vs %d", len(la), len(lb))
@@ -31,7 +32,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateStructure(t *testing.T) {
-	in := gen2020(t, 0.3)
+	in := gen2020(t, 0.04275)
 	g := in.Graph
 
 	// Every Tier-1 is provider-free and the clique is fully meshed.
@@ -57,7 +58,7 @@ func TestGenerateStructure(t *testing.T) {
 			continue
 		}
 		if len(g.Providers(a)) == 0 {
-			t.Errorf("AS%d (%s) has no providers", a, in.Class[a])
+			t.Errorf("AS%d (%s) has no providers", a, in.ClassOf(a))
 		}
 	}
 
@@ -73,19 +74,20 @@ func TestGenerateStructure(t *testing.T) {
 		}
 	}
 
-	// Every AS has a class and a home city.
-	for _, a := range g.ASes() {
-		if _, ok := in.Class[a]; !ok {
-			t.Fatalf("AS%d has no class", a)
+	// Every AS has a class and a home city within range.
+	cities := len(geo.Cities())
+	for i, a := range g.ASes() {
+		if in.ClassAt(i) > ClassCloud {
+			t.Fatalf("AS%d has class %d out of range", a, int(in.ClassAt(i)))
 		}
-		if _, ok := in.HomeCity[a]; !ok {
-			t.Fatalf("AS%d has no home city", a)
+		if c := int(in.HomeCityAt(i)); c < 0 || c >= cities {
+			t.Fatalf("AS%d has home city %d out of range", a, c)
 		}
 	}
 }
 
 func TestGenerateSizes(t *testing.T) {
-	in := gen2020(t, 0.3)
+	in := gen2020(t, 0.04275)
 	want := in.Spec.NumASes
 	got := in.Graph.NumASes()
 	// A handful of enterprises may end up linkless if attachment fails;
@@ -102,27 +104,27 @@ func TestGenerateSizes(t *testing.T) {
 }
 
 func TestGenerateValidation(t *testing.T) {
-	spec := Internet2020(0.2)
+	spec := Internet2020(0.0285)
 	spec.NumASes = 10
 	if _, err := Generate(spec); err == nil {
 		t.Error("tiny NumASes accepted")
 	}
-	spec = Internet2020(0.2)
+	spec = Internet2020(0.0285)
 	spec.FracAccess, spec.FracContent = 0.9, 0.9
 	if _, err := Generate(spec); err == nil {
 		t.Error("fractions > 1 accepted")
 	}
-	spec = Internet2020(0.2)
+	spec = Internet2020(0.0285)
 	spec.NumIXPs = 0
 	if _, err := Generate(spec); err == nil {
 		t.Error("zero IXPs accepted")
 	}
-	spec = Internet2020(0.2)
+	spec = Internet2020(0.0285)
 	spec.Tier1[0].ASN = synthBase + 5
 	if _, err := Generate(spec); err == nil {
 		t.Error("synthetic-range profile ASN accepted")
 	}
-	spec = Internet2020(0.2)
+	spec = Internet2020(0.0285)
 	spec.Tier1[0].ASN = spec.Tier2[0].ASN
 	if _, err := Generate(spec); err == nil {
 		t.Error("duplicate profile ASN accepted")
@@ -130,7 +132,7 @@ func TestGenerateValidation(t *testing.T) {
 }
 
 func TestMasks(t *testing.T) {
-	in := gen2020(t, 0.2)
+	in := gen2020(t, 0.0285)
 	g := in.Graph
 	google := in.Clouds["Google"]
 	pf := in.ProviderFreeMask(google)
@@ -166,7 +168,7 @@ func TestMasks(t *testing.T) {
 // (>60% of ASes) and ordered Google >= Microsoft >= IBM >= Amazon, and a
 // hierarchy-reliant Tier-1 (Sprint) collapses without the Tier-2s.
 func TestGenerateShape(t *testing.T) {
-	in := gen2020(t, 0.35)
+	in := gen2020(t, 0.04987)
 	sim := bgpsim.New(in.Graph)
 	total := in.Graph.NumASes() - 1
 	hfr := func(o astopo.ASN) float64 {
@@ -215,11 +217,11 @@ func TestGeneratedTopologyAuditsClean(t *testing.T) {
 // The 2015 preset must reflect §6.5's retrospective: a smaller Internet and
 // much weaker Amazon/Microsoft peering footprints than 2020.
 func TestInternet2015Shape(t *testing.T) {
-	in15, err := Generate(Internet2015(0.3))
+	in15, err := Generate(Internet2015(0.04275))
 	if err != nil {
 		t.Fatal(err)
 	}
-	in20 := gen2020(t, 0.3)
+	in20 := gen2020(t, 0.04275)
 	if in15.Graph.NumASes() >= in20.Graph.NumASes() {
 		t.Errorf("2015 graph (%d ASes) not smaller than 2020 (%d)",
 			in15.Graph.NumASes(), in20.Graph.NumASes())

@@ -127,9 +127,13 @@ func dampOpenness(m map[ASClass]float64, factor float64) map[ASClass]float64 {
 }
 
 // Internet2020 returns the September-2020-calibrated preset at the given
-// scale (1.0 ≈ 9,900 ASes ≈ 1:7 of the real 69,488-AS graph).
+// scale. Scale is true scale: 1.0 is the 69,488 ASes the paper measures in
+// September 2020, 20 is the ~1.4M-AS stress preset, and ~0.05 reproduces
+// the small replica the calibration anchors were fitted on (3,465 ASes).
+// The openness damping anchor stays at that absolute calibration size, so
+// link density remains scale-invariant across the whole range.
 func Internet2020(scale float64) Spec {
-	n := int(9900 * scale)
+	n := int(69488 * scale)
 	return Spec{
 		Name:       "2020",
 		Seed:       20200901,
@@ -151,10 +155,10 @@ func Internet2020(scale float64) Spec {
 }
 
 // Internet2015 returns the September-2015-calibrated preset: 74.5% of the
-// 2020 AS count (51,801 / 69,488), a sparser peering mesh, and the clouds'
-// 2015 footprints.
+// 2020 AS count (51,801 / 69,488 at the same true scale), a sparser peering
+// mesh, and the clouds' 2015 footprints.
 func Internet2015(scale float64) Spec {
-	n := int(7380 * scale)
+	n := int(51801 * scale)
 	return Spec{
 		Name:       "2015",
 		Seed:       20150901,

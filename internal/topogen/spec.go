@@ -133,17 +133,63 @@ type Internet struct {
 	// likewise (e.g. Facebook).
 	Clouds, Hypergiants map[string]astopo.ASN
 
-	// Class and Name annotate every AS.
-	Class map[astopo.ASN]ASClass
-	Name  map[astopo.ASN]string
-
-	// HomeCity locates every AS; PoPs lists the deployment cities of
-	// named networks (and single home cities otherwise).
-	HomeCity map[astopo.ASN]geo.CityID
-	PoPs     map[astopo.ASN][]geo.CityID
+	// Meta holds the dense per-AS annotations (class, name, home city,
+	// PoPs), indexed by the graph's dense index. Access it through the
+	// ClassOf/NameOf/HomeCityOf/PoPsOf accessors (or the *At variants when
+	// a dense index is already at hand).
+	Meta *ASMeta
 
 	// IXPs lists the exchanges with their member ASes.
 	IXPs []IXP
+}
+
+// ASMeta is the dense per-AS annotation table. All slices are indexed by
+// (or offset by) the owning graph's dense index and may borrow read-only
+// memory from an mmap'd snapshot — never mutate them after construction.
+type ASMeta struct {
+	// Class holds every AS's role.
+	Class []ASClass
+	// Home holds every AS's home city.
+	Home []geo.CityID
+	// PoPOff/PoPArena are the CSR form of the per-AS PoP city lists:
+	// AS i's PoPs are PoPArena[PoPOff[i]:PoPOff[i+1]]. len(PoPOff) == n+1.
+	PoPOff   []int32
+	PoPArena []geo.CityID
+	// NameOff/NameBlob hold the display names of named networks: AS i is
+	// named NameBlob[NameOff[i]:NameOff[i+1]] (empty for unnamed ASes).
+	NameOff  []int32
+	NameBlob []byte
+}
+
+// NewASMeta builds the dense annotation table for a frozen graph from
+// map-form annotations (the shape the generator and the v1 snapshot decoder
+// produce).
+func NewASMeta(g *astopo.Graph, class map[astopo.ASN]ASClass, name map[astopo.ASN]string,
+	home map[astopo.ASN]geo.CityID, pops map[astopo.ASN][]geo.CityID) *ASMeta {
+	nodes := g.ASes()
+	n := len(nodes)
+	m := &ASMeta{
+		Class:   make([]ASClass, n),
+		Home:    make([]geo.CityID, n),
+		PoPOff:  make([]int32, n+1),
+		NameOff: make([]int32, n+1),
+	}
+	var nPops, nameBytes int
+	for _, a := range nodes {
+		nPops += len(pops[a])
+		nameBytes += len(name[a])
+	}
+	m.PoPArena = make([]geo.CityID, 0, nPops)
+	m.NameBlob = make([]byte, 0, nameBytes)
+	for i, a := range nodes {
+		m.Class[i] = class[a]
+		m.Home[i] = home[a]
+		m.PoPArena = append(m.PoPArena, pops[a]...)
+		m.PoPOff[i+1] = int32(len(m.PoPArena))
+		m.NameBlob = append(m.NameBlob, name[a]...)
+		m.NameOff[i+1] = int32(len(m.NameBlob))
+	}
+	return m
 }
 
 // IXP is one exchange point.
@@ -158,10 +204,61 @@ func (in *Internet) CloudASN(name string) (astopo.ASN, bool) {
 	return a, ok
 }
 
+// ClassAt returns the class of the AS at a dense index.
+func (in *Internet) ClassAt(i int) ASClass { return in.Meta.Class[i] }
+
+// ClassOf returns the class of an AS (the zero class for unknown ASNs).
+func (in *Internet) ClassOf(a astopo.ASN) ASClass {
+	if i, ok := in.Graph.Index(a); ok {
+		return in.Meta.Class[i]
+	}
+	return 0
+}
+
+// HomeCityAt returns the home city of the AS at a dense index.
+func (in *Internet) HomeCityAt(i int) geo.CityID { return in.Meta.Home[i] }
+
+// HomeCityOf returns the home city of an AS, or false for unknown ASNs.
+func (in *Internet) HomeCityOf(a astopo.ASN) (geo.CityID, bool) {
+	i, ok := in.Graph.Index(a)
+	if !ok {
+		return 0, false
+	}
+	return in.Meta.Home[i], true
+}
+
+// PoPsAt returns the PoP cities of the AS at a dense index. The returned
+// slice is shared (possibly read-only); callers must not modify it.
+func (in *Internet) PoPsAt(i int) []geo.CityID {
+	return in.Meta.PoPArena[in.Meta.PoPOff[i]:in.Meta.PoPOff[i+1]]
+}
+
+// PoPsOf returns the PoP cities of an AS (nil for unknown or unnamed ASes).
+// The returned slice is shared (possibly read-only); callers must not
+// modify it.
+func (in *Internet) PoPsOf(a astopo.ASN) []geo.CityID {
+	if i, ok := in.Graph.Index(a); ok {
+		return in.PoPsAt(i)
+	}
+	return nil
+}
+
+// NameAt returns the display name of the AS at a dense index.
+func (in *Internet) NameAt(i int) string {
+	m := in.Meta
+	if m.NameOff[i] != m.NameOff[i+1] {
+		return string(m.NameBlob[m.NameOff[i]:m.NameOff[i+1]])
+	}
+	return astopoName(in.Graph.ASNAt(i))
+}
+
 // NameOf returns the display name of an AS ("AS<n>" for unnamed ones).
 func (in *Internet) NameOf(a astopo.ASN) string {
-	if n, ok := in.Name[a]; ok {
-		return n
+	if i, ok := in.Graph.Index(a); ok {
+		m := in.Meta
+		if m.NameOff[i] != m.NameOff[i+1] {
+			return string(m.NameBlob[m.NameOff[i]:m.NameOff[i+1]])
+		}
 	}
 	return astopoName(a)
 }

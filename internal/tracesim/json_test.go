@@ -7,7 +7,7 @@ import (
 )
 
 func TestJSONRoundTrip(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Google", 2)
 	if err != nil {
 		t.Fatal(err)

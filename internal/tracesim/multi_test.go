@@ -13,7 +13,7 @@ import (
 // TraceAllMulti shares one propagation per destination across every VM set;
 // its output must be identical to the serial reference, trace for trace.
 func TestTraceAllMultiMatchesSerial(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	clouds := []string{"Google", "Amazon", "Microsoft", "IBM"}
 	sets := make([][]VM, len(clouds))
 	for i, c := range clouds {
@@ -41,7 +41,7 @@ func TestTraceAllMultiMatchesSerial(t *testing.T) {
 // TraceAll is now a one-set TraceAllMulti; it must still equal the serial
 // reference byte for byte.
 func TestTraceAllMatchesSerial(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Amazon", 4)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestTraceAllMatchesSerial(t *testing.T) {
 // forwardPath folds the Appendix A containment verdict into the DAG walk;
 // it must agree with the reference onBestPath predicate for every trace.
 func TestOnBestPathVerdictMatchesReference(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Amazon", 2)
 	if err != nil {
 		t.Fatal(err)

@@ -151,7 +151,7 @@ func (e *Engine) VMs(cloud string, n int) ([]VM, error) {
 			n = 8
 		}
 	}
-	pops := e.in.PoPs[asn]
+	pops := e.in.PoPsOf(asn)
 	if len(pops) == 0 {
 		return nil, fmt.Errorf("tracesim: cloud %q has no PoPs", cloud)
 	}
@@ -277,12 +277,7 @@ func (e *Engine) cityRow(city geo.CityID) []float64 {
 	n := g.NumASes()
 	row := make([]float64, n)
 	for i := 0; i < n; i++ {
-		home, ok := e.in.HomeCity[g.ASNAt(i)]
-		if !ok {
-			row[i] = 1e12
-			continue
-		}
-		row[i] = geo.CityDistanceKm(city, home)
+		row[i] = geo.CityDistanceKm(city, e.in.HomeCityAt(i))
 	}
 	next := make(map[geo.CityID][]float64, 8)
 	if old != nil {
@@ -355,7 +350,7 @@ func (e *Engine) trace(vm VM, dst astopo.ASN, res *bgpsim.Result) Traceroute {
 		}
 		emit(curSide, cur)
 		if cur == dst {
-			if e.in.Class[dst] == topogen.ClassEnterprise && chance(e.opts.EnterpriseDropProb) {
+			if e.in.ClassOf(dst) == topogen.ClassEnterprise && chance(e.opts.EnterpriseDropProb) {
 				return tr // destination filters ICMP
 			}
 			emit(tr.Dst, dst)
@@ -548,7 +543,7 @@ func dstIsNeighbor(g *astopo.Graph, cloudIdx, dstIdx int32) bool {
 }
 
 func (e *Engine) globalAS(n int32) bool {
-	switch e.in.Class[e.in.Graph.ASNAt(int(n))] {
+	switch e.in.ClassAt(int(n)) {
 	case topogen.ClassTier1, topogen.ClassTier2, topogen.ClassTransit, topogen.ClassCloud:
 		return true
 	}
@@ -592,11 +587,7 @@ func (e *Engine) hopDistance(city geo.CityID, hop int32) float64 {
 			return row[hop]
 		}
 	}
-	home, ok := e.in.HomeCity[e.in.Graph.ASNAt(int(hop))]
-	if !ok {
-		return 1e12
-	}
-	return geo.CityDistanceKm(city, home)
+	return geo.CityDistanceKm(city, e.in.HomeCityAt(int(hop)))
 }
 
 // onBestPath reports whether every step of the forwarding path follows a

@@ -22,7 +22,7 @@ func newEngine(t testing.TB, scale float64) *Engine {
 }
 
 func TestVMs(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Google", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestVMs(t *testing.T) {
 }
 
 func TestTraceAllBasicInvariants(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Google", 2)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestTraceAllBasicInvariants(t *testing.T) {
 }
 
 func TestTraceGroundTruthConsistency(t *testing.T) {
-	e := newEngine(t, 0.1)
+	e := newEngine(t, 0.01425)
 	vms, err := e.VMs("Microsoft", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -129,8 +129,8 @@ func TestTraceGroundTruthConsistency(t *testing.T) {
 }
 
 func TestTraceDeterminism(t *testing.T) {
-	e1 := newEngine(t, 0.1)
-	e2 := newEngine(t, 0.1)
+	e1 := newEngine(t, 0.01425)
+	e2 := newEngine(t, 0.01425)
 	vms1, _ := e1.VMs("IBM", 2)
 	vms2, _ := e2.VMs("IBM", 2)
 	t1, err := e1.TraceAll(vms1)
@@ -160,7 +160,7 @@ func TestTraceDeterminism(t *testing.T) {
 // first-hop neighbor sets, and Amazon should show more per-VM variance
 // than Google (early exit, §4.1).
 func TestVMPathDiversity(t *testing.T) {
-	e := newEngine(t, 0.15)
+	e := newEngine(t, 0.02138)
 	firstHops := func(cloud string, n int) []map[astopo.ASN]bool {
 		vms, err := e.VMs(cloud, n)
 		if err != nil {

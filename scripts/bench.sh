@@ -6,9 +6,13 @@
 #   ./scripts/bench.sh [out-file]          # default bench-<git-sha>.txt
 #   benchstat bench-<old>.txt bench-<new>.txt
 #
-# FLATNET_BENCH_SCALE  (default 0.15)  benchmark topology size
+# FLATNET_BENCH_SCALE  (default 0.02138, ~1,485 ASes) benchmark topology size
 # FLATNET_BENCH_COUNT  (default 6)     -count repetitions per benchmark
 # FLATNET_BENCH_REGEX  (default: the sweep benches) -bench selector
+#
+# The regex also matches the FullScale variants (scale 1.0 pinned) and the
+# BenchmarkSnapshotLoad mmap/decode pair, so the baseline always carries
+# true-scale numbers and their ns/AS metrics.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -36,6 +36,13 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
     sub(/-[0-9]+$/, "", name)
     if (NR == FNR) { bn[name]++; bv[name "," bn[name]] = $3 }
     else           { nn[name]++; nv[name "," nn[name]] = $3 }
+    # The headline benchmarks also report a scale-normalized ns/AS metric;
+    # track it with the same tolerance so per-AS cost stays flat even when
+    # the benchmark topology size changes between baselines.
+    for (i = 5; i <= NF; i++) if ($i == "ns/AS") {
+        if (NR == FNR) { ban[name]++; bav[name "," ban[name]] = $(i-1) }
+        else           { nan[name]++; nav[name "," nan[name]] = $(i-1) }
+    }
 }
 END {
     fail = 0
@@ -52,6 +59,17 @@ END {
         compared++
         if (delta > tol) {
             printf "FAIL: %s regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
+            fail = 1
+        }
+    }
+    for (name in nan) {
+        if (!(name in ban)) continue
+        bm = median(bav, name, ban[name])
+        nm = median(nav, name, nan[name])
+        delta = bm > 0 ? 100 * (nm - bm) / bm : 0
+        printf "%-55s baseline %14.2f ns/AS   new %14.2f ns/AS   %+7.1f%%\n", name, bm, nm, delta
+        if (delta > tol) {
+            printf "FAIL: %s ns/AS regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
             fail = 1
         }
     }

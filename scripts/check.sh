@@ -4,7 +4,7 @@
 #
 #   ./scripts/check.sh
 #
-# FLATNET_BENCH_SCALE (default 0.15) controls the benchmark topology size.
+# FLATNET_BENCH_SCALE (default 0.02138) controls the benchmark topology size.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +32,12 @@ echo "==> go test -race -short (bgpsim + serve, scalar leak path)"
 # race-clean.
 FLATNET_SCALAR_LEAK=1 go test -race -short ./internal/bgpsim/ ./internal/serve/
 
+echo "==> snapshot decoder fuzz (10s)"
+# Short coverage-guided pass over the v1/v2 snapshot decoders; the seed
+# corpus carries valid snapshots plus known corruption shapes, so even a
+# brief run exercises every section parser against hostile input.
+go test -run '^$' -fuzz 'FuzzSnapshotDecode' -fuzztime 10s ./internal/snapshot/
+
 echo "==> benchmark smoke (1 iteration)"
 go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad' \
     -benchtime 1x -benchmem -run '^$' .
@@ -42,7 +48,7 @@ echo "==> snapshot build/load smoke"
 SNAPDIR="$(mktemp -d)"
 trap 'rm -rf "$SNAPDIR"' EXIT
 go build -o "$SNAPDIR/flatnet" ./cmd/flatnet
-"$SNAPDIR/flatnet" snapshot build -scale 0.1 -traces none -o "$SNAPDIR/world.snap"
+"$SNAPDIR/flatnet" snapshot build -scale 0.01425 -traces none -o "$SNAPDIR/world.snap"
 "$SNAPDIR/flatnet" snapshot info "$SNAPDIR/world.snap"
 "$SNAPDIR/flatnet" run -snapshot "$SNAPDIR/world.snap" table1 > /dev/null
 
