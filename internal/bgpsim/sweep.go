@@ -265,11 +265,23 @@ func (sw *LeakSweep) TrialCtx(ctx context.Context, leaker astopo.ASN, weights []
 // FLATNET_SCALAR_LEAK set replay leakers one at a time, one sweep clone per
 // extra worker. Both paths produce identical trials.
 func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights []float64) ([]LeakTrial, error) {
+	return sw.TrialsN(ctx, leakers, weights, 0)
+}
+
+// TrialsN is Trials with a worker bound: at most `workers` goroutines
+// replay the leaker blocks (0 means GOMAXPROCS; 1 runs everything on the
+// calling goroutine). Trials are per-leaker independent and deterministic,
+// so any partition of the leaker list replayed with any worker count
+// concatenates to exactly Trials' output — the property cluster leak
+// shards rely on.
+func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights []float64, workers int) ([]LeakTrial, error) {
 	out := make([]LeakTrial, len(leakers))
 	b := sw.base
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if !b.cfg.BreakTies && !b.scalarLeak && len(leakers) >= BatchLanes {
 		nBlocks := (len(leakers) + BatchLanes - 1) / BatchLanes
-		workers := runtime.GOMAXPROCS(0)
 		if workers > nBlocks {
 			workers = nBlocks
 		}
@@ -296,7 +308,6 @@ func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights [
 		}
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
 	clones := make([]*LeakSweep, workers)
 	err := par.ForCtx(ctx, workers, len(leakers), func(w int) func(i int) error {
 		s := sw

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flatnet/internal/astopo"
+)
+
+func TestShardRangesPartitionAndAlign(t *testing.T) {
+	cases := []struct{ n, slots, maxBlocks int }{
+		{1, 1, 64}, {63, 1, 64}, {64, 1, 64}, {65, 1, 64},
+		{1485, 2, 1}, {1485, 2, 64}, {69488, 8, 64}, {100000, 3, 16},
+		{128, 100, 64}, {4096, 1, 4},
+	}
+	for _, c := range cases {
+		shards := shardRanges(c.n, c.slots, c.maxBlocks)
+		if len(shards) == 0 {
+			t.Fatalf("n=%d: no shards", c.n)
+		}
+		next := 0
+		for i, s := range shards {
+			if s.Lo != next {
+				t.Fatalf("n=%d slots=%d: shard %d starts at %d, want %d (gap or overlap)", c.n, c.slots, i, s.Lo, next)
+			}
+			if s.Hi <= s.Lo {
+				t.Fatalf("n=%d: empty shard [%d, %d)", c.n, s.Lo, s.Hi)
+			}
+			if s.Lo%laneWidth != 0 {
+				t.Fatalf("n=%d: shard %d boundary %d not %d-aligned", c.n, i, s.Lo, laneWidth)
+			}
+			if blocks := (s.Hi - s.Lo + laneWidth - 1) / laneWidth; blocks > c.maxBlocks {
+				t.Fatalf("n=%d maxBlocks=%d: shard [%d,%d) spans %d blocks", c.n, c.maxBlocks, s.Lo, s.Hi, blocks)
+			}
+			next = s.Hi
+		}
+		if next != c.n {
+			t.Fatalf("n=%d: shards cover [0, %d)", c.n, next)
+		}
+	}
+	if got := shardRanges(0, 4, 64); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+}
+
+func TestCanonicalAddr(t *testing.T) {
+	for in, want := range map[string]string{
+		"127.0.0.1:9000":         "http://127.0.0.1:9000",
+		"http://127.0.0.1:9000/": "http://127.0.0.1:9000",
+		"https://host":           "https://host",
+	} {
+		if got := CanonicalAddr(in); got != want {
+			t.Errorf("CanonicalAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLatencyWindowPercentile(t *testing.T) {
+	var lw latencyWindow
+	if d := lw.percentile(95); d != 0 {
+		t.Fatalf("empty window: got %v, want 0 (not enough samples)", d)
+	}
+	for i := 1; i <= 100; i++ {
+		lw.record(time.Duration(i) * time.Millisecond)
+	}
+	got := lw.percentile(95)
+	if got < 90*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p95 of 1..100ms = %v", got)
+	}
+}
+
+func TestDatasetHashStableAndDistinct(t *testing.T) {
+	build := func() (*astopo.Graph, astopo.ASSet, astopo.ASSet) {
+		g := astopo.NewGraph(0, 0)
+		for _, l := range [][3]int{{1, 100, 0}, {100, 2, 1}, {2, 6, 0}} {
+			rel := astopo.P2C
+			if l[2] == 1 {
+				rel = astopo.P2P
+			}
+			if err := g.AddLink(astopo.ASN(l[0]), astopo.ASN(l[1]), rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g, astopo.NewASSet(1, 2), astopo.NewASSet(100)
+	}
+	g1, t1a, t2a := build()
+	g2, t1b, t2b := build()
+	h1 := DatasetHash(g1, t1a, t2a)
+	h2 := DatasetHash(g2, t1b, t2b)
+	if h1 != h2 {
+		t.Fatalf("identical datasets hash differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+	if h := DatasetHash(g1, astopo.NewASSet(1), t2a); h == h1 {
+		t.Fatal("changing the Tier-1 set did not change the world hash")
+	}
+	g3, t1c, t2c := build()
+	if err := g3.AddLink(6, 7, astopo.P2C); err != nil {
+		t.Fatal(err)
+	}
+	if h := DatasetHash(g3, t1c, t2c); h == h1 {
+		t.Fatal("adding a link did not change the world hash")
+	}
+}
+
+// fakeWorker serves PathSweep with counts[i] = base + index, so merged
+// results are fully predictable. The fail gate, once set, turns every
+// subsequent shard request into a 500 — the "worker dies between shard
+// responses" scenario.
+type fakeWorker struct {
+	srv    *httptest.Server
+	served atomic.Int64
+	fail   atomic.Bool
+	delay  time.Duration
+}
+
+func newFakeWorker(t *testing.T, base int, delay time.Duration) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{delay: delay}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if fw.fail.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST "+PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		if fw.fail.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		if fw.delay > 0 {
+			select {
+			case <-time.After(fw.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		counts := make([]int, req.Hi-req.Lo)
+		for i := range counts {
+			counts[i] = base + req.Lo + i
+		}
+		fw.served.Add(1)
+		json.NewEncoder(w).Encode(SweepResponse{Counts: counts})
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+func newTestPool(t *testing.T, cfg PoolConfig, workers ...*fakeWorker) *Pool {
+	t.Helper()
+	cfg.World = "test-world"
+	p := NewPool(cfg)
+	t.Cleanup(p.Close)
+	for _, fw := range workers {
+		p.Register(fw.srv.URL, 1)
+	}
+	return p
+}
+
+func wantIdentity(t *testing.T, got []int, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d counts, want %d", len(got), n)
+	}
+	for i, c := range got {
+		if c != i {
+			t.Fatalf("count[%d] = %d, want %d (shard merged out of place)", i, c, i)
+		}
+	}
+}
+
+func TestPoolSweepMergesShards(t *testing.T) {
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1},
+		newFakeWorker(t, 0, 0), newFakeWorker(t, 0, 0))
+	const n = 1000 // 16 shards at one block each
+	counts, err := p.SweepCounts(context.Background(), "full", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, n)
+	st := p.StatsSnapshot()
+	if st.RemoteShards != 16 {
+		t.Fatalf("remote shards = %d, want 16", st.RemoteShards)
+	}
+	for _, w := range st.Workers {
+		if w.Shards == 0 {
+			t.Fatalf("worker %s computed no shards; partitioning is not spreading load", w.Addr)
+		}
+		if w.Inflight != 0 {
+			t.Fatalf("worker %s still shows %d in-flight after completion", w.Addr, w.Inflight)
+		}
+	}
+}
+
+// TestPoolRetriesOnWorkerDeath kills one worker after its first shard
+// response; the remaining shards must be retried on the healthy peer and
+// the merged result must be exactly what a single process would produce.
+func TestPoolRetriesOnWorkerDeath(t *testing.T) {
+	dying := newFakeWorker(t, 0, 0)
+	healthy := newFakeWorker(t, 0, 0)
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1}, dying, healthy)
+
+	// Flip the dying worker to failure as soon as it has served one shard.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if dying.served.Load() >= 1 {
+				dying.fail.Store(true)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	const n = 2048 // 32 shards
+	counts, err := p.SweepCounts(context.Background(), "full", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, n)
+	st := p.StatsSnapshot()
+	if dying.fail.Load() {
+		if st.Retries == 0 {
+			t.Fatalf("worker died mid-sweep but retries = 0 (stats: %+v)", st)
+		}
+		for _, w := range st.Workers {
+			if w.Addr == dying.srv.URL && w.Healthy {
+				t.Fatal("dead worker still marked healthy after a failed shard")
+			}
+		}
+	}
+}
+
+func TestPoolAllWorkersDeadFallsBackToLocal(t *testing.T) {
+	dead := newFakeWorker(t, 0, 0)
+	dead.fail.Store(true)
+	var localCalls atomic.Int64
+	cfg := PoolConfig{ShardBlocks: 1, MaxAttempts: 2,
+		LocalSweep: func(_ context.Context, _ string, lo, hi int) ([]int, error) {
+			localCalls.Add(1)
+			out := make([]int, hi-lo)
+			for i := range out {
+				out[i] = lo + i
+			}
+			return out, nil
+		}}
+	p := newTestPool(t, cfg, dead)
+	counts, err := p.SweepCounts(context.Background(), "full", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, 500)
+	if localCalls.Load() == 0 {
+		t.Fatal("local fallback never ran")
+	}
+	if st := p.StatsSnapshot(); st.LocalShards == 0 {
+		t.Fatalf("local shards = 0, want >0 (stats: %+v)", st)
+	}
+}
+
+func TestPoolAllWorkersDeadNoLocalFails(t *testing.T) {
+	dead := newFakeWorker(t, 0, 0)
+	dead.fail.Store(true)
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1, MaxAttempts: 2}, dead)
+	_, err := p.SweepCounts(context.Background(), "full", 500)
+	if err == nil {
+		t.Fatal("sweep over a dead pool with no fallback should fail")
+	}
+}
+
+func TestPoolShedsBeyondMaxQueries(t *testing.T) {
+	slow := newFakeWorker(t, 0, 200*time.Millisecond)
+	p := newTestPool(t, PoolConfig{ShardBlocks: 64, MaxQueries: 1}, slow)
+
+	started := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := p.SweepCounts(context.Background(), "full", 64)
+		result <- err
+	}()
+	<-started
+	// Wait until the first query is admitted, then the second must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.StatsSnapshot().Queries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.SweepCounts(context.Background(), "full", 64); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("second concurrent query: err = %v, want ErrSaturated", err)
+	}
+	if err := <-result; err != nil {
+		t.Fatalf("admitted query failed: %v", err)
+	}
+	if st := p.StatsSnapshot(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestPoolHedgesStragglers pairs a slow worker with a fast one under a
+// fixed hedge delay: shards stuck on the straggler are re-dispatched and
+// the fast copy's result wins, so the sweep finishes long before the
+// straggler would have.
+func TestPoolHedgesStragglers(t *testing.T) {
+	slow := newFakeWorker(t, 0, 2*time.Second)
+	fast := newFakeWorker(t, 0, 0)
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1, HedgeDelay: 20 * time.Millisecond}, slow, fast)
+
+	start := time.Now()
+	counts, err := p.SweepCounts(context.Background(), "full", 256) // 4 shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, 256)
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("sweep took %v; hedging should have rescued shards stuck on the straggler", took)
+	}
+	if st := p.StatsSnapshot(); st.Hedges == 0 {
+		t.Fatalf("hedges = 0, want >0 (stats: %+v)", st)
+	}
+}
+
+func TestPoolBatchCountsMergeInRequestOrder(t *testing.T) {
+	// Workers echo base+Lo+i for range requests; for origin-list requests
+	// the fake needs the origin itself, so extend: serve counts[i] =
+	// int(origins[i]) when an origin list is present.
+	mkWorker := func() *fakeWorker {
+		fw := &fakeWorker{}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		mux.HandleFunc("POST "+PathSweep, func(w http.ResponseWriter, r *http.Request) {
+			var req SweepRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			counts := make([]int, len(req.Origins))
+			for i, o := range req.Origins {
+				counts[i] = int(o)
+			}
+			json.NewEncoder(w).Encode(SweepResponse{Counts: counts})
+		})
+		fw.srv = httptest.NewServer(mux)
+		t.Cleanup(fw.srv.Close)
+		return fw
+	}
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1}, mkWorker(), mkWorker())
+	origins := make([]uint32, 300)
+	for i := range origins {
+		origins[i] = uint32(10000 + i)
+	}
+	counts, err := p.BatchCounts(context.Background(), origins, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != int(origins[i]) {
+			t.Fatalf("counts[%d] = %d, want %d (request order lost)", i, c, origins[i])
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardRange is one contiguous slice [Lo, Hi) of a partitioned sweep.
+type shardRange struct{ Lo, Hi int }
+
+// shardRanges partitions [0, n) into 64-aligned shards. It aims for about
+// four shards per worker slot — enough granularity that a straggler near
+// the end of a sweep idles no one — but never lets a shard exceed
+// maxBlocks 64-origin blocks, so a retried or hedged shard stays cheap.
+// Every boundary except possibly the last is a multiple of laneWidth,
+// which keeps every propagation word of the bit-parallel engine full.
+func shardRanges(n, slots, maxBlocks int) []shardRange {
+	if n <= 0 {
+		return nil
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if maxBlocks < 1 {
+		maxBlocks = 1
+	}
+	blocks := (n + laneWidth - 1) / laneWidth
+	per := (blocks + slots*4 - 1) / (slots * 4)
+	if per > maxBlocks {
+		per = maxBlocks
+	}
+	step := per * laneWidth
+	out := make([]shardRange, 0, (n+step-1)/step)
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		out = append(out, shardRange{lo, hi})
+	}
+	return out
+}
+
+// admit is the pool's load-shedding gate: a query is admitted only while
+// fewer than MaxQueries fan-outs are in flight.
+func (p *Pool) admit() error {
+	if p.queries.Add(1) > int64(p.cfg.MaxQueries) {
+		p.queries.Add(-1)
+		p.shed.Add(1)
+		return ErrSaturated
+	}
+	return nil
+}
+
+// fanout executes n shards across the pool's healthy workers and commits
+// each shard's result exactly once.
+//
+// Mechanics: shards go into a queue; each healthy worker gets one puller
+// goroutine per slot. A failed attempt demotes the worker (one strike —
+// the background prober restores it) and requeues the shard for a peer,
+// up to MaxAttempts tries. The first attempt of each shard arms a hedge
+// timer: if the shard is still unfinished at the hedge delay, a duplicate
+// is dispatched to another worker and the first result wins. Completion
+// is a per-shard CAS, so of two racing attempts only the winner commits —
+// that CAS is the whole merging-safety argument — and the loser's request
+// is canceled via a per-shard context. If every worker dies mid-query, a
+// monitor drains the remaining shards through the local fallback; with no
+// fallback the query fails instead of hanging.
+func (p *Pool) fanout(ctx context.Context, n int,
+	remote func(ctx context.Context, w *Worker, i int) (func(), error),
+	local func(ctx context.Context, i int) (func(), error)) error {
+	if n == 0 {
+		return nil
+	}
+	workers := p.healthyWorkers()
+	if len(workers) == 0 {
+		if local == nil {
+			return errNoWorkers
+		}
+		for i := 0; i < n; i++ {
+			commit, err := local(ctx, i)
+			if err != nil {
+				return err
+			}
+			commit()
+			p.local.Add(1)
+		}
+		return nil
+	}
+
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan int, n*(2*p.cfg.MaxAttempts+2))
+	done := make([]atomic.Bool, n)
+	attempts := make([]atomic.Int32, n)
+	hedged := make([]atomic.Bool, n)
+	allDone := make(chan struct{})
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	finish := func(i int, commit func(), where *atomic.Int64) bool {
+		if !done[i].CompareAndSwap(false, true) {
+			return false
+		}
+		commit()
+		where.Add(1)
+		if remaining.Add(-1) == 0 {
+			close(allDone)
+		}
+		return true
+	}
+	// Per-shard contexts: canceling one aborts the hedge loser's request
+	// the moment the winner commits, without touching other shards.
+	sctx := make([]context.Context, n)
+	scancel := make([]context.CancelFunc, n)
+	for i := range sctx {
+		sctx[i], scancel[i] = context.WithCancel(qctx)
+	}
+	defer func() {
+		for _, c := range scancel {
+			c()
+		}
+	}()
+	requeue := func(i int) {
+		select {
+		case queue <- i:
+		default:
+			// The queue is sized for every possible enqueue (initial +
+			// failure requeues + one hedge per shard), so this is
+			// unreachable; dropping is still safer than blocking.
+		}
+	}
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+
+	hedge := p.hedgeDelay()
+	attempt := func(w *Worker, i int) {
+		if done[i].Load() {
+			return
+		}
+		att := int(attempts[i].Add(1))
+		if att > p.cfg.MaxAttempts {
+			if local == nil {
+				fail(fmt.Errorf("cluster: shard %d failed after %d attempts", i, p.cfg.MaxAttempts))
+				return
+			}
+			commit, err := local(qctx, i)
+			if err != nil {
+				fail(err)
+				return
+			}
+			finish(i, commit, &p.local)
+			return
+		}
+		if att > 1 && !hedged[i].CompareAndSwap(true, false) {
+			p.retries.Add(1)
+		}
+		if att == 1 && hedge > 0 {
+			time.AfterFunc(hedge, func() {
+				if !done[i].Load() && qctx.Err() == nil {
+					p.hedges.Add(1)
+					hedged[i].Store(true)
+					requeue(i)
+				}
+			})
+		}
+		w.inflight.Add(1)
+		start := time.Now()
+		commit, err := remote(sctx[i], w, i)
+		w.inflight.Add(-1)
+		if err != nil {
+			if sctx[i].Err() != nil {
+				return // shard already won or query canceled; not the worker's fault
+			}
+			w.fails.Add(1)
+			w.healthy.Store(false) // one strike; the prober restores it
+			requeue(i)
+			return
+		}
+		p.lat.record(time.Since(start))
+		w.shards.Add(1)
+		if finish(i, commit, &p.remote) {
+			scancel[i]()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		for s := 0; s < w.slots; s++ {
+			wg.Add(1)
+			go func(w *Worker) {
+				defer wg.Done()
+				for {
+					if !w.healthy.Load() {
+						return
+					}
+					select {
+					case <-qctx.Done():
+						return
+					case <-allDone:
+						return
+					case i := <-queue:
+						attempt(w, i)
+					}
+				}
+			}(w)
+		}
+	}
+
+	// Monitor: if the whole pool dies mid-query, drain what is left
+	// through the local fallback (or fail fast without one).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-qctx.Done():
+				return
+			case <-allDone:
+				return
+			case <-t.C:
+			}
+			if len(p.healthyWorkers()) > 0 {
+				continue
+			}
+			if local == nil {
+				fail(errNoWorkers)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if done[i].Load() {
+					continue
+				}
+				commit, err := local(qctx, i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				finish(i, commit, &p.local)
+			}
+		}
+	}()
+
+	select {
+	case <-allDone:
+		cancel()
+		wg.Wait()
+		return nil
+	case <-qctx.Done():
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		return ctx.Err()
+	}
+}
+
+// SweepCounts computes the reachability count of every dense graph index
+// in [0, n) for the named kind, partitioned across the cluster. The
+// merged slice is exactly what core.Metrics.ReachabilityAll returns: each
+// shard is a disjoint index range computed by the same engine, and counts
+// are exact integers, so concatenation is byte-identical to the
+// single-process sweep.
+func (p *Pool) SweepCounts(ctx context.Context, kind string, n int) ([]int, error) {
+	if err := p.admit(); err != nil {
+		return nil, err
+	}
+	defer p.queries.Add(-1)
+	shards := shardRanges(n, p.totalSlots(), p.cfg.ShardBlocks)
+	out := make([]int, n)
+	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
+		s := shards[i]
+		var resp SweepResponse
+		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Counts) != s.Hi-s.Lo {
+			return nil, fmt.Errorf("cluster: sweep shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
+		}
+		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+	}
+	var local func(context.Context, int) (func(), error)
+	if p.cfg.LocalSweep != nil {
+		local = func(ctx context.Context, i int) (func(), error) {
+			s := shards[i]
+			counts, err := p.cfg.LocalSweep(ctx, kind, s.Lo, s.Hi)
+			if err != nil {
+				return nil, err
+			}
+			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
+		}
+	}
+	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchCounts computes reach counts for an explicit origin list (ASNs),
+// partitioned across the cluster in request order. Shard boundaries are
+// 64-aligned positions in the list, so each shard rides full bit-parallel
+// words on its worker and the concatenated result preserves input order.
+func (p *Pool) BatchCounts(ctx context.Context, origins []uint32, kind string) ([]int, error) {
+	if err := p.admit(); err != nil {
+		return nil, err
+	}
+	defer p.queries.Add(-1)
+	shards := shardRanges(len(origins), p.totalSlots(), p.cfg.ShardBlocks)
+	out := make([]int, len(origins))
+	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
+		s := shards[i]
+		var resp SweepResponse
+		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Origins: origins[s.Lo:s.Hi]}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Counts) != s.Hi-s.Lo {
+			return nil, fmt.Errorf("cluster: batch shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
+		}
+		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+	}
+	var local func(context.Context, int) (func(), error)
+	if p.cfg.LocalBatch != nil {
+		local = func(ctx context.Context, i int) (func(), error) {
+			s := shards[i]
+			counts, err := p.cfg.LocalBatch(ctx, kind, origins[s.Lo:s.Hi])
+			if err != nil {
+				return nil, err
+			}
+			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
+		}
+	}
+	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LeakFracs replays a leak-trial batch across the cluster: leakers are
+// sampled deterministically from (origin, trials, seed) on every node, so
+// shard [lo, hi) of the sample means the same leakers everywhere and the
+// concatenated detoured fractions are in exactly the order the
+// single-process engine would produce — the aggregate stats downstream
+// (mean, p95, worst) sum the same floats in the same order. n is the
+// actual sample length (bgpsim.SampleLeakers caps the request at the
+// graph size, so it can be below q.Trials); the caller computes it from
+// its own sample and every worker reproduces the identical sample.
+func (p *Pool) LeakFracs(ctx context.Context, q LeakQuery, n int) ([]float64, error) {
+	if err := p.admit(); err != nil {
+		return nil, err
+	}
+	defer p.queries.Add(-1)
+	shards := shardRanges(n, p.totalSlots(), p.cfg.ShardBlocks)
+	out := make([]float64, n)
+	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
+		s := shards[i]
+		var resp LeakResponse
+		if err := p.post(ctx, w, PathLeak, LeakRequest{LeakQuery: q, Lo: s.Lo, Hi: s.Hi}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Fracs) != s.Hi-s.Lo {
+			return nil, fmt.Errorf("cluster: leak shard [%d,%d): worker returned %d fractions", s.Lo, s.Hi, len(resp.Fracs))
+		}
+		return func() { copy(out[s.Lo:s.Hi], resp.Fracs) }, nil
+	}
+	var local func(context.Context, int) (func(), error)
+	if p.cfg.LocalLeak != nil {
+		local = func(ctx context.Context, i int) (func(), error) {
+			s := shards[i]
+			fracs, err := p.cfg.LocalLeak(ctx, q, s.Lo, s.Hi)
+			if err != nil {
+				return nil, err
+			}
+			return func() { copy(out[s.Lo:s.Hi], fracs) }, nil
+		}
+	}
+	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

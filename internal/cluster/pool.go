@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned when the pool has more concurrent fan-out
+// queries than MaxQueries: admitting another would only queue it behind
+// work the workers cannot absorb, so the caller should shed it instead
+// (the serving layer maps this to HTTP 429 + Retry-After).
+var ErrSaturated = errors.New("cluster: worker pool saturated")
+
+// errNoWorkers is returned when a fan-out finds neither a healthy worker
+// nor a local fallback.
+var errNoWorkers = errors.New("cluster: no healthy workers and no local fallback")
+
+// PoolConfig parameterizes a Pool. The zero value of every knob picks the
+// documented default.
+type PoolConfig struct {
+	// World is the content address every joining worker must match.
+	World string
+
+	// MaxQueries bounds concurrently fanning-out queries; excess queries
+	// are shed with ErrSaturated (default 8).
+	MaxQueries int
+	// MaxAttempts bounds how many times one shard is tried across workers
+	// (including the hedge) before the whole query fails (default 4).
+	MaxAttempts int
+	// ShardBlocks caps one shard's size in 64-origin blocks (default 64,
+	// i.e. 4096 origins), keeping shards small enough to retry cheaply and
+	// to keep every worker busy near the end of a sweep.
+	ShardBlocks int
+
+	// HedgeDelay, when positive, hedges a shard onto a second worker after
+	// the fixed delay. When zero, the delay adapts: the 95th percentile of
+	// recent shard latencies (HedgePercentile), floored at HedgeMin, once
+	// enough samples exist.
+	HedgeDelay time.Duration
+	// HedgePercentile picks the adaptive hedge point (default 95).
+	HedgePercentile int
+	// HedgeMin floors the adaptive hedge delay (default 25ms).
+	HedgeMin time.Duration
+
+	// HealthInterval is the background health-probe period (default 2s);
+	// ProbeTimeout bounds one probe (default 1s).
+	HealthInterval time.Duration
+	ProbeTimeout   time.Duration
+	// ShardTimeout is forwarded as the per-shard compute deadline on
+	// worker requests (default 30s).
+	ShardTimeout time.Duration
+
+	// Client is the HTTP client for worker requests (default: a dedicated
+	// client with generous per-host keep-alive connections).
+	Client *http.Client
+
+	// LocalSweep and LocalLeak compute one shard on the coordinator
+	// itself. They are the fallback of last resort: used only when no
+	// healthy worker remains mid-query, so a dying cluster degrades to
+	// single-process service instead of failing.
+	LocalSweep func(ctx context.Context, kind string, lo, hi int) ([]int, error)
+	LocalBatch func(ctx context.Context, kind string, origins []uint32) ([]int, error)
+	LocalLeak  func(ctx context.Context, q LeakQuery, lo, hi int) ([]float64, error)
+}
+
+func (c *PoolConfig) fillDefaults() {
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 8
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.ShardBlocks <= 0 {
+		c.ShardBlocks = 64
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile > 100 {
+		c.HedgePercentile = 95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+}
+
+// Worker is one registered shard server. All mutable state is atomic; the
+// dispatcher and the health prober touch it concurrently.
+type Worker struct {
+	// Addr is the worker's base URL (http://host:port).
+	Addr string
+
+	slots    int
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	shards   atomic.Int64 // completed shard computations
+	fails    atomic.Int64 // consecutive failures (shard or probe)
+	joined   time.Time
+}
+
+// Pool is the coordinator's worker registry plus the shard dispatcher.
+// It is safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu      sync.Mutex
+	workers map[string]*Worker
+	probing bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	queries atomic.Int64 // in-flight fan-out queries
+	shed    atomic.Int64
+	retries atomic.Int64
+	hedges  atomic.Int64
+	remote  atomic.Int64 // shards merged from workers
+	local   atomic.Int64 // shards merged from the local fallback
+
+	lat latencyWindow
+}
+
+// NewPool returns an empty pool. The health prober starts lazily on the
+// first Register, so single-process servers never spawn it.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg.fillDefaults()
+	return &Pool{cfg: cfg, workers: make(map[string]*Worker), closed: make(chan struct{})}
+}
+
+// Close stops the health prober. In-flight queries finish on their own.
+func (p *Pool) Close() { p.closeOnce.Do(func() { close(p.closed) }) }
+
+// World returns the content address workers must match.
+func (p *Pool) World() string { return p.cfg.World }
+
+// Register adds (or refreshes) a worker by base URL. Registration marks
+// the worker healthy immediately; the prober and the dispatcher demote it
+// on failures. Re-registering is idempotent, which lets workers heartbeat
+// by re-joining.
+func (p *Pool) Register(addr string, slots int) *Worker {
+	addr = CanonicalAddr(addr)
+	if slots < 1 {
+		slots = 1
+	}
+	p.mu.Lock()
+	w, ok := p.workers[addr]
+	if !ok {
+		w = &Worker{Addr: addr, joined: time.Now()}
+		p.workers[addr] = w
+	}
+	w.slots = slots
+	w.fails.Store(0)
+	w.healthy.Store(true)
+	start := !p.probing
+	p.probing = true
+	p.mu.Unlock()
+	if start {
+		go p.probeLoop()
+	}
+	return w
+}
+
+// CanonicalAddr normalizes a worker address to a base URL without a
+// trailing slash, defaulting the scheme to http.
+func CanonicalAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// NumWorkers returns the number of registered workers, healthy or not.
+func (p *Pool) NumWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// Ready reports whether at least one healthy worker is registered — the
+// serving layer's signal to route a query through the cluster rather than
+// computing it in-process.
+func (p *Pool) Ready() bool { return len(p.healthyWorkers()) > 0 }
+
+func (p *Pool) healthyWorkers() []*Worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Worker, 0, len(p.workers))
+	for _, w := range p.workers {
+		if w.healthy.Load() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// totalSlots sums the healthy workers' concurrency, the denominator of
+// shard sizing.
+func (p *Pool) totalSlots() int {
+	n := 0
+	for _, w := range p.healthyWorkers() {
+		n += w.slots
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// probeLoop health-checks every worker until the pool closes: dead workers
+// are demoted (taking them out of dispatch) and recovered ones restored.
+func (p *Pool) probeLoop() {
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.closed:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		ws := make([]*Worker, 0, len(p.workers))
+		for _, w := range p.workers {
+			ws = append(ws, w)
+		}
+		p.mu.Unlock()
+		for _, w := range ws {
+			w.healthy.Store(p.probe(w))
+		}
+	}
+}
+
+func (p *Pool) probe(w *Worker) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		w.fails.Add(1)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.fails.Add(1)
+		return false
+	}
+	w.fails.Store(0)
+	return true
+}
+
+// post sends one shard request to a worker and decodes the JSON response.
+func (p *Pool) post(ctx context.Context, w *Worker, path string, reqBody, respBody any) error {
+	b, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s%s?timeout=%s", w.Addr, path, p.cfg.ShardTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("cluster: %s%s: status %d: %s", w.Addr, path, resp.StatusCode, bytes.TrimSpace(snippet))
+	}
+	return json.NewDecoder(resp.Body).Decode(respBody)
+}
+
+// WorkerStats is one worker's row in Stats.
+type WorkerStats struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Slots    int    `json:"slots"`
+	Inflight int64  `json:"inflight"`
+	Shards   int64  `json:"shards"`
+	Fails    int64  `json:"fails"`
+}
+
+// Stats is a snapshot of the pool's counters, exposed through /v1/stats.
+type Stats struct {
+	World        string        `json:"world"`
+	Queries      int64         `json:"queries_inflight"`
+	Shed         int64         `json:"shed"`
+	Retries      int64         `json:"retries"`
+	Hedges       int64         `json:"hedges"`
+	RemoteShards int64         `json:"remote_shards"`
+	LocalShards  int64         `json:"local_shards"`
+	Workers      []WorkerStats `json:"workers"`
+}
+
+// StatsSnapshot returns the pool's counters, workers sorted by address.
+func (p *Pool) StatsSnapshot() Stats {
+	p.mu.Lock()
+	ws := make([]*Worker, 0, len(p.workers))
+	for _, w := range p.workers {
+		ws = append(ws, w)
+	}
+	p.mu.Unlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Addr < ws[j].Addr })
+	st := Stats{
+		World:        p.cfg.World,
+		Queries:      p.queries.Load(),
+		Shed:         p.shed.Load(),
+		Retries:      p.retries.Load(),
+		Hedges:       p.hedges.Load(),
+		RemoteShards: p.remote.Load(),
+		LocalShards:  p.local.Load(),
+		Workers:      make([]WorkerStats, len(ws)),
+	}
+	for i, w := range ws {
+		st.Workers[i] = WorkerStats{
+			Addr:     w.Addr,
+			Healthy:  w.healthy.Load(),
+			Slots:    w.slots,
+			Inflight: w.inflight.Load(),
+			Shards:   w.shards.Load(),
+			Fails:    w.fails.Load(),
+		}
+	}
+	return st
+}
+
+// latencyWindow keeps the most recent successful shard latencies for the
+// adaptive hedge point.
+type latencyWindow struct {
+	mu   sync.Mutex
+	ring [128]time.Duration
+	n    int // total recorded
+}
+
+func (l *latencyWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.n%len(l.ring)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentile returns the q-th percentile of the recorded window, or 0
+// when fewer than 16 samples exist (too early to hedge).
+func (l *latencyWindow) percentile(q int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	if n < 16 {
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, l.ring[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (q*n)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+// hedgeDelay resolves the current hedge point: the fixed configured delay,
+// or the adaptive latency percentile floored at HedgeMin. Zero disables
+// hedging (not enough signal yet).
+func (p *Pool) hedgeDelay() time.Duration {
+	if p.cfg.HedgeDelay > 0 {
+		return p.cfg.HedgeDelay
+	}
+	d := p.lat.percentile(p.cfg.HedgePercentile)
+	if d == 0 {
+		return 0
+	}
+	if d < p.cfg.HedgeMin {
+		d = p.cfg.HedgeMin
+	}
+	return d
+}

@@ -1,0 +1,116 @@
+// Package cluster turns flatnetd into a horizontally scalable service: a
+// coordinator partitions all-AS sweeps, wide batch requests, and leak-trial
+// batches into 64-origin-aligned shards, fans them out over registered
+// workers, and merges the partials. Workers sync state by content address —
+// the snapshot codec produces byte-identical worlds (PR 5), so a worker
+// proves it serves the same world by hash instead of re-generating it, and
+// fetches the v2 snapshot over HTTP when it has none.
+//
+// The package is deliberately independent of the serving layer: it speaks
+// a small JSON wire protocol (this file) and takes the coordinator's local
+// compute as plain closures, so internal/serve can mount the worker
+// endpoints while the Pool stays testable against fake workers. Shard
+// results are deterministic and per-origin independent, which is what makes
+// the whole design safe: any partition of the work, executed anywhere,
+// merges back to exactly the single-process answer.
+package cluster
+
+// Worker-side endpoint paths, mounted by internal/serve on every daemon
+// (any flatnetd can serve shards; a coordinator is just the one fanning
+// them out).
+const (
+	// PathInfo describes the served world: content address, snapshot
+	// availability, preset year.
+	PathInfo = "/v1/cluster/info"
+	// PathSnapshot streams the coordinator's v2 snapshot bytes.
+	PathSnapshot = "/v1/cluster/snapshot"
+	// PathJoin registers a worker with the coordinator.
+	PathJoin = "/v1/cluster/join"
+	// PathSweep computes reachability counts for a shard: either a dense
+	// index range or an explicit origin list.
+	PathSweep = "/v1/cluster/sweep"
+	// PathLeak replays a sub-range of a leak-trial batch.
+	PathLeak = "/v1/cluster/leak"
+)
+
+// laneWidth is the bit-parallel engine's origin word width
+// (bgpsim.BatchLanes). Shard boundaries are multiples of it so every
+// propagation word stays full.
+const laneWidth = 64
+
+// Info describes a node's served world (GET PathInfo).
+type Info struct {
+	// World is the content address of the served dataset: a sha256 over
+	// the frozen topology arrays and tier sets (DatasetHash). Workers must
+	// match it exactly to join — it is what guarantees dense graph indexes
+	// mean the same AS on every node.
+	World string `json:"world"`
+	// SnapshotSHA is the sha256 of the snapshot file the node can serve
+	// over PathSnapshot, or "" when it has none (e.g. a -topo world).
+	SnapshotSHA string `json:"snapshot_sha256,omitempty"`
+	// SnapshotSize is the snapshot's byte length (0 when none).
+	SnapshotSize int64 `json:"snapshot_size,omitempty"`
+	// Year is the preset year the node serves (which internet section a
+	// fetched snapshot should be opened at).
+	Year int `json:"year"`
+	// ASes and Links describe the topology, for operator sanity checks.
+	ASes  int `json:"ases"`
+	Links int `json:"links"`
+}
+
+// JoinRequest registers a worker (POST PathJoin).
+type JoinRequest struct {
+	// Addr is the worker's externally reachable base URL.
+	Addr string `json:"addr"`
+	// World must equal the coordinator's world content address.
+	World string `json:"world"`
+	// Slots is how many shards the worker computes concurrently (its
+	// serving concurrency limit).
+	Slots int `json:"slots"`
+}
+
+// JoinResponse acknowledges a join.
+type JoinResponse struct {
+	// Workers is the pool size after the join.
+	Workers int `json:"workers"`
+}
+
+// SweepRequest asks a worker for reachability counts (POST PathSweep).
+// Exactly one of the two forms is used: a dense index range [Lo, Hi) for
+// all-AS sweeps, or an explicit Origins list (ASNs) for batch queries.
+type SweepRequest struct {
+	Kind    string   `json:"kind"`
+	Lo      int      `json:"lo"`
+	Hi      int      `json:"hi"`
+	Origins []uint32 `json:"origins,omitempty"`
+}
+
+// SweepResponse carries one count per requested origin, in request order.
+type SweepResponse struct {
+	Counts []int `json:"counts"`
+}
+
+// LeakQuery identifies one leak-trial batch. Leakers are sampled
+// deterministically from (Origin, Trials, Seed) on every node, so a
+// sub-range [lo, hi) of the sample means the same leakers everywhere.
+type LeakQuery struct {
+	Origin   uint32 `json:"origin"`
+	Scenario string `json:"scenario"`
+	Hijack   bool   `json:"hijack"`
+	Trials   int    `json:"trials"`
+	Seed     int64  `json:"seed"`
+}
+
+// LeakRequest asks a worker to replay leakers [Lo, Hi) of the query's
+// deterministic sample (POST PathLeak).
+type LeakRequest struct {
+	LeakQuery
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// LeakResponse carries one detoured fraction per replayed leaker, in
+// sample order.
+type LeakResponse struct {
+	Fracs []float64 `json:"fracs"`
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestBatchMatchesScalarReachability(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %v: batch: %v", seed, kind, err)
 			}
-			scalar, err := m.reachabilityAllScalar(kind)
+			scalar, err := m.reachabilityRangeScalar(context.Background(), kind, 0, ds.Graph.NumASes(), 0)
 			if err != nil {
 				t.Fatalf("seed %d %v: scalar: %v", seed, kind, err)
 			}

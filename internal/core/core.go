@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -254,30 +255,45 @@ func (m *Metrics) Propagate(o astopo.ASN, kind Kind, trackNextHops bool) (*bgpsi
 // configuration this sweep needs, but policies/leaks/locking/tie-breaking
 // (and debugging via FLATNET_SCALAR_SWEEP) stay on the scalar Simulator.
 func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
-	if m.scalarSweep {
-		return m.reachabilityAllScalar(kind)
+	return m.ReachabilityRangeCtx(context.Background(), kind, 0, m.ds.Graph.NumASes(), 0)
+}
+
+// ReachabilityRangeCtx computes reach(o, kind) for the dense graph indexes
+// [lo, hi), using at most `workers` goroutines (0 means GOMAXPROCS; 1 runs
+// on the calling goroutine). It is the shard primitive behind both
+// ReachabilityAll and the cluster sweep endpoints: a partition of [0, n)
+// into ranges concatenates to exactly ReachabilityAll's output, regardless
+// of the cut points, so a coordinator can merge worker partials without any
+// reconciliation. 64-aligned cut points keep every propagation word full.
+func (m *Metrics) ReachabilityRangeCtx(ctx context.Context, kind Kind, lo, hi, workers int) ([]int, error) {
+	n := m.ds.Graph.NumASes()
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("core: range [%d, %d) outside the %d-AS graph", lo, hi, n)
 	}
-	g := m.ds.Graph
-	n := g.NumASes()
-	out := make([]int, n)
-	blocks := (n + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m.scalarSweep {
+		return m.reachabilityRangeScalar(ctx, kind, lo, hi, workers)
+	}
+	out := make([]int, hi-lo)
+	blocks := (hi - lo + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
 	engines := make([]*bgpsim.BatchReach, workers)
-	err := par.For(workers, blocks, func(w int) func(i int) error {
+	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
 		br := m.batchPool.Get().(*bgpsim.BatchReach)
 		engines[w] = br
 		var origins [bgpsim.BatchLanes]int32
 		return func(bi int) error {
-			lo := bi * bgpsim.BatchLanes
-			hi := lo + bgpsim.BatchLanes
-			if hi > n {
-				hi = n
+			blo := lo + bi*bgpsim.BatchLanes
+			bhi := blo + bgpsim.BatchLanes
+			if bhi > hi {
+				bhi = hi
 			}
-			block := origins[:hi-lo]
+			block := origins[:bhi-blo]
 			for i := range block {
-				block[i] = int32(lo + i)
+				block[i] = int32(blo + i)
 			}
-			return br.Counts(block, m.baseMask[kind], kind != Full, out[lo:hi])
+			return br.CountsCtx(ctx, block, m.baseMask[kind], kind != Full, out[blo-lo:bhi-lo])
 		}
 	})
 	for _, br := range engines {
@@ -291,22 +307,23 @@ func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
 	return out, nil
 }
 
-// reachabilityAllScalar is the per-origin sweep: one scalar propagation
-// per AS. Each worker keeps one pooled simulator and one scratch exclusion
-// mask for the whole sweep.
-func (m *Metrics) reachabilityAllScalar(kind Kind) ([]int, error) {
+// reachabilityRangeScalar is the per-origin sweep over [lo, hi): one scalar
+// propagation per AS. Each worker keeps one pooled simulator and one
+// scratch exclusion mask for the whole sweep.
+func (m *Metrics) reachabilityRangeScalar(ctx context.Context, kind Kind, lo, hi, workers int) ([]int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	g := m.ds.Graph
-	n := g.NumASes()
-	out := make([]int, n)
-	workers := runtime.GOMAXPROCS(0)
+	out := make([]int, hi-lo)
 	sims := make([]*bgpsim.Simulator, workers)
-	err := par.For(workers, n, func(w int) func(i int) error {
+	err := par.ForCtx(ctx, workers, hi-lo, func(w int) func(i int) error {
 		sim := m.pool.Get().(*bgpsim.Simulator)
 		sims[w] = sim
 		sc := m.scratch(kind)
 		return func(i int) error {
-			mask := sc.acquire(i)
-			cnt, err := sim.ReachabilityCount(bgpsim.Config{Origin: g.ASNAt(i), Exclude: mask})
+			mask := sc.acquire(lo + i)
+			cnt, err := sim.ReachabilityCountCtx(ctx, bgpsim.Config{Origin: g.ASNAt(lo + i), Exclude: mask})
 			sc.release()
 			if err != nil {
 				return err

@@ -83,6 +83,15 @@ func (m *Metrics) TopRelianceCtx(ctx context.Context, o astopo.ASN, kind Kind, k
 // work for lane-count results, so the scalar path wins there). Every
 // origin must be present in the graph.
 func (m *Metrics) ReachabilityMany(ctx context.Context, origins []astopo.ASN, kind Kind) ([]int, error) {
+	return m.ReachabilityManyN(ctx, origins, kind, 0)
+}
+
+// ReachabilityManyN is ReachabilityMany with a worker bound: at most
+// `workers` goroutines compute the 64-origin blocks (0 means GOMAXPROCS;
+// 1 runs on the calling goroutine). Cluster shard endpoints use 1 so that
+// one shard request occupies exactly one serving slot and backpressure
+// stays accurate.
+func (m *Metrics) ReachabilityManyN(ctx context.Context, origins []astopo.ASN, kind Kind, workers int) ([]int, error) {
 	g := m.ds.Graph
 	idx := make([]int32, len(origins))
 	for i, o := range origins {
@@ -108,7 +117,9 @@ func (m *Metrics) ReachabilityMany(ctx context.Context, origins []astopo.ASN, ki
 		return out, nil
 	}
 	blocks := (len(origins) + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	engines := make([]*bgpsim.BatchReach, workers)
 	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
 		br := m.batchPool.Get().(*bgpsim.BatchReach)

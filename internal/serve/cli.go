@@ -1,17 +1,22 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"flatnet/internal/astopo"
+	"flatnet/internal/cluster"
 	"flatnet/internal/core"
 	"flatnet/internal/snapshot"
 	"flatnet/internal/topogen"
@@ -50,6 +55,10 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 0, "upper bound on client-requested deadlines (default 60s)")
 	concurrency := fs.Int("concurrency", 0, "max concurrent computations (default GOMAXPROCS)")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight queries")
+	join := fs.String("join", "", "coordinator base URL to join as a shard worker (syncs the world by snapshot hash when not loaded locally)")
+	advertise := fs.String("advertise", "", "externally reachable base URL advertised on join (default http://<bound addr>)")
+	snapCache := fs.String("snapshot-cache", "", "directory for snapshots fetched from a coordinator (default <tmp>/flatnet-snapshots)")
+	pprofAddr := fs.String("pprof", "", "listen address for net/http/pprof diagnostics (disabled unless set)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -71,6 +80,37 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 	if *topo != "" && *snap != "" {
 		fmt.Fprintln(stderr, "serve: -topo and -snapshot are mutually exclusive")
 		return &usageErr{errors.New("serve: -topo and -snapshot are mutually exclusive")}
+	}
+	httpClient := &http.Client{}
+	if *join != "" && *snap == "" && *topo == "" {
+		// State sync by content address: ask the coordinator what world it
+		// serves, then materialize the exact snapshot bytes (cached across
+		// restarts under the sha) instead of regenerating locally. Retries
+		// cover the race where the worker starts before the coordinator
+		// finishes loading.
+		var info cluster.Info
+		var ierr error
+		for i := 0; i < 40; i++ {
+			ictx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			info, ierr = cluster.FetchInfo(ictx, httpClient, *join)
+			cancel()
+			if ierr == nil {
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if ierr != nil {
+			return fmt.Errorf("serve: cannot reach coordinator %s: %w", *join, ierr)
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		path, serr := cluster.EnsureSnapshot(dctx, httpClient, *join, info, *snapCache)
+		cancel()
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(stdout, "flatnetd: synced world %.12s… from %s (snapshot %s)\n", info.World, *join, path)
+		*snap = path
+		*year = info.Year
 	}
 	if *snap != "" {
 		// Zero-copy mmap path first; fall back to the eager legacy decoder
@@ -96,6 +136,7 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
 		cfg.Names = in.NameOf
+		cfg.SnapshotPath = *snap
 	} else if *topo != "" {
 		f, err := os.Open(*topo)
 		if err != nil {
@@ -124,7 +165,21 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
 		cfg.Names = in.NameOf
+		// Generated worlds stay joinable: encode the world as snapshot
+		// bytes on first /v1/cluster/snapshot request. Generation and the
+		// codec are both deterministic, so every worker that fetches these
+		// bytes lands on the identical content address.
+		genScale, genYear, genIn := *scale, *year, in
+		cfg.SnapshotBytes = func() ([]byte, error) {
+			var buf bytes.Buffer
+			world := &snapshot.World{Scale: genScale, Internets: map[int]*topogen.Internet{genYear: genIn}}
+			if err := snapshot.Write(&buf, world); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}
 	}
+	cfg.Year = *year
 
 	srv, err := New(cfg)
 	if err != nil {
@@ -139,8 +194,40 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		len(cfg.Dataset.Tier1), len(cfg.Dataset.Tier2),
 		time.Since(start).Round(time.Millisecond), bound)
 
+	if *pprofAddr != "" {
+		// Opt-in only: the profiling surface binds a separate listener so
+		// the serving port never exposes pprof.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				fmt.Fprintf(stderr, "flatnetd: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "flatnetd: pprof diagnostics on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + bound.String()
+		}
+		slots := *concurrency
+		if slots <= 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		jr := cluster.JoinRequest{Addr: cluster.CanonicalAddr(adv), World: srv.WorldID(), Slots: slots}
+		if err := cluster.JoinRetry(ctx, httpClient, *join, jr, 5*time.Second); err != nil {
+			return fmt.Errorf("serve: join %s: %w", *join, err)
+		}
+		fmt.Fprintf(stdout, "flatnetd: joined coordinator %s as %s (%d slots)\n", *join, jr.Addr, slots)
+	}
 	<-ctx.Done()
 	stop()
 	fmt.Fprintln(stdout, "flatnetd: shutting down, draining in-flight queries")

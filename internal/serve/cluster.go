@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/cluster"
+	"flatnet/internal/core"
+)
+
+// This file is the serving layer's cluster face, both directions at once:
+// every daemon mounts the worker shard endpoints (any flatnetd can compute
+// shards), and every daemon carries a coordinator Pool that fans wide
+// queries out once workers have joined. The shard handlers compute with
+// workers=1 on purpose: one shard request occupies exactly one serving
+// slot, so MaxConcurrent is an accurate backpressure bound and a
+// multi-core worker scales by slots, not by oversubscription.
+
+// clusterWide is the width (origins or trials) at which a query is worth
+// fanning out: below two full bit-parallel words, coordination overhead
+// beats the compute.
+const clusterWide = 2 * bgpsim.BatchLanes
+
+// ensureSnapshot lazily resolves the served snapshot's identity and,
+// for generated worlds, encodes the bytes once.
+func (s *Server) ensureSnapshot() error {
+	s.snapOnce.Do(func() {
+		switch {
+		case s.cfg.SnapshotPath != "":
+			f, err := os.Open(s.cfg.SnapshotPath)
+			if err != nil {
+				s.snapErr = err
+				return
+			}
+			defer f.Close()
+			h := sha256.New()
+			n, err := io.Copy(h, f)
+			if err != nil {
+				s.snapErr = err
+				return
+			}
+			s.snapSHA = fmt.Sprintf("%x", h.Sum(nil))
+			s.snapSize = n
+		case s.cfg.SnapshotBytes != nil:
+			b, err := s.cfg.SnapshotBytes()
+			if err != nil {
+				s.snapErr = err
+				return
+			}
+			s.snapBytes = b
+			s.snapSHA = fmt.Sprintf("%x", sha256.Sum256(b))
+			s.snapSize = int64(len(b))
+		}
+	})
+	return s.snapErr
+}
+
+func (s *Server) handleClusterInfo(w http.ResponseWriter, _ *http.Request) {
+	if err := s.ensureSnapshot(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	g := s.cfg.Dataset.Graph
+	writeJSON(w, http.StatusOK, cluster.Info{
+		World:        s.worldID,
+		SnapshotSHA:  s.snapSHA,
+		SnapshotSize: s.snapSize,
+		Year:         s.cfg.Year,
+		ASes:         g.NumASes(),
+		Links:        g.NumLinks(),
+	})
+}
+
+func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := s.ensureSnapshot(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.snapSHA == "" {
+		s.writeError(w, notFoundf("this node serves no snapshot (world loaded from -topo or generated without a snapshot provider)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-SHA256", s.snapSHA)
+	if s.snapBytes != nil {
+		w.Header().Set("Content-Length", fmt.Sprint(len(s.snapBytes)))
+		_, _ = w.Write(s.snapBytes)
+		return
+	}
+	http.ServeFile(w, r, s.cfg.SnapshotPath)
+}
+
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req cluster.JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		s.writeError(w, badRequestf("bad JSON body: %v", err))
+		return
+	}
+	if req.Addr == "" {
+		s.writeError(w, badRequestf("missing worker addr"))
+		return
+	}
+	if req.World != s.worldID {
+		s.writeError(w, &apiError{Status: http.StatusConflict, Code: "world_mismatch",
+			Message: fmt.Sprintf("worker serves world %.12s…, coordinator serves %.12s…; sync the snapshot first", req.World, s.worldID)})
+		return
+	}
+	s.pool.Register(req.Addr, req.Slots)
+	writeJSON(w, http.StatusOK, cluster.JoinResponse{Workers: s.pool.NumWorkers()})
+}
+
+// handleClusterSweep computes one reachability shard: a dense index range
+// (all-AS sweeps) or an explicit origin list (batch queries). Responses
+// ride the same result cache as every endpoint, so a coordinator retrying
+// a shard this worker already finished pays a lookup, not a propagation.
+func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
+	var req cluster.SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, badRequestf("bad JSON body: %v", err))
+		return
+	}
+	kind, err := core.KindFromString(req.Kind)
+	if err != nil {
+		s.writeError(w, badRequestf("%v", err))
+		return
+	}
+	if len(req.Origins) > 0 {
+		origins := make([]astopo.ASN, len(req.Origins))
+		for i, o := range req.Origins {
+			origins[i] = astopo.ASN(o)
+		}
+		key := fmt.Sprintf("cbatch|%d|%s", kind, originsKey(req.Origins))
+		s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+			counts, err := s.metrics.ReachabilityManyN(ctx, origins, kind, 1)
+			if err != nil {
+				return nil, err
+			}
+			return cluster.SweepResponse{Counts: counts}, nil
+		})
+		return
+	}
+	n := s.cfg.Dataset.Graph.NumASes()
+	if req.Lo < 0 || req.Hi > n || req.Lo >= req.Hi {
+		s.writeError(w, badRequestf("shard range [%d, %d) outside the %d-AS graph", req.Lo, req.Hi, n))
+		return
+	}
+	key := fmt.Sprintf("csweep|%d|%d|%d", kind, req.Lo, req.Hi)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		counts, err := s.metrics.ReachabilityRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.SweepResponse{Counts: counts}, nil
+	})
+}
+
+// originsKey renders an origin list compactly for cache keys; the sha256
+// keeps huge lists from bloating the LRU's key storage.
+func originsKey(origins []uint32) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, o := range origins {
+		buf[0], buf[1], buf[2], buf[3] = byte(o), byte(o>>8), byte(o>>16), byte(o>>24)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%d|%x", len(origins), h.Sum(nil)[:12])
+}
+
+// handleClusterLeak replays leakers [Lo, Hi) of a leak batch's
+// deterministic sample. The worker re-derives the identical sample from
+// (origin, trials, seed) — state sync by determinism, no leaker list on
+// the wire.
+func (s *Server) handleClusterLeak(w http.ResponseWriter, r *http.Request) {
+	var req cluster.LeakRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		s.writeError(w, badRequestf("bad JSON body: %v", err))
+		return
+	}
+	key := fmt.Sprintf("cleak|%d|%s|%v|%d|%d|%d|%d",
+		req.Origin, req.Scenario, req.Hijack, req.Trials, req.Seed, req.Lo, req.Hi)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		fracs, err := s.leakFracsRange(ctx, req.LeakQuery, req.Lo, req.Hi, 1)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.LeakResponse{Fracs: fracs}, nil
+	})
+}
+
+// leakFracsRange computes the detoured fractions of leakers [lo, hi) of
+// the deterministic sample for q, with the given compute parallelism.
+// Shared by the worker shard endpoint (workers=1) and the coordinator's
+// local fallback (workers=0, full speed).
+func (s *Server) leakFracsRange(ctx context.Context, q cluster.LeakQuery, lo, hi, workers int) ([]float64, error) {
+	origin := astopo.ASN(q.Origin)
+	g := s.cfg.Dataset.Graph
+	if _, ok := g.Index(origin); !ok {
+		return nil, notFoundf("AS%d not in the topology", origin)
+	}
+	scen, ok := scenarioNames[q.Scenario]
+	if !ok {
+		return nil, badRequestf("unknown scenario %q", q.Scenario)
+	}
+	proto, err := s.leakSweep(origin, q.Scenario, scen, q.Hijack)
+	if err != nil {
+		return nil, err
+	}
+	leakers := bgpsim.SampleLeakers(g, origin, q.Trials, q.Seed)
+	if lo < 0 || hi > len(leakers) || lo > hi {
+		return nil, badRequestf("leak shard [%d, %d) outside the %d-leaker sample", lo, hi, len(leakers))
+	}
+	res, err := proto.Clone().TrialsN(ctx, leakers[lo:hi], nil, workers)
+	if err != nil {
+		return nil, err
+	}
+	fracs := make([]float64, len(res))
+	for i, tr := range res {
+		fracs[i] = tr.DetouredFrac
+	}
+	return fracs, nil
+}
+
+// ---- local fallback closures (wired into the Pool at New) ----
+
+func (s *Server) localSweep(ctx context.Context, kind string, lo, hi int) ([]int, error) {
+	k, err := core.KindFromString(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.metrics.ReachabilityRangeCtx(ctx, k, lo, hi, 0)
+}
+
+func (s *Server) localBatch(ctx context.Context, kind string, origins []uint32) ([]int, error) {
+	k, err := core.KindFromString(kind)
+	if err != nil {
+		return nil, err
+	}
+	asns := make([]astopo.ASN, len(origins))
+	for i, o := range origins {
+		asns[i] = astopo.ASN(o)
+	}
+	return s.metrics.ReachabilityManyN(ctx, asns, k, 0)
+}
+
+func (s *Server) localLeak(ctx context.Context, q cluster.LeakQuery, lo, hi int) ([]float64, error) {
+	return s.leakFracsRange(ctx, q, lo, hi, 0)
+}
+
+// ---- the public full-sweep endpoint ----
+
+type sweepEntry struct {
+	AS        astopo.ASN `json:"as"`
+	Name      string     `json:"name,omitempty"`
+	Reachable int        `json:"reachable"`
+	Pct       float64    `json:"pct"`
+}
+
+type sweepResponse struct {
+	Kind  string       `json:"kind"`
+	ASes  int          `json:"ases"`
+	Total int          `json:"total"`
+	Top   []sweepEntry `json:"top"`
+}
+
+// handleSweep answers GET /v1/sweep: reachability of every AS in the
+// topology, returning the top-N ranked as Table 1 of the paper ranks
+// providers (count desc, ASN asc). With workers joined, the sweep is
+// partitioned across the cluster; the merged counts are identical to the
+// single-process sweep (disjoint exact-integer ranges), so the response
+// body is byte-for-byte the same either way.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	kind, err := parseKind(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	top, err := parseIntParam(r, "top", 20, s.cfg.MaxTop)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := fmt.Sprintf("sweep|%d|%d", kind, top)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		g := s.cfg.Dataset.Graph
+		n := g.NumASes()
+		var counts []int
+		if s.pool.Ready() {
+			counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
+		} else {
+			counts, err = s.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]sweepEntry, n)
+		total := n - 1
+		for i, c := range counts {
+			a := g.ASNAt(i)
+			entries[i] = sweepEntry{AS: a, Name: s.nameOf(a), Reachable: c,
+				Pct: 100 * float64(c) / float64(total)}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Reachable != entries[j].Reachable {
+				return entries[i].Reachable > entries[j].Reachable
+			}
+			return entries[i].AS < entries[j].AS
+		})
+		if top > n {
+			top = n
+		}
+		return sweepResponse{Kind: kind.String(), ASes: n, Total: total, Top: entries[:top]}, nil
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
+	"flatnet/internal/cluster"
 	"flatnet/internal/core"
 )
 
@@ -45,6 +46,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
+	case errors.Is(err, cluster.ErrSaturated):
+		// Load shedding: the coordinator refuses fan-outs beyond its
+		// admission bound instead of queueing them into timeout.
+		w.Header().Set("Retry-After", "1")
+		ae = &apiError{Status: http.StatusTooManyRequests, Code: "saturated",
+			Message: "cluster worker pool is saturated; retry shortly"}
 	case errors.Is(err, context.DeadlineExceeded):
 		s.stats.deadlines.Add(1)
 		ae = &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded",
@@ -84,6 +91,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/leak", s.handleLeak)
 	mux.HandleFunc("GET /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET "+cluster.PathInfo, s.handleClusterInfo)
+	mux.HandleFunc("GET "+cluster.PathSnapshot, s.handleClusterSnapshot)
+	mux.HandleFunc("POST "+cluster.PathJoin, s.handleClusterJoin)
+	mux.HandleFunc("POST "+cluster.PathSweep, s.handleClusterSweep)
+	mux.HandleFunc("POST "+cluster.PathLeak, s.handleClusterLeak)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.stats.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -189,11 +202,18 @@ type statsResponse struct {
 	Computations int64 `json:"computations"`
 	Deadlines    int64 `json:"deadlines_exceeded"`
 	Inflight     int64 `json:"inflight"`
+	Shed         int64 `json:"shed"`
+
+	// World is the served dataset's content address; Cluster appears once
+	// workers have registered (per-worker in-flight gauges included).
+	World   string         `json:"world"`
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.cfg.Dataset.Graph
-	writeJSON(w, http.StatusOK, statsResponse{
+	cs := s.pool.StatsSnapshot()
+	resp := statsResponse{
 		ASes:         g.NumASes(),
 		Links:        g.NumLinks(),
 		Tier1:        len(s.cfg.Dataset.Tier1),
@@ -207,7 +227,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Computations: s.stats.computations.Load(),
 		Deadlines:    s.stats.deadlines.Load(),
 		Inflight:     s.stats.inflight.Load(),
-	})
+		Shed:         cs.Shed,
+		World:        s.worldID,
+	}
+	if len(cs.Workers) > 0 {
+		resp.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type reachResponse struct {
@@ -326,33 +352,37 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	key := fmt.Sprintf("leak|%d|%s|%v|%d|%d", origin, scenName, hijack, trials, seed)
+	q := cluster.LeakQuery{Origin: uint32(origin), Scenario: scenName, Hijack: hijack, Trials: trials, Seed: seed}
+	_ = scen // validated by parseScenario; leakFracsRange re-resolves by name
 	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		proto, err := s.leakSweep(origin, scenName, scen, hijack)
-		if err != nil {
-			return nil, err
-		}
 		g := s.cfg.Dataset.Graph
 		leakers := bgpsim.SampleLeakers(g, origin, trials, seed)
-		// Clone before running: the cached prototype stays untouched so
-		// concurrent requests against the same config never share
-		// mutable simulator state. Trials replays >=64 leakers through
-		// pooled bit-parallel BatchLeak engines, 64 lanes per block.
-		res, err := proto.Clone().Trials(ctx, leakers, nil)
+		// The fractions come back in deterministic sample order either
+		// way — partitioned across the cluster or replayed locally through
+		// pooled bit-parallel BatchLeak engines — so the aggregates below
+		// sum the same floats in the same order and the response body is
+		// identical whichever path ran.
+		var fracs []float64
+		var err error
+		if s.pool.Ready() && len(leakers) >= clusterWide {
+			fracs, err = s.pool.LeakFracs(ctx, q, len(leakers))
+		} else {
+			fracs, err = s.leakFracsRange(ctx, q, 0, len(leakers), 0)
+		}
 		if err != nil {
 			return nil, err
 		}
-		fracs := make([]float64, len(res))
 		var mean, worst float64
-		for i, tr := range res {
-			fracs[i] = tr.DetouredFrac
-			mean += tr.DetouredFrac
-			if tr.DetouredFrac > worst {
-				worst = tr.DetouredFrac
+		for _, f := range fracs {
+			mean += f
+			if f > worst {
+				worst = f
 			}
 		}
-		if len(res) > 0 {
-			mean /= float64(len(res))
+		if len(fracs) > 0 {
+			mean /= float64(len(fracs))
 		}
+		n := len(fracs)
 		sort.Float64s(fracs)
 		var p95 float64
 		if len(fracs) > 0 {
@@ -360,7 +390,7 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 		}
 		return leakResponse{
 			AS: origin, Name: s.nameOf(origin), Scenario: scenName, Hijack: hijack,
-			Trials: len(res), Seed: seed, MeanDetour: mean, P95Detour: p95, WorstDetour: worst,
+			Trials: n, Seed: seed, MeanDetour: mean, P95Detour: p95, WorstDetour: worst,
 		}, nil
 	})
 }
@@ -467,12 +497,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, o := range origins {
 		fmt.Fprintf(&sb, "|%d", o)
 	}
+	// The engine label describes the compute width, not where it ran: a
+	// cluster-partitioned batch still rides the bit-parallel engine on
+	// each worker, so the response body stays identical either way.
 	engine := "scalar"
 	if len(origins) >= bgpsim.BatchLanes {
 		engine = "batch"
 	}
 	s.serveCached(w, r, sb.String(), func(ctx context.Context) (any, error) {
-		counts, err := s.metrics.ReachabilityMany(ctx, origins, kind)
+		var counts []int
+		var err error
+		if s.pool.Ready() && len(origins) >= clusterWide {
+			raw := make([]uint32, len(origins))
+			for i, o := range origins {
+				raw[i] = uint32(o)
+			}
+			counts, err = s.pool.BatchCounts(ctx, raw, kind.String())
+		} else {
+			counts, err = s.metrics.ReachabilityMany(ctx, origins, kind)
+		}
 		if err != nil {
 			return nil, err
 		}

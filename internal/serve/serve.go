@@ -27,10 +27,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"flatnet/internal/astopo"
+	"flatnet/internal/cluster"
 	"flatnet/internal/core"
 )
 
@@ -61,6 +63,23 @@ type Config struct {
 	MaxBatch int
 	// MaxTop caps the top parameter of /v1/reliance (default 1000).
 	MaxTop int
+
+	// Year is the preset year this server's world represents; workers that
+	// fetch the snapshot open it at this section (default 2020, the
+	// paper's measurement year).
+	Year int
+	// SnapshotPath, when set, is the v2 snapshot file this world was
+	// loaded from; /v1/cluster/snapshot serves it and /v1/cluster/info
+	// advertises its sha256 so joining workers can sync by content
+	// address.
+	SnapshotPath string
+	// SnapshotBytes, when set, lazily encodes the served world as v2
+	// snapshot bytes — how generated (non-snapshot) worlds stay joinable.
+	// Ignored when SnapshotPath is set.
+	SnapshotBytes func() ([]byte, error)
+	// Cluster tunes the coordinator's worker pool (zero value = defaults);
+	// the World field is overwritten with the dataset's content address.
+	Cluster cluster.PoolConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -88,6 +107,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxTop <= 0 {
 		c.MaxTop = 1000
 	}
+	if c.Year <= 0 {
+		c.Year = 2020
+	}
 }
 
 // Server answers metric queries over one frozen dataset. It is safe for
@@ -102,6 +124,25 @@ type Server struct {
 	sem     chan struct{} // worker-pool slots
 	httpSrv *http.Server
 	started time.Time
+
+	// worldID is the dataset's content address (cluster.DatasetHash);
+	// worldKey is its short prefix baked into every result-cache key, so
+	// cached bodies can never leak across worlds (a restarted daemon
+	// serving a different snapshot must never replay stale answers).
+	worldID  string
+	worldKey string
+	// pool is the cluster coordinator state. Always present (the health
+	// prober starts only when a worker registers), so the handlers can
+	// route any sufficiently wide query through it once Ready.
+	pool *cluster.Pool
+
+	// snapOnce lazily resolves the served snapshot's identity: the file's
+	// sha256 (SnapshotPath) or in-memory encoded bytes (SnapshotBytes).
+	snapOnce  sync.Once
+	snapSHA   string
+	snapSize  int64
+	snapBytes []byte
+	snapErr   error
 
 	stats struct {
 		requests     atomic.Int64
@@ -134,12 +175,26 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
 	}
+	s.worldID = cluster.DatasetHash(cfg.Dataset.Graph, cfg.Dataset.Tier1, cfg.Dataset.Tier2)
+	s.worldKey = s.worldID[:16] + "|"
+	pc := cfg.Cluster
+	pc.World = s.worldID
+	pc.LocalSweep = s.localSweep
+	pc.LocalBatch = s.localBatch
+	pc.LocalLeak = s.localLeak
+	s.pool = cluster.NewPool(pc)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s, nil
 }
+
+// WorldID returns the served dataset's content address.
+func (s *Server) WorldID() string { return s.worldID }
+
+// Pool exposes the cluster coordinator state (worker registry/dispatcher).
+func (s *Server) Pool() *cluster.Pool { return s.pool }
 
 // Metrics exposes the underlying metrics (shared, concurrent-safe).
 func (s *Server) Metrics() *core.Metrics { return s.metrics }
@@ -163,6 +218,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 // requests drain or ctx expires — the graceful half of the serving
 // contract.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.pool.Close()
 	return s.httpSrv.Shutdown(ctx)
 }
 
@@ -191,6 +247,11 @@ func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
 // result-cache lookup, then singleflight-coalesced computation under the
 // worker pool and the request deadline, then cache fill.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	// Every key is world-prefixed: a cache (or a coalesced flight) keyed
+	// by query alone would be wrong the moment two worlds exist — shard
+	// requests from different coordinators, or a daemon swapped onto a new
+	// snapshot.
+	key = s.worldKey + key
 	if b, ok := s.cache.Get(key); ok {
 		s.stats.cacheHits.Add(1)
 		writeBody(w, http.StatusOK, b.([]byte))
