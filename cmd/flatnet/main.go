@@ -11,6 +11,10 @@
 //	flatnet reach [-scale 0.04987] [-year 2020] -as 15169 [-kind hierarchy-free]
 //	flatnet snapshot build [-scale 0.04987] [-traces all|none] [-o flatnet.snap]
 //	flatnet snapshot info <flatnet.snap>
+//	flatnet timeline report [-scale 0.04987] [-snapshot file]
+//	flatnet timeline build -year 2016 [-scale 0.04987] [-o y2016.snap]
+//	flatnet timeline delta -base y2016.snap [-o step.snapd]
+//	flatnet timeline apply -base y2016.snap -delta step.snapd [-o y2017.snap]
 //	flatnet serve [-addr 127.0.0.1:8080] [-snapshot flatnet.snap]
 //
 // Exit codes: 0 on success, 1 on runtime failure, 2 on usage mistakes
@@ -97,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTrace(args[1:])
 	case "snapshot":
 		err = cmdSnapshot(args[1:], os.Stdout)
+	case "timeline":
+		err = cmdTimeline(args[1:], stdout)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
@@ -139,6 +145,10 @@ func usage(w io.Writer) {
   flatnet trace [-cloud C] [-o traces.json]     cloud traceroute campaign
   flatnet snapshot build [-scale f] [-o file]   freeze a prebuilt world to a binary snapshot
   flatnet snapshot info <file>                  list a snapshot's sections
+  flatnet timeline report [-scale f]            per-cloud reachability, 2015-2025
+  flatnet timeline build -year y [-o file]      freeze one timeline year to a snapshot
+  flatnet timeline delta -base file [-o file]   derive the next year's growth delta
+  flatnet timeline apply -base f -delta f       apply a delta (hash-verified)
   flatnet serve [-addr host:port]               HTTP query daemon (see flatnetd)`)
 }
 

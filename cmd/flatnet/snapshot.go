@@ -138,8 +138,20 @@ func cmdSnapshotInfo(args []string, stdout *os.File) error {
 				s.Label, s.Year, "", s.Length)
 		}
 	}
+	if info.Delta != nil {
+		// Delta files carry lineage instead of worlds: print the base→result
+		// chain so operators can line up a delta against `timeline build`
+		// output (the world hashes) before applying it.
+		fmt.Fprintf(stdout, "delta  %d→%d\n", info.Delta.FromYear, info.Delta.ToYear)
+		fmt.Fprintf(stdout, "base   %s\n", info.Delta.BaseHash)
+		fmt.Fprintf(stdout, "result %s\n", info.Delta.ResultHash)
+	}
 	if *verify {
-		if _, err := snapshot.Decode(raw); err != nil {
+		if info.Delta != nil {
+			if _, err := snapshot.DecodeDelta(raw); err != nil {
+				return fmt.Errorf("snapshot info: verify: %w", err)
+			}
+		} else if _, err := snapshot.Decode(raw); err != nil {
 			return fmt.Errorf("snapshot info: verify: %w", err)
 		}
 		fmt.Fprintln(stdout, "verified: every section checksum OK")

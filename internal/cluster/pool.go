@@ -154,18 +154,51 @@ func NewPool(cfg PoolConfig) *Pool {
 func (p *Pool) Close() { p.closeOnce.Do(func() { close(p.closed) }) }
 
 // World returns the content address workers must match.
-func (p *Pool) World() string { return p.cfg.World }
+func (p *Pool) World() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.World
+}
+
+// SetWorld rotates the pool onto a new content address and drops every
+// registered worker: their loaded world no longer matches, so letting them
+// keep computing shards would merge answers from the wrong topology.
+// Workers re-join (and 409 until they have synced the new snapshot), which
+// is the same flow as a fresh cluster bootstrap. In-flight fan-outs keep
+// their already-copied worker handles; those workers still hold the old
+// world, so the shards they finish are consistent with the query that
+// started them.
+func (p *Pool) SetWorld(world string) {
+	p.mu.Lock()
+	p.cfg.World = world
+	p.workers = make(map[string]*Worker)
+	p.mu.Unlock()
+}
 
 // Register adds (or refreshes) a worker by base URL. Registration marks
 // the worker healthy immediately; the prober and the dispatcher demote it
 // on failures. Re-registering is idempotent, which lets workers heartbeat
 // by re-joining.
 func (p *Pool) Register(addr string, slots int) *Worker {
+	w, _ := p.RegisterFor(addr, slots, "")
+	return w
+}
+
+// RegisterFor is Register gated on the world the worker claims to serve:
+// the admission check and the insertion happen under one lock acquisition,
+// so a worker holding an old world can never slip into a pool that rotated
+// (SetWorld) between a caller's own check and the registration. An empty
+// world skips the gate.
+func (p *Pool) RegisterFor(addr string, slots int, world string) (*Worker, bool) {
 	addr = CanonicalAddr(addr)
 	if slots < 1 {
 		slots = 1
 	}
 	p.mu.Lock()
+	if world != "" && world != p.cfg.World {
+		p.mu.Unlock()
+		return nil, false
+	}
 	w, ok := p.workers[addr]
 	if !ok {
 		w = &Worker{Addr: addr, joined: time.Now()}
@@ -180,7 +213,7 @@ func (p *Pool) Register(addr string, slots int) *Worker {
 	if start {
 		go p.probeLoop()
 	}
-	return w
+	return w, true
 }
 
 // CanonicalAddr normalizes a worker address to a base URL without a
@@ -326,6 +359,7 @@ type Stats struct {
 // StatsSnapshot returns the pool's counters, workers sorted by address.
 func (p *Pool) StatsSnapshot() Stats {
 	p.mu.Lock()
+	world := p.cfg.World
 	ws := make([]*Worker, 0, len(p.workers))
 	for _, w := range p.workers {
 		ws = append(ws, w)
@@ -333,7 +367,7 @@ func (p *Pool) StatsSnapshot() Stats {
 	p.mu.Unlock()
 	sort.Slice(ws, func(i, j int) bool { return ws[i].Addr < ws[j].Addr })
 	st := Stats{
-		World:        p.cfg.World,
+		World:        world,
 		Queries:      p.queries.Load(),
 		Shed:         p.shed.Load(),
 		Retries:      p.retries.Load(),

@@ -486,6 +486,7 @@ var Registry = []Runner{
 	{"ablation-ties", "Ablation: worst-case (all ties) vs tie-broken leak exposure", runTiesAblation},
 	{"sensitivity", "Sensitivity: hierarchy-free reachability vs fraction of peerings missed", runSensitivity},
 	{"hijack", "Extension: accidental leaks vs forged originations (prefix hijacks)", runHijack},
+	{"timeline", "Extension: hierarchy-free cloud reachability along the 2015–2025 timeline", runTimeline},
 }
 
 // ByID finds a registered experiment.

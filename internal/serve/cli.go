@@ -136,6 +136,7 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
 		cfg.Names = in.NameOf
+		cfg.World = in
 		cfg.SnapshotPath = *snap
 	} else if *topo != "" {
 		f, err := os.Open(*topo)
@@ -165,6 +166,7 @@ func RunCLI(args []string, stdout, stderr io.Writer) error {
 		}
 		cfg.Dataset = core.Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
 		cfg.Names = in.NameOf
+		cfg.World = in
 		// Generated worlds stay joinable: encode the world as snapshot
 		// bytes on first /v1/cluster/snapshot request. Generation and the
 		// codec are both deterministic, so every worker that fetches these

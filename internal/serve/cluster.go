@@ -29,73 +29,75 @@ import (
 // beats the compute.
 const clusterWide = 2 * bgpsim.BatchLanes
 
-// ensureSnapshot lazily resolves the served snapshot's identity and,
-// for generated worlds, encodes the bytes once.
-func (s *Server) ensureSnapshot() error {
-	s.snapOnce.Do(func() {
+// ensureSnapshot lazily resolves the world's snapshot identity and, for
+// generated or evolved worlds, encodes the bytes once per world.
+func (ws *worldState) ensureSnapshot() error {
+	ws.snapOnce.Do(func() {
 		switch {
-		case s.cfg.SnapshotPath != "":
-			f, err := os.Open(s.cfg.SnapshotPath)
+		case ws.snapPath != "":
+			f, err := os.Open(ws.snapPath)
 			if err != nil {
-				s.snapErr = err
+				ws.snapErr = err
 				return
 			}
 			defer f.Close()
 			h := sha256.New()
 			n, err := io.Copy(h, f)
 			if err != nil {
-				s.snapErr = err
+				ws.snapErr = err
 				return
 			}
-			s.snapSHA = fmt.Sprintf("%x", h.Sum(nil))
-			s.snapSize = n
-		case s.cfg.SnapshotBytes != nil:
-			b, err := s.cfg.SnapshotBytes()
+			ws.snapSHA = fmt.Sprintf("%x", h.Sum(nil))
+			ws.snapSize = n
+		case ws.snapGen != nil:
+			b, err := ws.snapGen()
 			if err != nil {
-				s.snapErr = err
+				ws.snapErr = err
 				return
 			}
-			s.snapBytes = b
-			s.snapSHA = fmt.Sprintf("%x", sha256.Sum256(b))
-			s.snapSize = int64(len(b))
+			ws.snapBytes = b
+			ws.snapSHA = fmt.Sprintf("%x", sha256.Sum256(b))
+			ws.snapSize = int64(len(b))
 		}
 	})
-	return s.snapErr
+	return ws.snapErr
 }
 
 func (s *Server) handleClusterInfo(w http.ResponseWriter, _ *http.Request) {
-	if err := s.ensureSnapshot(); err != nil {
+	ws := s.w()
+	if err := ws.ensureSnapshot(); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	g := s.cfg.Dataset.Graph
+	g := ws.ds.Graph
 	writeJSON(w, http.StatusOK, cluster.Info{
-		World:        s.worldID,
-		SnapshotSHA:  s.snapSHA,
-		SnapshotSize: s.snapSize,
-		Year:         s.cfg.Year,
+		World:        ws.id,
+		SnapshotSHA:  ws.snapSHA,
+		SnapshotSize: ws.snapSize,
+		Year:         ws.year,
 		ASes:         g.NumASes(),
 		Links:        g.NumLinks(),
 	})
 }
 
 func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
-	if err := s.ensureSnapshot(); err != nil {
+	ws := s.w()
+	if err := ws.ensureSnapshot(); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	if s.snapSHA == "" {
+	if ws.snapSHA == "" {
 		s.writeError(w, notFoundf("this node serves no snapshot (world loaded from -topo or generated without a snapshot provider)"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Snapshot-SHA256", s.snapSHA)
-	if s.snapBytes != nil {
-		w.Header().Set("Content-Length", fmt.Sprint(len(s.snapBytes)))
-		_, _ = w.Write(s.snapBytes)
+	w.Header().Set("X-Snapshot-SHA256", ws.snapSHA)
+	if ws.snapBytes != nil {
+		w.Header().Set("Content-Length", fmt.Sprint(len(ws.snapBytes)))
+		_, _ = w.Write(ws.snapBytes)
 		return
 	}
-	http.ServeFile(w, r, s.cfg.SnapshotPath)
+	http.ServeFile(w, r, ws.snapPath)
 }
 
 func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
@@ -108,12 +110,18 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("missing worker addr"))
 		return
 	}
-	if req.World != s.worldID {
-		s.writeError(w, &apiError{Status: http.StatusConflict, Code: "world_mismatch",
-			Message: fmt.Sprintf("worker serves world %.12s…, coordinator serves %.12s…; sync the snapshot first", req.World, s.worldID)})
+	if req.World == "" {
+		s.writeError(w, badRequestf("missing worker world"))
 		return
 	}
-	s.pool.Register(req.Addr, req.Slots)
+	// RegisterFor checks and inserts under one pool lock, so a worker
+	// holding an old world cannot slip in between this handler's check and
+	// the registration while /v1/evolve rotates the pool.
+	if _, ok := s.pool.RegisterFor(req.Addr, req.Slots, req.World); !ok {
+		s.writeError(w, &apiError{Status: http.StatusConflict, Code: "world_mismatch",
+			Message: fmt.Sprintf("worker serves world %.12s…, coordinator serves %.12s…; sync the snapshot first", req.World, s.pool.World())})
+		return
+	}
 	writeJSON(w, http.StatusOK, cluster.JoinResponse{Workers: s.pool.NumWorkers()})
 }
 
@@ -122,6 +130,7 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 // ride the same result cache as every endpoint, so a coordinator retrying
 // a shard this worker already finished pays a lookup, not a propagation.
 func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
+	ws := s.w()
 	var req cluster.SweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		s.writeError(w, badRequestf("bad JSON body: %v", err))
@@ -138,8 +147,8 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 			origins[i] = astopo.ASN(o)
 		}
 		key := fmt.Sprintf("cbatch|%d|%s", kind, originsKey(req.Origins))
-		s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-			counts, err := s.metrics.ReachabilityManyN(ctx, origins, kind, 1)
+		s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+			counts, err := ws.metrics.ReachabilityManyN(ctx, origins, kind, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -147,14 +156,14 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	n := s.cfg.Dataset.Graph.NumASes()
+	n := ws.ds.Graph.NumASes()
 	if req.Lo < 0 || req.Hi > n || req.Lo >= req.Hi {
 		s.writeError(w, badRequestf("shard range [%d, %d) outside the %d-AS graph", req.Lo, req.Hi, n))
 		return
 	}
 	key := fmt.Sprintf("csweep|%d|%d|%d", kind, req.Lo, req.Hi)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		counts, err := s.metrics.ReachabilityRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		counts, err := ws.metrics.ReachabilityRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -179,6 +188,7 @@ func originsKey(origins []uint32) string {
 // (origin, trials, seed) — state sync by determinism, no leaker list on
 // the wire.
 func (s *Server) handleClusterLeak(w http.ResponseWriter, r *http.Request) {
+	ws := s.w()
 	var req cluster.LeakRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 		s.writeError(w, badRequestf("bad JSON body: %v", err))
@@ -186,8 +196,8 @@ func (s *Server) handleClusterLeak(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("cleak|%d|%s|%v|%d|%d|%d|%d",
 		req.Origin, req.Scenario, req.Hijack, req.Trials, req.Seed, req.Lo, req.Hi)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		fracs, err := s.leakFracsRange(ctx, req.LeakQuery, req.Lo, req.Hi, 1)
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		fracs, err := s.leakFracsRange(ctx, ws, req.LeakQuery, req.Lo, req.Hi, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -196,12 +206,12 @@ func (s *Server) handleClusterLeak(w http.ResponseWriter, r *http.Request) {
 }
 
 // leakFracsRange computes the detoured fractions of leakers [lo, hi) of
-// the deterministic sample for q, with the given compute parallelism.
-// Shared by the worker shard endpoint (workers=1) and the coordinator's
-// local fallback (workers=0, full speed).
-func (s *Server) leakFracsRange(ctx context.Context, q cluster.LeakQuery, lo, hi, workers int) ([]float64, error) {
+// the deterministic sample for q on the pinned world, with the given
+// compute parallelism. Shared by the worker shard endpoint (workers=1) and
+// the coordinator's local fallback (workers=0, full speed).
+func (s *Server) leakFracsRange(ctx context.Context, ws *worldState, q cluster.LeakQuery, lo, hi, workers int) ([]float64, error) {
 	origin := astopo.ASN(q.Origin)
-	g := s.cfg.Dataset.Graph
+	g := ws.ds.Graph
 	if _, ok := g.Index(origin); !ok {
 		return nil, notFoundf("AS%d not in the topology", origin)
 	}
@@ -209,7 +219,7 @@ func (s *Server) leakFracsRange(ctx context.Context, q cluster.LeakQuery, lo, hi
 	if !ok {
 		return nil, badRequestf("unknown scenario %q", q.Scenario)
 	}
-	proto, err := s.leakSweep(origin, q.Scenario, scen, q.Hijack)
+	proto, err := s.leakSweep(ws, origin, q.Scenario, scen, q.Hijack)
 	if err != nil {
 		return nil, err
 	}
@@ -229,13 +239,20 @@ func (s *Server) leakFracsRange(ctx context.Context, q cluster.LeakQuery, lo, hi
 }
 
 // ---- local fallback closures (wired into the Pool at New) ----
+//
+// Each closure pins the current world at call time. If an evolve lands
+// while a fan-out is in flight, the fallback may compute on the successor
+// world while workers finished shards on the old one; the handler's
+// post-call verifyWorld check catches exactly that case and errors instead
+// of caching a mixed result (worlds are monotonic, so the successor is
+// always visible to the post-check).
 
 func (s *Server) localSweep(ctx context.Context, kind string, lo, hi int) ([]int, error) {
 	k, err := core.KindFromString(kind)
 	if err != nil {
 		return nil, err
 	}
-	return s.metrics.ReachabilityRangeCtx(ctx, k, lo, hi, 0)
+	return s.w().metrics.ReachabilityRangeCtx(ctx, k, lo, hi, 0)
 }
 
 func (s *Server) localBatch(ctx context.Context, kind string, origins []uint32) ([]int, error) {
@@ -247,11 +264,11 @@ func (s *Server) localBatch(ctx context.Context, kind string, origins []uint32) 
 	for i, o := range origins {
 		asns[i] = astopo.ASN(o)
 	}
-	return s.metrics.ReachabilityManyN(ctx, asns, k, 0)
+	return s.w().metrics.ReachabilityManyN(ctx, asns, k, 0)
 }
 
 func (s *Server) localLeak(ctx context.Context, q cluster.LeakQuery, lo, hi int) ([]float64, error) {
-	return s.leakFracsRange(ctx, q, lo, hi, 0)
+	return s.leakFracsRange(ctx, s.w(), q, lo, hi, 0)
 }
 
 // ---- the public full-sweep endpoint ----
@@ -277,6 +294,7 @@ type sweepResponse struct {
 // single-process sweep (disjoint exact-integer ranges), so the response
 // body is byte-for-byte the same either way.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ws := s.w()
 	kind, err := parseKind(r)
 	if err != nil {
 		s.writeError(w, err)
@@ -288,14 +306,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("sweep|%d|%d", kind, top)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		g := s.cfg.Dataset.Graph
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		g := ws.ds.Graph
 		n := g.NumASes()
 		var counts []int
-		if s.pool.Ready() {
+		if s.pool.Ready() && s.pool.World() == ws.id {
 			counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
+			err = s.verifyWorld(ws, err)
 		} else {
-			counts, err = s.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+			counts, err = ws.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
 		}
 		if err != nil {
 			return nil, err
@@ -304,7 +323,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		total := n - 1
 		for i, c := range counts {
 			a := g.ASNAt(i)
-			entries[i] = sweepEntry{AS: a, Name: s.nameOf(a), Reachable: c,
+			entries[i] = sweepEntry{AS: a, Name: ws.nameOf(a), Reachable: c,
 				Pct: 100 * float64(c) / float64(total)}
 		}
 		sort.Slice(entries, func(i, j int) bool {

@@ -357,14 +357,14 @@ func TestResultCacheKeyedByWorld(t *testing.T) {
 	if a.WorldID() == b.WorldID() {
 		t.Fatal("distinct datasets produced the same world hash")
 	}
-	if a.worldKey == b.worldKey {
+	if a.w().key == b.w().key {
 		t.Fatal("distinct worlds share a cache-key prefix")
 	}
 	rec := get(t, a.Handler(), "/v1/reach?as=100&kind=full")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("reach: status %d", rec.Code)
 	}
-	if _, ok := a.cache.Get(a.worldKey + "reach|100|0"); !ok {
+	if _, ok := a.cache.Get(a.w().key + "reach|100|0"); !ok {
 		t.Fatal("result not cached under the world-prefixed key")
 	}
 	if _, ok := a.cache.Get("reach|100|0"); ok {

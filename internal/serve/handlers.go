@@ -92,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/evolve", s.handleEvolve)
 	mux.HandleFunc("GET "+cluster.PathInfo, s.handleClusterInfo)
 	mux.HandleFunc("GET "+cluster.PathSnapshot, s.handleClusterSnapshot)
 	mux.HandleFunc("POST "+cluster.PathJoin, s.handleClusterJoin)
@@ -105,8 +106,9 @@ func (s *Server) Handler() http.Handler {
 
 // ---- parameter parsing ----
 
-// parseAS resolves the required `as` query parameter against the graph.
-func (s *Server) parseAS(r *http.Request) (astopo.ASN, error) {
+// parseAS resolves the required `as` query parameter against the pinned
+// world's graph.
+func parseAS(ws *worldState, r *http.Request) (astopo.ASN, error) {
 	raw := r.URL.Query().Get("as")
 	if raw == "" {
 		return 0, badRequestf("missing required parameter 'as'")
@@ -116,7 +118,7 @@ func (s *Server) parseAS(r *http.Request) (astopo.ASN, error) {
 		return 0, badRequestf("bad ASN %q", raw)
 	}
 	a := astopo.ASN(v)
-	if _, ok := s.cfg.Dataset.Graph.Index(a); !ok {
+	if _, ok := ws.ds.Graph.Index(a); !ok {
 		return 0, notFoundf("AS%d not in the topology", a)
 	}
 	return a, nil
@@ -174,13 +176,6 @@ func parseIntParam(r *http.Request, name string, def, max int) (int, error) {
 	return v, nil
 }
 
-func (s *Server) nameOf(a astopo.ASN) string {
-	if s.cfg.Names == nil {
-		return ""
-	}
-	return s.cfg.Names(a)
-}
-
 // ---- endpoints ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -203,21 +198,25 @@ type statsResponse struct {
 	Deadlines    int64 `json:"deadlines_exceeded"`
 	Inflight     int64 `json:"inflight"`
 	Shed         int64 `json:"shed"`
+	Evolves      int64 `json:"evolves"`
 
-	// World is the served dataset's content address; Cluster appears once
-	// workers have registered (per-worker in-flight gauges included).
+	// World is the served dataset's content address and Year the timeline
+	// year it represents; Cluster appears once workers have registered
+	// (per-worker in-flight gauges included).
 	World   string         `json:"world"`
+	Year    int            `json:"year"`
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	g := s.cfg.Dataset.Graph
+	ws := s.w()
+	g := ws.ds.Graph
 	cs := s.pool.StatsSnapshot()
 	resp := statsResponse{
 		ASes:         g.NumASes(),
 		Links:        g.NumLinks(),
-		Tier1:        len(s.cfg.Dataset.Tier1),
-		Tier2:        len(s.cfg.Dataset.Tier2),
+		Tier1:        len(ws.ds.Tier1),
+		Tier2:        len(ws.ds.Tier2),
 		UptimeSecs:   time.Since(s.started).Seconds(),
 		Requests:     s.stats.requests.Load(),
 		CacheHits:    s.stats.cacheHits.Load(),
@@ -228,7 +227,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Deadlines:    s.stats.deadlines.Load(),
 		Inflight:     s.stats.inflight.Load(),
 		Shed:         cs.Shed,
-		World:        s.worldID,
+		Evolves:      s.stats.evolves.Load(),
+		World:        ws.id,
+		Year:         ws.year,
 	}
 	if len(cs.Workers) > 0 {
 		resp.Cluster = &cs
@@ -246,7 +247,8 @@ type reachResponse struct {
 }
 
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
-	origin, err := s.parseAS(r)
+	ws := s.w()
+	origin, err := parseAS(ws, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -257,14 +259,14 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("reach|%d|%d", origin, kind)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		n, err := s.metrics.ReachabilityCtx(ctx, origin, kind)
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		n, err := ws.metrics.ReachabilityCtx(ctx, origin, kind)
 		if err != nil {
 			return nil, err
 		}
-		total := s.cfg.Dataset.Graph.NumASes() - 1
+		total := ws.ds.Graph.NumASes() - 1
 		return reachResponse{
-			AS: origin, Name: s.nameOf(origin), Kind: kind.String(),
+			AS: origin, Name: ws.nameOf(origin), Kind: kind.String(),
 			Reachable: n, Total: total, Pct: 100 * float64(n) / float64(total),
 		}, nil
 	})
@@ -284,7 +286,8 @@ type relianceResponse struct {
 }
 
 func (s *Server) handleReliance(w http.ResponseWriter, r *http.Request) {
-	origin, err := s.parseAS(r)
+	ws := s.w()
+	origin, err := parseAS(ws, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -300,15 +303,15 @@ func (s *Server) handleReliance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("reliance|%d|%d|%d", origin, kind, top)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		entries, err := s.metrics.TopRelianceCtx(ctx, origin, kind, top)
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		entries, err := ws.metrics.TopRelianceCtx(ctx, origin, kind, top)
 		if err != nil {
 			return nil, err
 		}
-		out := relianceResponse{AS: origin, Name: s.nameOf(origin), Kind: kind.String(),
+		out := relianceResponse{AS: origin, Name: ws.nameOf(origin), Kind: kind.String(),
 			Top: make([]relianceEntry, len(entries))}
 		for i, e := range entries {
-			out.Top[i] = relianceEntry{AS: e.AS, Name: s.nameOf(e.AS), Value: e.Value}
+			out.Top[i] = relianceEntry{AS: e.AS, Name: ws.nameOf(e.AS), Value: e.Value}
 		}
 		return out, nil
 	})
@@ -327,7 +330,8 @@ type leakResponse struct {
 }
 
 func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
-	origin, err := s.parseAS(r)
+	ws := s.w()
+	origin, err := parseAS(ws, r)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -354,8 +358,8 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("leak|%d|%s|%v|%d|%d", origin, scenName, hijack, trials, seed)
 	q := cluster.LeakQuery{Origin: uint32(origin), Scenario: scenName, Hijack: hijack, Trials: trials, Seed: seed}
 	_ = scen // validated by parseScenario; leakFracsRange re-resolves by name
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
-		g := s.cfg.Dataset.Graph
+	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		g := ws.ds.Graph
 		leakers := bgpsim.SampleLeakers(g, origin, trials, seed)
 		// The fractions come back in deterministic sample order either
 		// way — partitioned across the cluster or replayed locally through
@@ -364,10 +368,11 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 		// identical whichever path ran.
 		var fracs []float64
 		var err error
-		if s.pool.Ready() && len(leakers) >= clusterWide {
+		if s.pool.Ready() && s.pool.World() == ws.id && len(leakers) >= clusterWide {
 			fracs, err = s.pool.LeakFracs(ctx, q, len(leakers))
+			err = s.verifyWorld(ws, err)
 		} else {
-			fracs, err = s.leakFracsRange(ctx, q, 0, len(leakers), 0)
+			fracs, err = s.leakFracsRange(ctx, ws, q, 0, len(leakers), 0)
 		}
 		if err != nil {
 			return nil, err
@@ -389,22 +394,24 @@ func (s *Server) handleLeak(w http.ResponseWriter, r *http.Request) {
 			p95 = fracs[int(0.95*float64(len(fracs)-1))]
 		}
 		return leakResponse{
-			AS: origin, Name: s.nameOf(origin), Scenario: scenName, Hijack: hijack,
+			AS: origin, Name: ws.nameOf(origin), Scenario: scenName, Hijack: hijack,
 			Trials: n, Seed: seed, MeanDetour: mean, P95Detour: p95, WorstDetour: worst,
 		}, nil
 	})
 }
 
 // leakSweep returns the cached leak-free pre-pass prototype for one
-// (origin, scenario, hijack) configuration, building it on first use. A
-// racing build for the same key is benign — both sweeps are equivalent and
-// the later Put wins — so no lock is held across the O(V+E) pre-pass.
-func (s *Server) leakSweep(origin astopo.ASN, scenName string, scen bgpsim.LeakScenario, hijack bool) (*bgpsim.LeakSweep, error) {
-	key := fmt.Sprintf("%d|%s|%v", origin, scenName, hijack)
+// (world, origin, scenario, hijack) configuration, building it on first
+// use. The key is world-prefixed like the result cache: a sweep holds O(V)
+// state tied to one topology and must never outlive an evolve. A racing
+// build for the same key is benign — both sweeps are equivalent and the
+// later Put wins — so no lock is held across the O(V+E) pre-pass.
+func (s *Server) leakSweep(ws *worldState, origin astopo.ASN, scenName string, scen bgpsim.LeakScenario, hijack bool) (*bgpsim.LeakSweep, error) {
+	key := fmt.Sprintf("%s%d|%s|%v", ws.key, origin, scenName, hijack)
 	if v, ok := s.sweeps.Get(key); ok {
 		return v.(*bgpsim.LeakSweep), nil
 	}
-	ds := s.cfg.Dataset
+	ds := ws.ds
 	cfg := bgpsim.ScenarioConfig(ds.Graph, origin, ds.Tier1, ds.Tier2, scen)
 	cfg.Hijack = hijack
 	sw, err := bgpsim.NewLeakSweep(ds.Graph, cfg)
@@ -436,6 +443,7 @@ type batchResponse struct {
 // bgpsim.BatchLanes origins ride the bit-parallel batch engine; narrower
 // ones take the scalar path (see core.ReachabilityMany).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ws := s.w()
 	var origins []astopo.ASN
 	var kind core.Kind
 	if r.Method == http.MethodPost {
@@ -485,7 +493,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("%d origins exceed the per-request limit of %d", len(origins), s.cfg.MaxBatch))
 		return
 	}
-	g := s.cfg.Dataset.Graph
+	g := ws.ds.Graph
 	for _, o := range origins {
 		if _, ok := g.Index(o); !ok {
 			s.writeError(w, notFoundf("AS%d not in the topology", o))
@@ -504,17 +512,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(origins) >= bgpsim.BatchLanes {
 		engine = "batch"
 	}
-	s.serveCached(w, r, sb.String(), func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, ws, sb.String(), func(ctx context.Context) (any, error) {
 		var counts []int
 		var err error
-		if s.pool.Ready() && len(origins) >= clusterWide {
+		if s.pool.Ready() && s.pool.World() == ws.id && len(origins) >= clusterWide {
 			raw := make([]uint32, len(origins))
 			for i, o := range origins {
 				raw[i] = uint32(o)
 			}
 			counts, err = s.pool.BatchCounts(ctx, raw, kind.String())
+			err = s.verifyWorld(ws, err)
 		} else {
-			counts, err = s.metrics.ReachabilityMany(ctx, origins, kind)
+			counts, err = ws.metrics.ReachabilityMany(ctx, origins, kind)
 		}
 		if err != nil {
 			return nil, err

@@ -1,10 +1,14 @@
 // Package serve is the query layer over the paper's metrics: a
 // long-running HTTP/JSON service answering per-AS reachability, reliance,
-// and route-leak-resilience questions against one immutable topology —
+// and route-leak-resilience questions against an immutable world state —
 // the batch artifacts of packages core and bgpsim, reshaped for
 // interactive, many-client serving.
 //
-// The shared immutable state (the frozen graph, the Metrics tier masks,
+// Worlds are immutable but replaceable: POST /v1/evolve swaps the served
+// world for its successor by applying a delta snapshot (see worldState),
+// so a long-running daemon can walk a timeline without restarting.
+//
+// The shared per-world state (the frozen graph, the Metrics tier masks,
 // one LeakSweep pre-pass per leak configuration) is computed once; every
 // request then pays only for its own propagation, bounded by:
 //
@@ -34,15 +38,24 @@ import (
 	"flatnet/internal/astopo"
 	"flatnet/internal/cluster"
 	"flatnet/internal/core"
+	"flatnet/internal/topogen"
 )
 
 // Config parameterizes a Server. The zero value of every limit picks the
 // documented default.
 type Config struct {
-	// Dataset is the topology plus tier sets the metrics run over.
+	// Dataset is the topology plus tier sets the metrics run over. When
+	// zero and World is set, it is derived from World.
 	Dataset core.Dataset
 	// Names optionally resolves ASNs to display names (topogen's NameOf).
 	Names func(astopo.ASN) string
+	// World, when set, is the full generated world behind Dataset (graph
+	// plus annotations and IXP memberships). It is what makes the server
+	// evolvable: /v1/evolve applies growth deltas with topogen.ApplyDelta,
+	// which needs the generation lineage, not just the frozen graph.
+	// Servers built from bare relationship files leave it nil and reject
+	// evolution.
+	World *topogen.Internet
 
 	// CacheSize bounds the result cache, in entries (default 4096).
 	CacheSize int
@@ -112,37 +125,88 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Server answers metric queries over one frozen dataset. It is safe for
-// concurrent use; all mutable state is behind the cache, the flight group,
-// and atomic counters.
-type Server struct {
-	cfg     Config
+// worldState is everything derived from one topology: the frozen dataset,
+// its metrics, its content address, and its snapshot identity. It is
+// immutable once published — requests pin the pointer once and compute
+// against a consistent world even while /v1/evolve swaps in a successor.
+// The id prefix baked into every cache key is what rotates the result
+// cache on evolve: old entries become unreachable rather than stale.
+type worldState struct {
+	ds      core.Dataset
 	metrics *core.Metrics
-	cache   *lru // query key -> marshaled response body ([]byte)
-	sweeps  *lru // leak config key -> *bgpsim.LeakSweep prototype
-	flights flightGroup
-	sem     chan struct{} // worker-pool slots
-	httpSrv *http.Server
-	started time.Time
+	names   func(astopo.ASN) string
+	// in is the generation lineage (annotations, IXPs) behind ds; nil for
+	// worlds loaded from bare relationship files, which cannot evolve.
+	in   *topogen.Internet
+	year int
 
-	// worldID is the dataset's content address (cluster.DatasetHash);
-	// worldKey is its short prefix baked into every result-cache key, so
-	// cached bodies can never leak across worlds (a restarted daemon
-	// serving a different snapshot must never replay stale answers).
-	worldID  string
-	worldKey string
-	// pool is the cluster coordinator state. Always present (the health
-	// prober starts only when a worker registers), so the handlers can
-	// route any sufficiently wide query through it once Ready.
-	pool *cluster.Pool
+	// id is the dataset's content address (cluster.DatasetHash); key is
+	// its short prefix baked into every result-cache key, so cached bodies
+	// can never leak across worlds (a daemon swapped onto a new snapshot
+	// or evolved onto the next year must never replay stale answers).
+	id  string
+	key string
 
-	// snapOnce lazily resolves the served snapshot's identity: the file's
-	// sha256 (SnapshotPath) or in-memory encoded bytes (SnapshotBytes).
+	// Snapshot identity, lazily resolved per world: the file's sha256
+	// (snapPath) or in-memory encoded bytes (snapGen). Evolved worlds set
+	// snapGen so the cluster stays joinable by content address.
+	snapPath  string
+	snapGen   func() ([]byte, error)
 	snapOnce  sync.Once
 	snapSHA   string
 	snapSize  int64
 	snapBytes []byte
 	snapErr   error
+}
+
+func (ws *worldState) nameOf(a astopo.ASN) string {
+	if ws.names == nil {
+		return ""
+	}
+	return ws.names(a)
+}
+
+// newWorldState freezes one topology into a servable world.
+func newWorldState(ds core.Dataset, names func(astopo.ASN) string, in *topogen.Internet,
+	year int, snapPath string, snapGen func() ([]byte, error)) *worldState {
+	ws := &worldState{
+		ds:       ds,
+		metrics:  core.New(ds),
+		names:    names,
+		in:       in,
+		year:     year,
+		snapPath: snapPath,
+		snapGen:  snapGen,
+	}
+	ws.id = cluster.DatasetHash(ds.Graph, ds.Tier1, ds.Tier2)
+	ws.key = ws.id[:16] + "|"
+	return ws
+}
+
+// Server answers metric queries over the current world state. It is safe
+// for concurrent use; the world is an atomically swapped immutable value,
+// and all other mutable state is behind the cache, the flight group, and
+// atomic counters.
+type Server struct {
+	cfg     Config
+	cache   *lru // world-prefixed query key -> marshaled response body ([]byte)
+	sweeps  *lru // world-prefixed leak config key -> *bgpsim.LeakSweep prototype
+	flights flightGroup
+	sem     chan struct{} // worker-pool slots
+	httpSrv *http.Server
+	started time.Time
+
+	// world is the currently served world. Handlers load it exactly once
+	// per request and use that snapshot throughout, so a concurrent evolve
+	// never mixes two topologies inside one response. evolveMu serializes
+	// evolutions (load -> apply -> swap must not interleave).
+	world    atomic.Pointer[worldState]
+	evolveMu sync.Mutex
+
+	// pool is the cluster coordinator state. Always present (the health
+	// prober starts only when a worker registers), so the handlers can
+	// route any sufficiently wide query through it once Ready.
+	pool *cluster.Pool
 
 	stats struct {
 		requests     atomic.Int64
@@ -152,6 +216,7 @@ type Server struct {
 		computations atomic.Int64
 		deadlines    atomic.Int64
 		inflight     atomic.Int64
+		evolves      atomic.Int64
 	}
 
 	// slowdown, when non-nil, runs at the start of every leader
@@ -160,25 +225,34 @@ type Server struct {
 	slowdown func()
 }
 
-// New builds a Server over cfg, precomputing the shared immutable state
+// w returns the currently served world. Callers must load it once and use
+// the returned pointer for the whole request.
+func (s *Server) w() *worldState { return s.world.Load() }
+
+// New builds a Server over cfg, precomputing the shared per-world state
 // (frozen graph, tier base masks). The graph must be non-empty.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.Dataset.Graph == nil && cfg.World != nil {
+		cfg.Dataset = core.Dataset{Graph: cfg.World.Graph, Tier1: cfg.World.Tier1, Tier2: cfg.World.Tier2}
+	}
+	if cfg.Names == nil && cfg.World != nil {
+		cfg.Names = cfg.World.NameOf
+	}
 	if cfg.Dataset.Graph == nil || cfg.Dataset.Graph.NumASes() == 0 {
 		return nil, errors.New("serve: empty topology")
 	}
 	s := &Server{
 		cfg:     cfg,
-		metrics: core.New(cfg.Dataset),
 		cache:   newLRU(cfg.CacheSize),
 		sweeps:  newLRU(cfg.SweepCacheSize),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
 	}
-	s.worldID = cluster.DatasetHash(cfg.Dataset.Graph, cfg.Dataset.Tier1, cfg.Dataset.Tier2)
-	s.worldKey = s.worldID[:16] + "|"
+	ws := newWorldState(cfg.Dataset, cfg.Names, cfg.World, cfg.Year, cfg.SnapshotPath, cfg.SnapshotBytes)
+	s.world.Store(ws)
 	pc := cfg.Cluster
-	pc.World = s.worldID
+	pc.World = ws.id
 	pc.LocalSweep = s.localSweep
 	pc.LocalBatch = s.localBatch
 	pc.LocalLeak = s.localLeak
@@ -190,14 +264,14 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// WorldID returns the served dataset's content address.
-func (s *Server) WorldID() string { return s.worldID }
+// WorldID returns the currently served dataset's content address.
+func (s *Server) WorldID() string { return s.w().id }
 
 // Pool exposes the cluster coordinator state (worker registry/dispatcher).
 func (s *Server) Pool() *cluster.Pool { return s.pool }
 
-// Metrics exposes the underlying metrics (shared, concurrent-safe).
-func (s *Server) Metrics() *core.Metrics { return s.metrics }
+// Metrics exposes the current world's metrics (shared, concurrent-safe).
+func (s *Server) Metrics() *core.Metrics { return s.w().metrics }
 
 // Start listens on addr and serves in a background goroutine, returning
 // the bound address (useful with ":0"). Use Shutdown to stop.
@@ -246,12 +320,13 @@ func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
 // serveCached is the shared request path of every cacheable endpoint:
 // result-cache lookup, then singleflight-coalesced computation under the
 // worker pool and the request deadline, then cache fill.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ws *worldState, key string, compute func(ctx context.Context) (any, error)) {
 	// Every key is world-prefixed: a cache (or a coalesced flight) keyed
 	// by query alone would be wrong the moment two worlds exist — shard
-	// requests from different coordinators, or a daemon swapped onto a new
-	// snapshot.
-	key = s.worldKey + key
+	// requests from different coordinators, a daemon swapped onto a new
+	// snapshot, or an evolved world. Evolution rotates the prefix, so old
+	// entries become unreachable and age out of the LRU.
+	key = ws.key + key
 	if b, ok := s.cache.Get(key); ok {
 		s.stats.cacheHits.Add(1)
 		writeBody(w, http.StatusOK, b.([]byte))

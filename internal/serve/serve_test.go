@@ -118,9 +118,9 @@ func TestCoalescingComputesOnce(t *testing.T) {
 	}
 	// Release only after every follower has joined the in-flight call.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.flights.Joined(s.worldKey+"reach|100|0") < concurrent-1 {
+	for s.flights.Joined(s.w().key+"reach|100|0") < concurrent-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d followers joined", s.flights.Joined(s.worldKey+"reach|100|0"))
+			t.Fatalf("only %d followers joined", s.flights.Joined(s.w().key+"reach|100|0"))
 		}
 		time.Sleep(time.Millisecond)
 	}

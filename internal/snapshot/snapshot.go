@@ -119,6 +119,9 @@ type Info struct {
 	Version  uint32
 	Scale    float64
 	Sections []SectionInfo
+	// Delta carries the lineage of a delta snapshot (see delta.go); nil
+	// for world snapshots.
+	Delta *DeltaInfo
 }
 
 // SectionInfo labels one section. Label is the human-readable section

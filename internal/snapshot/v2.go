@@ -71,6 +71,10 @@ const (
 	sectPlan   sectKind = 17
 	sectRDNS   sectKind = 18
 	sectTraces sectKind = 19
+	// A growth delta between two adjacent worlds (see delta.go). Lives in
+	// its own file: a snapshot either carries worlds or one delta, never
+	// both.
+	sectDelta sectKind = 20
 )
 
 func (k sectKind) String() string {
@@ -113,11 +117,13 @@ func (k sectKind) String() string {
 		return "rdns"
 	case sectTraces:
 		return "traces"
+	case sectDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("kind(%d)", uint32(k))
 }
 
-func knownSectKind(k sectKind) bool { return k >= sectWorld && k <= sectTraces }
+func knownSectKind(k sectKind) bool { return k >= sectWorld && k <= sectDelta }
 
 const (
 	v2HeaderLen = 8 + 4 + 8 + 4     // magic, version, scale, nsect
@@ -444,6 +450,9 @@ func newReader(raw []byte, m *mmap.Mapping) (*Reader, error) {
 		}
 		if !knownSectKind(e.kind) {
 			return nil, fmt.Errorf("snapshot: unknown section kind %d", uint32(e.kind))
+		}
+		if e.kind == sectDelta {
+			return nil, fmt.Errorf("%w; apply it to its base snapshot instead of opening it", ErrIsDelta)
 		}
 		if e.off%8 != 0 {
 			return nil, fmt.Errorf("snapshot: section %d (%s) misaligned at offset %d", i, e.kind, e.off)
@@ -1000,7 +1009,7 @@ func readInfoV2(r io.Reader, info *Info, nsect int) (*Info, error) {
 			return nil, fmt.Errorf("snapshot: skipping to section %d: %w", i, err)
 		}
 		pos = e.off
-		if e.kind != sectTraces {
+		if e.kind != sectTraces && e.kind != sectDelta {
 			if _, err := io.CopyN(io.Discard, r, int64(e.length)); err != nil {
 				return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)
 			}
@@ -1014,11 +1023,22 @@ func readInfoV2(r io.Reader, info *Info, nsect int) (*Info, error) {
 		pos += uint64(len(front))
 		d := &dec{buf: front}
 		si := &info.Sections[i]
-		si.Year = int(d.u32())
-		si.Cloud = d.str()
-		si.VMs = int(d.u32())
-		if d.err != nil {
-			return nil, fmt.Errorf("snapshot: section %d label: %w", i, d.err)
+		if e.kind == sectDelta {
+			di := &DeltaInfo{FromYear: int(d.u32()), ToYear: int(d.u32())}
+			di.BaseHash = d.str()
+			di.ResultHash = d.str()
+			if d.err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, d.err)
+			}
+			si.Year = di.ToYear
+			info.Delta = di
+		} else {
+			si.Year = int(d.u32())
+			si.Cloud = d.str()
+			si.VMs = int(d.u32())
+			if d.err != nil {
+				return nil, fmt.Errorf("snapshot: section %d label: %w", i, d.err)
+			}
 		}
 		if _, err := io.CopyN(io.Discard, r, int64(e.length-uint64(len(front)))); err != nil {
 			return nil, fmt.Errorf("snapshot: skipping section %d: %w", i, err)

@@ -93,53 +93,58 @@ func (b *builder) buildIXPs() {
 		joinGlobal(p.ASN, 0.20)
 	}
 
-	// Peering mesh. The pairwise probability is the product of the two
-	// members' class openness factors, so it is constant across any pair
-	// of class buckets: bucketing members by class and geometric
-	// skip-sampling each bucket pair visits only the accepted pairs,
-	// turning the mesh from O(members²) RNG draws into O(members + edges)
-	// — the difference between hours and seconds at the -scale 20 preset.
-	// Duplicate memberships are possible (an AS can appear twice at one
-	// IXP by the random join above); AddPeerIfAbsent de-duplicates links,
-	// and self pairs are skipped.
-	var buckets [ClassCloud + 1][]astopo.ASN
+	// Peering mesh: each co-located pair peers with the product of the
+	// two members' class openness factors (see meshMembers).
+	product := func(ci, cj ASClass) float64 {
+		return b.spec.Openness[ci] * b.spec.Openness[cj]
+	}
 	for k := range b.in.IXPs {
-		members := b.in.IXPs[k].Members
-		for c := range buckets {
-			buckets[c] = buckets[c][:0]
+		b.meshMembers(b.in.IXPs[k].Members, product, func(x, y astopo.ASN) {
+			b.in.Graph.AddPeerIfAbsent(x, y)
+		})
+	}
+}
+
+// meshMembers draws a public peering mesh over one exchange's member list:
+// every unordered pair of members is accepted with prob(classA, classB),
+// and accepted pairs are handed to emit. The pair probability is constant
+// across any pair of class buckets, so bucketing members by class and
+// geometric skip-sampling each bucket pair visits only the accepted pairs,
+// turning the mesh from O(members²) RNG draws into O(members + edges) —
+// the difference between hours and seconds at the -scale 20 preset.
+// Duplicate memberships are possible (an AS can appear twice at one IXP by
+// the random join above); self pairs are skipped here and emit callers
+// de-duplicate links. The RNG consumption for a given member list depends
+// only on the probabilities, which keeps generation and the timeline's
+// growth steps (which reuse this with marginal probabilities) replayable.
+func (b *builder) meshMembers(members []astopo.ASN, prob func(ci, cj ASClass) float64, emit func(x, y astopo.ASN)) {
+	var buckets [ClassCloud + 1][]astopo.ASN
+	for _, m := range members {
+		c := b.class[m]
+		buckets[c] = append(buckets[c], m)
+	}
+	for ci := range buckets {
+		A := buckets[ci]
+		p := prob(ASClass(ci), ASClass(ci))
+		// Within-bucket pairs (i < j), row by row.
+		for i := 0; i < len(A); i++ {
+			ai := A[i]
+			b.rowSample(len(A)-i-1, p, func(dj int) {
+				if aj := A[i+1+dj]; ai != aj {
+					emit(ai, aj)
+				}
+			})
 		}
-		for _, m := range members {
-			c := b.class[m]
-			buckets[c] = append(buckets[c], m)
-		}
-		for ci := range buckets {
-			pi := b.spec.Openness[ASClass(ci)]
-			if pi <= 0 {
-				continue
-			}
-			A := buckets[ci]
-			// Within-bucket pairs (i < j), row by row.
-			for i := 0; i < len(A); i++ {
-				ai := A[i]
-				b.rowSample(len(A)-i-1, pi*pi, func(dj int) {
-					if aj := A[i+1+dj]; ai != aj {
-						b.in.Graph.AddPeerIfAbsent(ai, aj)
+		// Cross-bucket pairs against every later class bucket.
+		for cj := ci + 1; cj < len(buckets); cj++ {
+			pc := prob(ASClass(ci), ASClass(cj))
+			B := buckets[cj]
+			for _, ai := range A {
+				b.rowSample(len(B), pc, func(j int) {
+					if aj := B[j]; ai != aj {
+						emit(ai, aj)
 					}
 				})
-			}
-			// Cross-bucket pairs against every later class bucket.
-			for cj := ci + 1; cj < len(buckets); cj++ {
-				pj := b.spec.Openness[ASClass(cj)]
-				if pj <= 0 {
-					continue
-				}
-				p := pi * pj
-				B := buckets[cj]
-				for _, ai := range A {
-					b.rowSample(len(B), p, func(j int) {
-						b.in.Graph.AddPeerIfAbsent(ai, B[j])
-					})
-				}
 			}
 		}
 	}

@@ -38,10 +38,18 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
     else           { nn[name]++; nv[name "," nn[name]] = $3 }
     # The headline benchmarks also report a scale-normalized ns/AS metric;
     # track it with the same tolerance so per-AS cost stays flat even when
-    # the benchmark topology size changes between baselines.
-    for (i = 5; i <= NF; i++) if ($i == "ns/AS") {
-        if (NR == FNR) { ban[name]++; bav[name "," ban[name]] = $(i-1) }
-        else           { nan[name]++; nav[name "," nan[name]] = $(i-1) }
+    # the benchmark topology size changes between baselines. allocs/op gets
+    # the same treatment: the hot paths are designed around zero or fixed
+    # allocation counts, so growth there is a real structural regression.
+    for (i = 5; i <= NF; i++) {
+        if ($i == "ns/AS") {
+            if (NR == FNR) { ban[name]++; bav[name "," ban[name]] = $(i-1) }
+            else           { nan[name]++; nav[name "," nan[name]] = $(i-1) }
+        }
+        if ($i == "allocs/op") {
+            if (NR == FNR) { bln[name]++; blv[name "," bln[name]] = $(i-1) }
+            else           { nln[name]++; nlv[name "," nln[name]] = $(i-1) }
+        }
     }
 }
 END {
@@ -70,6 +78,19 @@ END {
         printf "%-55s baseline %14.2f ns/AS   new %14.2f ns/AS   %+7.1f%%\n", name, bm, nm, delta
         if (delta > tol) {
             printf "FAIL: %s ns/AS regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
+            fail = 1
+        }
+    }
+    # Percent deltas explode near zero (0 → 1 alloc is +inf%), so the
+    # alloc gate also requires material absolute growth before failing.
+    for (name in nln) {
+        if (!(name in bln)) continue
+        bm = median(blv, name, bln[name])
+        nm = median(nlv, name, nln[name])
+        delta = bm > 0 ? 100 * (nm - bm) / bm : (nm > 0 ? 100 : 0)
+        printf "%-55s baseline %14.0f allocs/op  new %14.0f allocs/op %+7.1f%%\n", name, bm, nm, delta
+        if (delta > tol && nm - bm > 4) {
+            printf "FAIL: %s allocs/op regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
             fail = 1
         }
     }

@@ -38,8 +38,13 @@ echo "==> snapshot decoder fuzz (10s)"
 # brief run exercises every section parser against hostile input.
 go test -run '^$' -fuzz 'FuzzSnapshotDecode' -fuzztime 10s ./internal/snapshot/
 
+echo "==> delta decoder fuzz (5s)"
+# The delta codec is fed over the network (POST /v1/evolve), so its
+# fail-closed decoder gets its own hostile-input pass.
+go test -run '^$' -fuzz 'FuzzDeltaDecode' -fuzztime 5s ./internal/snapshot/
+
 echo "==> benchmark smoke (1 iteration)"
-go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad' \
+go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad|BenchmarkEvolveDelta$|BenchmarkTimelineSeries' \
     -benchtime 1x -benchmem -run '^$' .
 
 echo "==> snapshot build/load smoke"
@@ -51,5 +56,15 @@ go build -o "$SNAPDIR/flatnet" ./cmd/flatnet
 "$SNAPDIR/flatnet" snapshot build -scale 0.01425 -traces none -o "$SNAPDIR/world.snap"
 "$SNAPDIR/flatnet" snapshot info "$SNAPDIR/world.snap"
 "$SNAPDIR/flatnet" run -snapshot "$SNAPDIR/world.snap" table1 > /dev/null
+
+echo "==> timeline delta smoke"
+# One year frozen, one growth delta derived and applied: the evolved
+# snapshot must be byte-identical to building the next year fresh.
+"$SNAPDIR/flatnet" timeline build -year 2016 -scale 0.012 -o "$SNAPDIR/y2016.snap" > /dev/null
+"$SNAPDIR/flatnet" timeline delta -base "$SNAPDIR/y2016.snap" -o "$SNAPDIR/step.snapd" > /dev/null
+"$SNAPDIR/flatnet" snapshot info -verify "$SNAPDIR/step.snapd"
+"$SNAPDIR/flatnet" timeline apply -base "$SNAPDIR/y2016.snap" -delta "$SNAPDIR/step.snapd" -o "$SNAPDIR/y2017.snap" > /dev/null
+"$SNAPDIR/flatnet" timeline build -year 2017 -scale 0.012 -o "$SNAPDIR/y2017-fresh.snap" > /dev/null
+cmp "$SNAPDIR/y2017.snap" "$SNAPDIR/y2017-fresh.snap"
 
 echo "==> all checks passed"
