@@ -1,0 +1,372 @@
+package bgpsim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"os"
+	"strconv"
+
+	"flatnet/internal/astopo"
+)
+
+// MaxSweepWords bounds the multi-word batch width: at 8 words one
+// propagation carries 512 origins, and the per-node state of the four
+// stage arrays reaches 256 bytes — past that the working set stops
+// fitting cache lines profitably.
+const MaxSweepWords = 8
+
+// SweepWords returns the configured multi-word batch width W (the wide
+// engine carries W×64 origins per propagation): the FLATNET_SWEEP_WORDS
+// env var when set, clamped to [1, MaxSweepWords], else 1. The default is
+// single-word on purpose: with the active-set engine the per-block
+// bookkeeping wider blocks were meant to amortize is already O(reached),
+// while every CSR edge visit pays W word operations — on the synthetic
+// full-scale world W=4 measures ~2x *slower* than W=1. Wider blocks only
+// pay off on topologies where per-edge work is cheap relative to block
+// count (very high collapse ratios shrinking the origin population, or
+// denser graphs); the env var is the tuning knob for those.
+func SweepWords() int {
+	if v := os.Getenv("FLATNET_SWEEP_WORDS"); v != "" {
+		if w, err := strconv.Atoi(v); err == nil {
+			if w < 1 {
+				return 1
+			}
+			if w > MaxSweepWords {
+				return MaxSweepWords
+			}
+			return w
+		}
+	}
+	return 1
+}
+
+// BatchReachWide is BatchReach widened to W uint64 words per node: one
+// propagation carries up to W×64 origins, with lane L of the block stored
+// in word L/64, bit L%64. The three valley-free stages, the exclusion-mask
+// composition, the active-set bookkeeping, and the per-lane results are
+// identical to BatchReach — golden tests pin the wide engine bit-for-bit
+// against the narrow one — only the inner word operations run W-wide so
+// each CSR edge visit is amortized over the whole block.
+//
+// A BatchReachWide is not safe for concurrent use; create one per
+// goroutine. All buffers are high-water-reused, so steady-state calls
+// allocate nothing.
+type BatchReachWide struct {
+	g *astopo.Graph
+	n int
+	w int // words per node
+
+	ctx context.Context // set by CountsCtx for between-stage cancellation
+
+	allowed []uint64 // n*w per-node allowed lanes for the current call
+	up      []uint64 // origin ∪ customer-route holders (stage A)
+	peer    []uint64 // peer-route holders (stage B)
+	down    []uint64 // provider-route holders (stage C)
+
+	queue []int32 // shared worklist for the stage A/C fixed points
+	inq   []bool  // worklist membership, cleared on pop
+
+	touched []int32 // nodes with any stage word set this call
+	intouch []bool  // touched membership, cleared by the next call's reset
+
+	// allowed-word reuse across calls, as in BatchReach.
+	basePtr   *bool
+	baseLen   int
+	overrides []int32 // node indexes whose allowed words diverge from base
+}
+
+// NewBatchReachWide returns a wide batch engine for g carrying words×64
+// lanes per propagation. words is clamped to [1, MaxSweepWords]. The graph
+// is frozen by the call.
+func NewBatchReachWide(g *astopo.Graph, words int) *BatchReachWide {
+	if words < 1 {
+		words = 1
+	}
+	if words > MaxSweepWords {
+		words = MaxSweepWords
+	}
+	g.Freeze()
+	n := g.NumASes()
+	return &BatchReachWide{
+		g:       g,
+		n:       n,
+		w:       words,
+		allowed: make([]uint64, n*words),
+		up:      make([]uint64, n*words),
+		peer:    make([]uint64, n*words),
+		down:    make([]uint64, n*words),
+		inq:     make([]bool, n),
+		intouch: make([]bool, n),
+		baseLen: -1,
+	}
+}
+
+// Lanes returns the engine's block capacity in origins.
+func (b *BatchReachWide) Lanes() int { return b.w * BatchLanes }
+
+// Counts computes reachability counts for up to Lanes() origins at once,
+// with the same mask semantics as BatchReach.Counts: base is the
+// lane-uniform exclusion mask, each origin is re-allowed in its own lane,
+// and maskProviders additionally excludes each origin's transit providers
+// in that origin's lane.
+func (b *BatchReachWide) Counts(origins []int32, base []bool, maskProviders bool, out []int) error {
+	g, n, w := b.g, b.n, b.w
+	if len(origins) == 0 {
+		return nil
+	}
+	if len(origins) > w*BatchLanes {
+		return fmt.Errorf("bgpsim: %d origins exceed the %d-lane wide batch width", len(origins), w*BatchLanes)
+	}
+	if len(out) < len(origins) {
+		return fmt.Errorf("bgpsim: out has %d entries for %d origins", len(out), len(origins))
+	}
+	if base != nil && len(base) != n {
+		return fmt.Errorf("bgpsim: base mask has %d entries, graph has %d ASes", len(base), n)
+	}
+	for _, o := range origins {
+		if o < 0 || int(o) >= n {
+			b.overrides = b.overrides[:0]
+			b.baseLen = -1 // conservative: force a recompose next call
+			return fmt.Errorf("bgpsim: origin index %d out of range [0,%d)", o, n)
+		}
+	}
+
+	// Compose the allowed words: lane-uniform base kept across calls (see
+	// BatchReach), per-lane origin/provider overrides applied fresh.
+	allowed := b.allowed
+	sameBase := base == nil && b.baseLen == 0 ||
+		base != nil && len(base) > 0 && b.basePtr == &base[0] && b.baseLen == len(base)
+	if sameBase {
+		for _, i := range b.overrides {
+			word := uint64(0)
+			if base == nil || !base[i] {
+				word = ^uint64(0)
+			}
+			ib := int(i) * w
+			for k := 0; k < w; k++ {
+				allowed[ib+k] = word
+			}
+		}
+	} else {
+		if base == nil {
+			for i := range allowed {
+				allowed[i] = ^uint64(0)
+			}
+			b.basePtr, b.baseLen = nil, 0
+		} else {
+			for i, m := range base {
+				word := uint64(0)
+				if !m {
+					word = ^uint64(0)
+				}
+				ib := i * w
+				for k := 0; k < w; k++ {
+					allowed[ib+k] = word
+				}
+			}
+			b.basePtr, b.baseLen = &base[0], len(base)
+		}
+	}
+	overrides := b.overrides[:0]
+	for lane, o := range origins {
+		word, bit := lane>>6, uint64(1)<<(lane&63)
+		allowed[int(o)*w+word] |= bit // the origin is never excluded from its own lane
+		overrides = append(overrides, o)
+		if maskProviders {
+			for _, p := range g.ProvidersOf(int(o)) {
+				allowed[int(p)*w+word] &^= bit
+				overrides = append(overrides, p)
+			}
+		}
+	}
+	b.overrides = overrides
+
+	// Reset only the nodes the previous call touched.
+	up, peer, down := b.up, b.peer, b.down
+	intouch := b.intouch
+	for _, v := range b.touched {
+		vb := int(v) * w
+		for k := 0; k < w; k++ {
+			up[vb+k], peer[vb+k], down[vb+k] = 0, 0, 0
+		}
+		intouch[v] = false
+	}
+	touched := b.touched[:0]
+
+	// ---- Stage A: upward closure over customer→provider edges ----
+	if err := b.canceled(); err != nil {
+		b.touched = touched
+		return err
+	}
+	queue := b.queue[:0]
+	inq := b.inq
+	for lane, o := range origins {
+		up[int(o)*w+lane>>6] |= uint64(1) << (lane & 63)
+		if !intouch[o] {
+			intouch[o] = true
+			touched = append(touched, o)
+		}
+		if !inq[o] {
+			inq[o] = true
+			queue = append(queue, o)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inq[u] = false
+		ub := int(u) * w
+		for _, p := range g.ProvidersOf(int(u)) {
+			pb := int(p) * w
+			changed := false
+			for k := 0; k < w; k++ {
+				if add := up[ub+k] & allowed[pb+k] &^ up[pb+k]; add != 0 {
+					up[pb+k] |= add
+					changed = true
+				}
+			}
+			if changed {
+				if !intouch[p] {
+					intouch[p] = true
+					touched = append(touched, p)
+				}
+				if !inq[p] {
+					inq[p] = true
+					queue = append(queue, p)
+				}
+			}
+		}
+	}
+
+	// ---- Stage B: one p2p hop, gated on "no customer route yet" ----
+	if err := b.canceled(); err != nil {
+		b.touched = touched
+		return err
+	}
+	aEnd := len(touched)
+	for _, u := range touched[:aEnd] {
+		ub := int(u) * w
+		for _, pe := range g.PeersOf(int(u)) {
+			pb := int(pe) * w
+			for k := 0; k < w; k++ {
+				peer[pb+k] |= up[ub+k]
+			}
+			if !intouch[pe] {
+				intouch[pe] = true
+				touched = append(touched, pe)
+			}
+		}
+	}
+	for _, v := range touched {
+		vb := int(v) * w
+		for k := 0; k < w; k++ {
+			peer[vb+k] &= allowed[vb+k] &^ up[vb+k]
+		}
+	}
+
+	// ---- Stage C: downward closure over provider→customer edges ----
+	if err := b.canceled(); err != nil {
+		b.touched = touched
+		return err
+	}
+	queue = queue[:0]
+	for _, u := range touched[:len(touched)] {
+		ub := int(u) * w
+		any := uint64(0)
+		for k := 0; k < w; k++ {
+			any |= up[ub+k] | peer[ub+k]
+		}
+		if any == 0 {
+			continue
+		}
+		for _, c := range g.CustomersOf(int(u)) {
+			cb := int(c) * w
+			changed := false
+			for k := 0; k < w; k++ {
+				add := (up[ub+k] | peer[ub+k]) & allowed[cb+k] &^ (up[cb+k] | peer[cb+k] | down[cb+k])
+				if add != 0 {
+					down[cb+k] |= add
+					changed = true
+				}
+			}
+			if changed {
+				if !intouch[c] {
+					intouch[c] = true
+					touched = append(touched, c)
+				}
+				if !inq[c] {
+					inq[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inq[u] = false
+		ub := int(u) * w
+		for _, c := range g.CustomersOf(int(u)) {
+			cb := int(c) * w
+			changed := false
+			for k := 0; k < w; k++ {
+				add := down[ub+k] & allowed[cb+k] &^ (up[cb+k] | peer[cb+k] | down[cb+k])
+				if add != 0 {
+					down[cb+k] |= add
+					changed = true
+				}
+			}
+			if changed {
+				if !intouch[c] {
+					intouch[c] = true
+					touched = append(touched, c)
+				}
+				if !inq[c] {
+					inq[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	b.queue = queue // keep the high-water backing array
+	b.touched = touched
+
+	// ---- Count ----
+	// Every lane's origin bit is set in up[origin]; subtract it at the
+	// end rather than carrying a separate origin word.
+	for i := range origins {
+		out[i] = 0
+	}
+	for _, v := range touched {
+		vb := int(v) * w
+		for k := 0; k < w; k++ {
+			word := up[vb+k] | peer[vb+k] | down[vb+k]
+			lanes := k * BatchLanes
+			for word != 0 {
+				out[lanes+bits.TrailingZeros64(word)]++
+				word &= word - 1
+			}
+		}
+	}
+	for i := range origins {
+		out[i]--
+	}
+	return nil
+}
+
+// CountsCtx is Counts with cancellation: the propagation is aborted
+// between stages once ctx is done, returning ctx.Err().
+func (b *BatchReachWide) CountsCtx(ctx context.Context, origins []int32, base []bool, maskProviders bool, out []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.ctx = ctx
+	defer func() { b.ctx = nil }()
+	return b.Counts(origins, base, maskProviders, out)
+}
+
+func (b *BatchReachWide) canceled() error {
+	if b.ctx == nil {
+		return nil
+	}
+	return b.ctx.Err()
+}

@@ -1,0 +1,138 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"flatnet/internal/astopo"
+)
+
+// The wide engine must be bit-identical to the narrow one: for every word
+// width, every origin, and every mask shape, a W-word block must return
+// exactly the counts BatchReach computes over the same origins. The narrow
+// engine is itself pinned to the scalar Simulator, so this transitively
+// anchors BatchReachWide to the reference fixed point.
+func TestBatchWideCountsMatchNarrow(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		for seed := int64(0); seed < 110; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomTopology(rng)
+			g.Freeze()
+			n := g.NumASes()
+
+			var base []bool
+			if rng.Intn(3) > 0 {
+				base = make([]bool, n)
+				for i := range base {
+					if rng.Intn(5) == 0 {
+						base[i] = true
+					}
+				}
+			}
+			maskProviders := rng.Intn(2) == 1
+
+			wide := NewBatchReachWide(g, w)
+			if wide.Lanes() != w*BatchLanes {
+				t.Fatalf("w=%d: Lanes() = %d, want %d", w, wide.Lanes(), w*BatchLanes)
+			}
+			narrow := NewBatchReach(g)
+
+			lanes := wide.Lanes()
+			got := make([]int, lanes)
+			want := make([]int, BatchLanes)
+			origins := make([]int32, 0, lanes)
+			for lo := 0; lo < n; lo += lanes {
+				hi := lo + lanes
+				if hi > n {
+					hi = n
+				}
+				origins = origins[:0]
+				for i := lo; i < hi; i++ {
+					origins = append(origins, int32(i))
+				}
+				if err := wide.Counts(origins, base, maskProviders, got); err != nil {
+					t.Fatalf("w=%d seed %d: %v", w, seed, err)
+				}
+				for blo := 0; blo < len(origins); blo += BatchLanes {
+					bhi := blo + BatchLanes
+					if bhi > len(origins) {
+						bhi = len(origins)
+					}
+					if err := narrow.Counts(origins[blo:bhi], base, maskProviders, want); err != nil {
+						t.Fatalf("w=%d seed %d: narrow: %v", w, seed, err)
+					}
+					for k := blo; k < bhi; k++ {
+						if got[k] != want[k-blo] {
+							t.Fatalf("w=%d seed %d origin AS%d (maskProviders=%v, base=%v): wide=%d narrow=%d",
+								w, seed, g.ASNAt(int(origins[k])), maskProviders, base != nil, got[k], want[k-blo])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchWideCountsValidation(t *testing.T) {
+	g := astopo.NewGraph(0, 0)
+	g.MustAddLink(1, 2, astopo.P2C)
+	g.MustAddLink(2, 3, astopo.P2C)
+	b := NewBatchReachWide(g, 2)
+	out := make([]int, 2*BatchLanes+1)
+
+	if err := b.Counts(nil, nil, true, nil); err != nil {
+		t.Errorf("empty origins: %v", err)
+	}
+	tooMany := make([]int32, 2*BatchLanes+1)
+	if err := b.Counts(tooMany, nil, true, out); err == nil {
+		t.Error("expected error for > Lanes() origins")
+	}
+	if err := b.Counts([]int32{0, 1}, nil, true, out[:1]); err == nil {
+		t.Error("expected error for short out")
+	}
+	if err := b.Counts([]int32{0}, make([]bool, 1), true, out); err == nil {
+		t.Error("expected error for wrong base length")
+	}
+	if err := b.Counts([]int32{int32(g.NumASes())}, nil, true, out); err == nil {
+		t.Error("expected error for out-of-range origin")
+	}
+	// Word clamping at construction.
+	if got := NewBatchReachWide(g, 0).Lanes(); got != BatchLanes {
+		t.Errorf("words=0 clamps to 1 word: Lanes() = %d", got)
+	}
+	if got := NewBatchReachWide(g, MaxSweepWords+3).Lanes(); got != MaxSweepWords*BatchLanes {
+		t.Errorf("words over max clamps to %d: Lanes() = %d", MaxSweepWords, got)
+	}
+}
+
+// A steady-state wide block must not allocate, same contract as the
+// narrow engine.
+func TestBatchWideCountsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector's shadow allocations break AllocsPerRun")
+	}
+	rng := rand.New(rand.NewSource(42))
+	g := randomTopology(rng)
+	g.Freeze()
+	n := g.NumASes()
+	base := make([]bool, n)
+	base[n-1] = true
+
+	b := NewBatchReachWide(g, 4)
+	origins := make([]int32, 0, b.Lanes())
+	for i := 0; i < n && i < b.Lanes(); i++ {
+		origins = append(origins, int32(i))
+	}
+	out := make([]int, len(origins))
+	if err := b.Counts(origins, base, true, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := b.Counts(origins, base, true, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state wide block allocated %.1f times per run, want 0", allocs)
+	}
+}

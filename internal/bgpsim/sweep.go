@@ -33,6 +33,10 @@ type LeakSweep struct {
 	// base and only recycle their simulator.
 	ownsBase bool
 
+	// classes, when set via SetClasses, lets Trials/TrialsN replay only one
+	// leaker per origin equivalence class and copy the trial to classmates.
+	classes *ClassIndex
+
 	// Per-sweep scratch for the leaker loop-detection pass.
 	reach   []float64
 	blocked []bool
@@ -126,6 +130,7 @@ func NewLeakSweep(g *astopo.Graph, base Config) (*LeakSweep, error) {
 	b.scalarLeak = os.Getenv("FLATNET_SCALAR_LEAK") != ""
 	b.counts = growFloats(b.counts, sim.n)
 	pathCountsCSR(b.csr, b.class, b.dist, b.order, b.counts)
+	sw.classes = nil // recycled sweeps must not inherit a prior SetClasses
 	sw.reach = growFloats(sw.reach, sim.n)
 	if cap(sw.blocked) < sim.n {
 		sw.blocked = make([]bool, sim.n)
@@ -167,9 +172,25 @@ func (sw *LeakSweep) Clone() *LeakSweep {
 	return &LeakSweep{
 		base:    sw.base,
 		sim:     getSim(sw.base.g),
+		classes: sw.classes,
 		reach:   make([]float64, len(sw.reach)),
 		blocked: make([]bool, len(sw.blocked)),
 	}
+}
+
+// SetClasses attaches an origin equivalence-class index built over the
+// sweep's graph, enabling leaker dedup in Trials/TrialsN: two leakers in
+// one class produce identical unweighted trials (the member-swap
+// automorphism fixes the origin and every other AS, so the detoured set
+// maps bijectively), and per-trial config invariance is re-checked at
+// replay time (see TrialsN). nil, or an index over a different graph,
+// disables dedup. Returns the sweep for chaining.
+func (sw *LeakSweep) SetClasses(ci *ClassIndex) *LeakSweep {
+	if ci != nil && ci.NumASes() != sw.base.g.NumASes() {
+		ci = nil
+	}
+	sw.classes = ci
+	return sw
 }
 
 // Base returns the sweep's base configuration (Leaker is always zero).
@@ -191,6 +212,7 @@ func (sw *LeakSweep) WithHijack(hijack bool) *LeakSweep {
 	return &LeakSweep{
 		base:    &nb,
 		sim:     getSim(nb.g),
+		classes: sw.classes,
 		reach:   make([]float64, len(sw.reach)),
 		blocked: make([]bool, len(sw.blocked)),
 	}
@@ -276,10 +298,73 @@ func (sw *LeakSweep) Trials(ctx context.Context, leakers []astopo.ASN, weights [
 // shards rely on.
 func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights []float64, workers int) ([]LeakTrial, error) {
 	out := make([]LeakTrial, len(leakers))
-	b := sw.base
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Class collapse: unweighted trials of leakers in one equivalence class
+	// are identical, so only the first classmate replays and the trial is
+	// copied to the rest. Soundness needs the member-swap automorphism to
+	// fix the whole configuration, which the class fingerprint does not see:
+	// classmates must agree on their exclusion bit, locking bit, and policy
+	// membership, so the dedup key carries those three bits alongside the
+	// class id. Weighted trials never dedup — the weight vector is arbitrary
+	// per-AS data the automorphism has no reason to preserve.
+	if ci := sw.classes; ci != nil && weights == nil && len(leakers) > 1 {
+		cfg := sw.base.cfg
+		g := sw.base.g
+		type leakKey struct {
+			class      int32
+			lock, poli bool
+		}
+		firstOf := make(map[leakKey]int32, len(leakers))
+		uniq := make([]astopo.ASN, 0, len(leakers))
+		slot := make([]int32, len(leakers))
+		for i, l := range leakers {
+			li, ok := g.Index(l)
+			if !ok || (cfg.Exclude != nil && cfg.Exclude[li]) {
+				// Unknown and excluded leakers error per leaker; they stay
+				// unique so the replay reports the same error, naming the
+				// same leaker, the undeduped path would.
+				slot[i] = int32(len(uniq))
+				uniq = append(uniq, l)
+				continue
+			}
+			k := leakKey{
+				class: ci.ClassOf(li),
+				lock:  cfg.Locking != nil && cfg.Locking[li],
+				poli:  cfg.Policy.allows(int32(li)),
+			}
+			s, seen := firstOf[k]
+			if !seen {
+				s = int32(len(uniq))
+				firstOf[k] = s
+				uniq = append(uniq, l)
+			}
+			slot[i] = s
+		}
+		if len(uniq) < len(leakers) {
+			trials := make([]LeakTrial, len(uniq))
+			if err := sw.trialsDispatch(ctx, uniq, nil, trials, workers); err != nil {
+				return nil, err
+			}
+			for i, s := range slot {
+				out[i] = trials[s]
+				out[i].Leaker = leakers[i]
+			}
+			return out, nil
+		}
+	}
+	if err := sw.trialsDispatch(ctx, leakers, weights, out, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trialsDispatch replays every leaker with no dedup, writing trials to out
+// in input order — the batch/scalar engine split behind Trials/TrialsN.
+func (sw *LeakSweep) trialsDispatch(ctx context.Context, leakers []astopo.ASN, weights []float64, out []LeakTrial, workers int) error {
+	b := sw.base
 	if !b.cfg.BreakTies && !b.scalarLeak && len(leakers) >= BatchLanes {
 		nBlocks := (len(leakers) + BatchLanes - 1) / BatchLanes
 		if workers > nBlocks {
@@ -303,10 +388,7 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 				putBatchLeak(bl)
 			}
 		}
-		if err != nil {
-			return nil, err
-		}
-		return out, nil
+		return err
 	}
 	clones := make([]*LeakSweep, workers)
 	err := par.ForCtx(ctx, workers, len(leakers), func(w int) func(i int) error {
@@ -329,10 +411,7 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 			c.Release()
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return err
 }
 
 // Trial replays one leaker and reduces the outcome straight to a LeakTrial

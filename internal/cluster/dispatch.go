@@ -310,6 +310,50 @@ func (p *Pool) SweepCounts(ctx context.Context, kind string, n int) ([]int, erro
 	return out, nil
 }
 
+// ClassCounts computes the reachability count of every equivalence-class
+// representative for class ids [0, nClasses), partitioned across the
+// cluster — the class-collapsed counterpart of SweepCounts. Class ids are
+// deterministic functions of the frozen world (see SweepRequest.Classes),
+// so shards merged from different workers concatenate to exactly the local
+// per-class vector; the caller expands it to per-AS counts with
+// ClassIndex.Expand. Sharding by class blocks rather than AS blocks keeps
+// every worker's propagation words full of *distinct* work — the collapse
+// ratio is paid once, up front, instead of per shard.
+func (p *Pool) ClassCounts(ctx context.Context, kind string, nClasses int) ([]int, error) {
+	if err := p.admit(); err != nil {
+		return nil, err
+	}
+	defer p.queries.Add(-1)
+	shards := shardRanges(nClasses, p.totalSlots(), p.cfg.ShardBlocks)
+	out := make([]int, nClasses)
+	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
+		s := shards[i]
+		var resp SweepResponse
+		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi, Classes: true}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Counts) != s.Hi-s.Lo {
+			return nil, fmt.Errorf("cluster: class shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
+		}
+		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+	}
+	var local func(context.Context, int) (func(), error)
+	if p.cfg.LocalClasses != nil {
+		local = func(ctx context.Context, i int) (func(), error) {
+			s := shards[i]
+			counts, err := p.cfg.LocalClasses(ctx, kind, s.Lo, s.Hi)
+			if err != nil {
+				return nil, err
+			}
+			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
+		}
+	}
+	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // BatchCounts computes reach counts for an explicit origin list (ASNs),
 // partitioned across the cluster in request order. Shard boundaries are
 // 64-aligned positions in the list, so each shard rides full bit-parallel

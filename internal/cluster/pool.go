@@ -71,6 +71,9 @@ type PoolConfig struct {
 	LocalSweep func(ctx context.Context, kind string, lo, hi int) ([]int, error)
 	LocalBatch func(ctx context.Context, kind string, origins []uint32) ([]int, error)
 	LocalLeak  func(ctx context.Context, q LeakQuery, lo, hi int) ([]float64, error)
+	// LocalClasses computes one class-collapsed shard locally: counts for
+	// the equivalence-class representatives [clo, chi), one per class.
+	LocalClasses func(ctx context.Context, kind string, clo, chi int) ([]int, error)
 }
 
 func (c *PoolConfig) fillDefaults() {

@@ -76,13 +76,19 @@ type JoinResponse struct {
 }
 
 // SweepRequest asks a worker for reachability counts (POST PathSweep).
-// Exactly one of the two forms is used: a dense index range [Lo, Hi) for
-// all-AS sweeps, or an explicit Origins list (ASNs) for batch queries.
+// Exactly one of the three forms is used: a dense index range [Lo, Hi) for
+// all-AS sweeps, an explicit Origins list (ASNs) for batch queries, or —
+// with Classes set — an equivalence-class id range [Lo, Hi) whose
+// representatives are swept, one count per class. Class ids are derived
+// deterministically from the frozen world (bgpsim.ClassIndex assigns them
+// in dense-index order), so matching world hashes guarantee matching class
+// ids on every node, the same argument that makes dense index ranges safe.
 type SweepRequest struct {
 	Kind    string   `json:"kind"`
 	Lo      int      `json:"lo"`
 	Hi      int      `json:"hi"`
 	Origins []uint32 `json:"origins,omitempty"`
+	Classes bool     `json:"classes,omitempty"`
 }
 
 // SweepResponse carries one count per requested origin, in request order.

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/topogen"
+)
+
+// withEnv sets an env var for the duration of fn. The class-collapse and
+// sweep-width knobs are read at Metrics construction, so tests flip them
+// around New calls.
+func withEnv(t *testing.T, key, val string, fn func()) {
+	t.Helper()
+	old, had := os.LookupEnv(key)
+	if err := os.Setenv(key, val); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if had {
+			os.Setenv(key, old)
+		} else {
+			os.Unsetenv(key)
+		}
+	}()
+	fn()
+}
+
+// newClassed builds Metrics with class collapse force-enabled, so the golden
+// suites keep comparing both sides even when the ambient environment sets
+// FLATNET_NO_CLASS_COLLAPSE (check.sh runs the package that way too).
+func newClassed(t *testing.T, ds Dataset) *Metrics {
+	t.Helper()
+	var m *Metrics
+	withEnv(t, "FLATNET_NO_CLASS_COLLAPSE", "", func() {
+		m = New(ds)
+	})
+	return m
+}
+
+// TestClassedSweepMatchesUncollapsed is the tentpole golden suite: the
+// class-collapsed all-AS sweep must be byte-identical to the uncollapsed
+// batch sweep (FLATNET_NO_CLASS_COLLAPSE) for every Kind, every origin,
+// full ranges and subranges, over the random tiered corpus — and the
+// collapse must actually fire on at least some of the corpus.
+func TestClassedSweepMatchesUncollapsed(t *testing.T) {
+	ctx := context.Background()
+	collapsed := 0
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(40)
+		if seed%10 == 0 {
+			n = 150 + rng.Intn(50) // multi-block: spans several 64-lane words
+		}
+		ds := randomTieredDataset(rng, n)
+		m := newClassed(t, ds)
+		var mNo *Metrics
+		withEnv(t, "FLATNET_NO_CLASS_COLLAPSE", "1", func() {
+			mNo = New(ds)
+		})
+		if c, _, _ := m.ClassStats(); c > 0 && c < n {
+			collapsed++
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		for _, kind := range allKinds {
+			for _, r := range [][2]int{{0, n}, {lo, hi}} {
+				got, err := m.ReachabilityRangeCtx(ctx, kind, r[0], r[1], 0)
+				if err != nil {
+					t.Fatalf("seed %d kind %v range %v: classed: %v", seed, kind, r, err)
+				}
+				want, err := mNo.ReachabilityRangeCtx(ctx, kind, r[0], r[1], 0)
+				if err != nil {
+					t.Fatalf("seed %d kind %v range %v: uncollapsed: %v", seed, kind, r, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d kind %v origin %d (AS%d): classed %d != uncollapsed %d",
+							seed, kind, r[0]+i, ds.Graph.ASNAt(r[0]+i), got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if collapsed == 0 {
+		t.Fatal("no topology in the corpus collapsed — the suite never exercised the classed path")
+	}
+}
+
+// The wide dispatch (FLATNET_SWEEP_WORDS > 1) must give the same answers
+// through the full core stack, not just the raw engine.
+func TestClassedSweepWideMatchesNarrow(t *testing.T) {
+	ctx := context.Background()
+	for _, words := range []string{"2", "4"} {
+		for seed := int64(90); seed < 100; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ds := randomTieredDataset(rng, 120+rng.Intn(80))
+			n := ds.Graph.NumASes()
+			var mWide *Metrics
+			withEnv(t, "FLATNET_NO_CLASS_COLLAPSE", "", func() {
+				withEnv(t, "FLATNET_SWEEP_WORDS", words, func() {
+					mWide = New(ds)
+				})
+			})
+			m := newClassed(t, ds)
+			if _, _, w := mWide.ClassStats(); w < 2 {
+				t.Fatalf("FLATNET_SWEEP_WORDS=%s not picked up: words=%d", words, w)
+			}
+			for _, kind := range allKinds {
+				got, err := mWide.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+				if err != nil {
+					t.Fatalf("words=%s seed %d kind %v: %v", words, seed, kind, err)
+				}
+				want, err := m.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+				if err != nil {
+					t.Fatalf("seed %d kind %v: %v", seed, kind, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("words=%s seed %d kind %v origin %d: wide %d != narrow %d",
+							words, seed, kind, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// ClassCountsRangeCtx shards must concatenate to the per-class vector
+// whose expansion is exactly the full sweep — the cluster contract.
+func TestClassCountsRangeExpandsToSweep(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	ds := randomTieredDataset(rng, 160)
+	n := ds.Graph.NumASes()
+	m := New(ds)
+	ci := m.Classes()
+	nc := ci.NumClasses()
+	for _, kind := range allKinds {
+		// Three uneven shards, concatenated.
+		cuts := []int{0, nc / 3, nc / 2, nc}
+		classCounts := make([]int, 0, nc)
+		for s := 0; s+1 < len(cuts); s++ {
+			part, err := m.ClassCountsRangeCtx(ctx, kind, cuts[s], cuts[s+1], 0)
+			if err != nil {
+				t.Fatalf("kind %v shard %d: %v", kind, s, err)
+			}
+			classCounts = append(classCounts, part...)
+		}
+		expanded := make([]int, n)
+		ci.Expand(classCounts, expanded)
+		want, err := m.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if expanded[i] != want[i] {
+				t.Fatalf("kind %v origin %d: expanded %d != sweep %d", kind, i, expanded[i], want[i])
+			}
+		}
+	}
+	if _, err := m.ClassCountsRangeCtx(ctx, Full, 0, nc+1, 0); err == nil {
+		t.Error("expected error for class range past NumClasses")
+	}
+	if _, err := m.ClassCountsRangeCtx(ctx, Full, -1, 0, 0); err == nil {
+		t.Error("expected error for negative class range")
+	}
+}
+
+// The many-origin query path dedups classmates; the answers must match
+// per-origin queries exactly, duplicates and all.
+func TestReachabilityManyClassDedupMatches(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	ds := randomTieredDataset(rng, 140)
+	m := New(ds)
+	all := ds.Graph.ASes()
+	origins := make([]astopo.ASN, 0, len(all)+30)
+	origins = append(origins, all...)
+	for k := 0; k < 30; k++ { // duplicates to force the dedup path
+		origins = append(origins, all[rng.Intn(len(all))])
+	}
+	for _, kind := range allKinds {
+		got, err := m.ReachabilityManyN(ctx, origins, kind, 0)
+		if err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		for i, o := range origins {
+			want, err := m.Reachability(o, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("kind %v origin AS%d: many %d != single %d", kind, o, got[i], want)
+			}
+		}
+	}
+}
+
+// EvolveCounts must carry the class index across a delta when tier sets
+// hold, and the carried index must be indistinguishable from a rebuild.
+func TestEvolveCarriesClassIndex(t *testing.T) {
+	ctx := context.Background()
+	carried := 0
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		prev := randomTieredDataset(rng, 40+rng.Intn(120))
+		nxt, delta := mutateDataset(rng, prev, rng.Intn(3), 1+rng.Intn(3), rng.Intn(3))
+		prevM, nextM := newClassed(t, prev), newClassed(t, nxt)
+		n := prev.Graph.NumASes()
+		prevCounts, err := prevM.ReachabilityRangeCtx(ctx, HierarchyFree, 0, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevM.classesIfBuilt() == nil {
+			t.Fatalf("seed %d: classed sweep did not build the index", seed)
+		}
+		_, stats, err := EvolveCounts(ctx, prevM, nextM, HierarchyFree, prevCounts, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.ClassesEvolved {
+			t.Fatalf("seed %d: class index not carried (stats %+v)", seed, stats)
+		}
+		carried++
+		got := nextM.classesIfBuilt()
+		if got == nil {
+			t.Fatalf("seed %d: next metrics has no index after carry", seed)
+		}
+		want := newClassed(t, nxt).Classes()
+		if got.NumClasses() != want.NumClasses() {
+			t.Fatalf("seed %d: evolved %d classes, rebuild %d", seed, got.NumClasses(), want.NumClasses())
+		}
+		for i := 0; i < nxt.Graph.NumASes(); i++ {
+			if got.ClassOf(i) != want.ClassOf(i) {
+				t.Fatalf("seed %d AS index %d: evolved class %d != rebuilt %d", seed, i, got.ClassOf(i), want.ClassOf(i))
+			}
+		}
+		for c := 0; c < want.NumClasses(); c++ {
+			if got.Rep(c) != want.Rep(c) || got.Size(c) != want.Size(c) {
+				t.Fatalf("seed %d class %d: rep/size mismatch", seed, c)
+			}
+		}
+	}
+	if carried == 0 {
+		t.Fatal("no trial carried the class index")
+	}
+}
+
+// The escape hatch must actually disable collapse: SweepClasses reports
+// nil, stats gauges go flat, and sweeps still answer correctly.
+func TestNoClassCollapseEscapeHatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := randomTieredDataset(rng, 60)
+	var m *Metrics
+	withEnv(t, "FLATNET_NO_CLASS_COLLAPSE", "1", func() {
+		m = New(ds)
+	})
+	if m.SweepClasses() != nil {
+		t.Error("SweepClasses must be nil under FLATNET_NO_CLASS_COLLAPSE")
+	}
+	classes, ratio, words := m.ClassStats()
+	if classes != 0 || ratio != 1 {
+		t.Errorf("ClassStats under escape hatch = (%d, %v), want (0, 1)", classes, ratio)
+	}
+	if words < 1 {
+		t.Errorf("words = %d", words)
+	}
+	// Classes() still builds on explicit request.
+	if m.Classes() == nil || m.Classes().NumClasses() == 0 {
+		t.Error("explicit Classes() must still build the index")
+	}
+}
+
+// A preset world through the classed stack: the scaled-down Internet-2020
+// topology must sweep identically with and without collapse, anchoring the
+// corpus result on the generator the benchmarks use.
+func TestClassedSweepMatchesUncollapsedPreset(t *testing.T) {
+	ctx := context.Background()
+	in, err := topogen.Generate(topogen.Internet2020(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Dataset{Graph: in.Graph, Tier1: in.Tier1, Tier2: in.Tier2}
+	n := ds.Graph.NumASes()
+	m := newClassed(t, ds)
+	var mNo *Metrics
+	withEnv(t, "FLATNET_NO_CLASS_COLLAPSE", "1", func() {
+		mNo = New(ds)
+	})
+	for _, kind := range allKinds {
+		got, err := m.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mNo.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("kind %v origin %d (AS%d): classed %d != uncollapsed %d",
+					kind, i, ds.Graph.ASNAt(i), got[i], want[i])
+			}
+		}
+	}
+	if c, ratio, _ := m.ClassStats(); c == 0 || ratio <= 1 {
+		t.Errorf("preset world did not collapse: classes=%d ratio=%v", c, ratio)
+	}
+}

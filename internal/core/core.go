@@ -83,14 +83,35 @@ type Metrics struct {
 	// (the batch engine's fallback). Set by the FLATNET_SCALAR_SWEEP env
 	// var for debugging/perf comparison, and by the equivalence tests.
 	scalarSweep bool
+	// noCollapse disables the origin equivalence-class collapse on all-AS
+	// sweeps and multi-origin batches, forcing every origin to propagate
+	// individually. Set by the FLATNET_NO_CLASS_COLLAPSE env var as the
+	// escape hatch, and by the equivalence tests.
+	noCollapse bool
+	// sweepWords is the multi-word block width for class-collapsed sweeps
+	// (bgpsim.SweepWords): 1 uses the single-word BatchReach, >1 the
+	// BatchReachWide engine with sweepWords×64 lanes per propagation.
+	sweepWords int
+	widePool   sync.Pool // *bgpsim.BatchReachWide for sweepWords > 1
+
+	// classMu guards classIdx, the lazily built (or incrementally evolved,
+	// see EvolveCounts) origin equivalence-class index.
+	classMu  sync.Mutex
+	classIdx *bgpsim.ClassIndex
 }
 
 // New returns a Metrics over ds. The graph is frozen.
 func New(ds Dataset) *Metrics {
 	ds.Graph.Freeze()
-	m := &Metrics{ds: ds, scalarSweep: os.Getenv("FLATNET_SCALAR_SWEEP") != ""}
+	m := &Metrics{
+		ds:          ds,
+		scalarSweep: os.Getenv("FLATNET_SCALAR_SWEEP") != "",
+		noCollapse:  os.Getenv("FLATNET_NO_CLASS_COLLAPSE") != "",
+		sweepWords:  bgpsim.SweepWords(),
+	}
 	m.pool.New = func() any { return bgpsim.New(ds.Graph) }
 	m.batchPool.New = func() any { return bgpsim.NewBatchReach(ds.Graph) }
+	m.widePool.New = func() any { return bgpsim.NewBatchReachWide(ds.Graph, m.sweepWords) }
 	n := ds.Graph.NumASes()
 	for kind := Full; kind <= HierarchyFree; kind++ {
 		mask := make([]bool, n)
@@ -115,6 +136,58 @@ func New(ds Dataset) *Metrics {
 
 // Dataset returns the dataset the metrics operate on.
 func (m *Metrics) Dataset() Dataset { return m.ds }
+
+// Classes returns the origin equivalence-class index for the dataset,
+// building it on first use. The index is always available (even under
+// FLATNET_NO_CLASS_COLLAPSE — the env var only stops the sweep paths from
+// consulting it) and is immutable once returned.
+func (m *Metrics) Classes() *bgpsim.ClassIndex {
+	m.classMu.Lock()
+	defer m.classMu.Unlock()
+	if m.classIdx == nil {
+		m.classIdx = bgpsim.NewClassIndex(m.ds.Graph, m.ds.Tier1, m.ds.Tier2, nil)
+	}
+	return m.classIdx
+}
+
+// SweepClasses returns the class index when collapse is enabled, nil when
+// the FLATNET_NO_CLASS_COLLAPSE escape hatch is set. Callers that want to
+// dedup per-origin work (leak trial batching, the serve layer's class
+// caches) key off this so the escape hatch disables every collapse site.
+func (m *Metrics) SweepClasses() *bgpsim.ClassIndex {
+	if m.noCollapse {
+		return nil
+	}
+	return m.Classes()
+}
+
+// setClasses installs an externally derived class index (EvolveCounts
+// carries the previous world's index across a delta instead of rebuilding).
+func (m *Metrics) setClasses(ci *bgpsim.ClassIndex) {
+	m.classMu.Lock()
+	m.classIdx = ci
+	m.classMu.Unlock()
+}
+
+// classesIfBuilt returns the index only if it has already been built —
+// EvolveCounts uses this to evolve an existing index without forcing a
+// build that lazy construction would otherwise defer.
+func (m *Metrics) classesIfBuilt() *bgpsim.ClassIndex {
+	m.classMu.Lock()
+	defer m.classMu.Unlock()
+	return m.classIdx
+}
+
+// ClassStats reports the class-collapse gauges: the number of equivalence
+// classes, the collapse ratio (ASes per class), and the sweep block width
+// in 64-lane words. Collapse disabled reports zero classes, ratio 1.
+func (m *Metrics) ClassStats() (classes int, ratio float64, words int) {
+	if m.noCollapse {
+		return 0, 1, m.sweepWords
+	}
+	ci := m.Classes()
+	return ci.NumClasses(), ci.CollapseRatio(), m.sweepWords
+}
 
 // Mask builds the dense exclusion mask for (o, kind): the origin itself is
 // never masked even when it belongs to T1/T2 (a Tier-1 origin is not
@@ -276,35 +349,184 @@ func (m *Metrics) ReachabilityRangeCtx(ctx context.Context, kind Kind, lo, hi, w
 	if m.scalarSweep {
 		return m.reachabilityRangeScalar(ctx, kind, lo, hi, workers)
 	}
-	out := make([]int, hi-lo)
-	blocks := (hi - lo + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
-	engines := make([]*bgpsim.BatchReach, workers)
-	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
-		br := m.batchPool.Get().(*bgpsim.BatchReach)
-		engines[w] = br
-		var origins [bgpsim.BatchLanes]int32
-		return func(bi int) error {
-			blo := lo + bi*bgpsim.BatchLanes
-			bhi := blo + bgpsim.BatchLanes
-			if bhi > hi {
-				bhi = hi
-			}
-			block := origins[:bhi-blo]
-			for i := range block {
-				block[i] = int32(blo + i)
-			}
-			return br.CountsCtx(ctx, block, m.baseMask[kind], kind != Full, out[blo-lo:bhi-lo])
-		}
-	})
-	for _, br := range engines {
-		if br != nil {
-			m.batchPool.Put(br)
-		}
+	if !m.noCollapse {
+		return m.reachabilityRangeClassed(ctx, kind, lo, hi, workers)
 	}
+	out := make([]int, hi-lo)
+	err := m.batchCountsCtx(ctx, kind, denseRange{lo, hi}, out, workers)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// denseRange selects batch origins: a contiguous dense-index range when
+// idx is nil, or an explicit index list otherwise.
+type denseRange struct {
+	lo, hi int
+}
+
+// batchCountsCtx runs the bit-parallel engines over the origins selected
+// by r (contiguous) or idx (explicit list; r ignored), writing counts in
+// selection order to out. Blocks ride the wide engine when the configured
+// sweep width exceeds one word.
+func (m *Metrics) batchCountsCtx(ctx context.Context, kind Kind, r denseRange, out []int, workers int) error {
+	return m.batchCountsIdxCtx(ctx, kind, nil, r, out, workers)
+}
+
+func (m *Metrics) batchCountsIdxCtx(ctx context.Context, kind Kind, idx []int32, r denseRange, out []int, workers int) error {
+	total := len(idx)
+	if idx == nil {
+		total = r.hi - r.lo
+	}
+	if total == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lanes := bgpsim.BatchLanes
+	wide := m.sweepWords > 1
+	if wide {
+		lanes = m.sweepWords * bgpsim.BatchLanes
+	}
+	blocks := (total + lanes - 1) / lanes
+	type countEngine interface {
+		CountsCtx(ctx context.Context, origins []int32, base []bool, maskProviders bool, out []int) error
+	}
+	engines := make([]any, workers)
+	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
+		var eng countEngine
+		if wide {
+			bw := m.widePool.Get().(*bgpsim.BatchReachWide)
+			engines[w] = bw
+			eng = bw
+		} else {
+			br := m.batchPool.Get().(*bgpsim.BatchReach)
+			engines[w] = br
+			eng = br
+		}
+		scratch := make([]int32, lanes)
+		return func(bi int) error {
+			blo := bi * lanes
+			bhi := blo + lanes
+			if bhi > total {
+				bhi = total
+			}
+			var block []int32
+			if idx == nil {
+				block = scratch[:bhi-blo]
+				for i := range block {
+					block[i] = int32(r.lo + blo + i)
+				}
+			} else {
+				block = idx[blo:bhi:bhi]
+			}
+			return eng.CountsCtx(ctx, block, m.baseMask[kind], kind != Full, out[blo:bhi])
+		}
+	})
+	for _, e := range engines {
+		switch v := e.(type) {
+		case *bgpsim.BatchReach:
+			m.batchPool.Put(v)
+		case *bgpsim.BatchReachWide:
+			m.widePool.Put(v)
+		}
+	}
+	return err
+}
+
+// reachabilityRangeClassed is the class-collapsed sweep over [lo, hi): the
+// unique equivalence classes appearing in the range are swept once each —
+// represented by their first member inside the range, so shard-local
+// blocks keep their locality — and the per-class counts are scattered back
+// to every member. Byte-identical to the uncollapsed sweep (golden-tested)
+// because class members have exactly equal counts for every kind.
+func (m *Metrics) reachabilityRangeClassed(ctx context.Context, kind Kind, lo, hi, workers int) ([]int, error) {
+	ci := m.Classes()
+	n := hi - lo
+	out := make([]int, n)
+	if n == 0 {
+		return out, nil
+	}
+	// slot[c] = index into the unique-reps list, or -1. For a full-graph
+	// sweep first-in-range membership is exactly the index's own
+	// representative assignment, so classes and reps align with ci.Reps().
+	slot := make([]int32, ci.NumClasses())
+	for i := range slot {
+		slot[i] = -1
+	}
+	reps := make([]int32, 0, min(n, ci.NumClasses()))
+	for i := lo; i < hi; i++ {
+		c := ci.ClassOf(i)
+		if slot[c] < 0 {
+			slot[c] = int32(len(reps))
+			reps = append(reps, int32(i))
+		}
+	}
+	counts := make([]int, len(reps))
+	if err := m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, counts, workers); err != nil {
+		return nil, err
+	}
+	for i := lo; i < hi; i++ {
+		out[i-lo] = counts[slot[ci.ClassOf(i)]]
+	}
+	return out, nil
+}
+
+// ClassCountsRangeCtx computes reach(rep(c), kind) for the equivalence
+// classes [clo, chi), indexed by class id — the cluster shard primitive
+// for class-collapsed sweeps: a partition of [0, NumClasses()) concatenates
+// to the full per-class count vector, which ClassIndex.Expand scatters to
+// per-AS counts. Unlike the sweep paths this ignores the
+// FLATNET_NO_CLASS_COLLAPSE escape hatch: the request names classes
+// explicitly, so the caller has already chosen collapse.
+func (m *Metrics) ClassCountsRangeCtx(ctx context.Context, kind Kind, clo, chi, workers int) ([]int, error) {
+	ci := m.Classes()
+	if clo < 0 || chi > ci.NumClasses() || clo > chi {
+		return nil, fmt.Errorf("core: class range [%d, %d) outside the %d-class index", clo, chi, ci.NumClasses())
+	}
+	out := make([]int, chi-clo)
+	reps := ci.Reps()[clo:chi]
+	if m.scalarSweep {
+		return out, m.scalarCountsIdxCtx(ctx, kind, reps, out, workers)
+	}
+	if err := m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, out, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scalarCountsIdxCtx is the per-origin scalar fallback over an explicit
+// dense-index list, used by ClassCountsRangeCtx under FLATNET_SCALAR_SWEEP.
+func (m *Metrics) scalarCountsIdxCtx(ctx context.Context, kind Kind, idx []int32, out []int, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := m.ds.Graph
+	sims := make([]*bgpsim.Simulator, workers)
+	err := par.ForCtx(ctx, workers, len(idx), func(w int) func(i int) error {
+		sim := m.pool.Get().(*bgpsim.Simulator)
+		sims[w] = sim
+		sc := m.scratch(kind)
+		return func(i int) error {
+			oi := int(idx[i])
+			mask := sc.acquire(oi)
+			cnt, err := sim.ReachabilityCountCtx(ctx, bgpsim.Config{Origin: g.ASNAt(oi), Exclude: mask})
+			sc.release()
+			if err != nil {
+				return err
+			}
+			out[i] = cnt
+			return nil
+		}
+	})
+	for _, sim := range sims {
+		if sim != nil {
+			m.pool.Put(sim)
+		}
+	}
+	return err
 }
 
 // reachabilityRangeScalar is the per-origin sweep over [lo, hi): one scalar

@@ -39,6 +39,11 @@ type EvolveStats struct {
 	FullSweep bool
 	// Reason explains a FullSweep.
 	Reason string
+	// ClassesEvolved is set when the origin equivalence-class index was
+	// carried across the delta incrementally (untouched ASes keep their
+	// fingerprints verbatim) instead of being rebuilt from scratch by the
+	// next world's first sweep.
+	ClassesEvolved bool
 }
 
 // EvolveCounts computes reach(o, kind) for every AS of the next world,
@@ -88,6 +93,27 @@ func EvolveCounts(ctx context.Context, prev, next *Metrics, kind Kind, prevCount
 	stats := EvolveStats{Origins: n}
 	if len(prevCounts) != pg.NumASes() {
 		return nil, EvolveStats{}, fmt.Errorf("core: prevCounts has %d entries, previous world has %d ASes", len(prevCounts), pg.NumASes())
+	}
+
+	// Carry the origin equivalence-class index across the delta before any
+	// sweep below (even a full-sweep fallback benefits): ASes untouched by
+	// the delta keep their fingerprints verbatim, so the next world skips
+	// the from-scratch signature pass its first classed sweep would pay.
+	// Sound only when the tier sets match — tier bytes are part of the
+	// fingerprint — and worth doing only when the previous index exists and
+	// the next one does not.
+	if prevCI := prev.classesIfBuilt(); prevCI != nil && next.classesIfBuilt() == nil &&
+		sameSet(prev.ds.Tier1, next.ds.Tier1) && sameSet(prev.ds.Tier2, next.ds.Tier2) {
+		touched := make([]astopo.ASN, 0, 2*(len(d.AddedLinks)+len(d.RemovedLinks))+len(d.NewASes))
+		for _, l := range d.AddedLinks {
+			touched = append(touched, l.A, l.B)
+		}
+		for _, l := range d.RemovedLinks {
+			touched = append(touched, l.A, l.B)
+		}
+		touched = append(touched, d.NewASes...)
+		next.setClasses(prevCI.Evolve(next.ds.Graph, next.ds.Tier1, next.ds.Tier2, nil, touched))
+		stats.ClassesEvolved = true
 	}
 
 	fullSweep := func(reason string) ([]int, EvolveStats, error) {
@@ -142,25 +168,45 @@ func EvolveCounts(ctx context.Context, prev, next *Metrics, kind Kind, prevCount
 	}
 	// coneMark walks the masked customer cone of start: every origin with
 	// a pure uphill path into start, the only origins that can route
-	// across a peer edge at start.
+	// across a peer edge at start. The seen/stack scratch is shared across
+	// all cone walks of this call (a timeline step bounds thousands of
+	// churned peer links): seen is sized once per graph side and cleared
+	// sparsely via the visited list instead of reallocated per link.
+	var seenPrev, seenNext []bool
+	var coneStack, coneVisited []int32
 	coneMark := func(m *Metrics, start int, onPrev bool) {
 		stats.Cones++
 		g := m.ds.Graph
 		base := m.baseMask[kind]
-		seen := make([]bool, g.NumASes())
+		seen := seenNext
+		if onPrev {
+			if seenPrev == nil {
+				seenPrev = make([]bool, pg.NumASes())
+			}
+			seen = seenPrev
+		} else if seen == nil {
+			seenNext = make([]bool, n)
+			seen = seenNext
+		}
 		seen[start] = true
-		stack := []int{start}
+		stack := append(coneStack[:0], int32(start))
+		visited := append(coneVisited[:0], int32(start))
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			mark(m, x, onPrev)
-			for _, c := range g.CustomersOf(x) {
+			mark(m, int(x), onPrev)
+			for _, c := range g.CustomersOf(int(x)) {
 				if !seen[c] && !base[c] {
 					seen[c] = true
-					stack = append(stack, int(c))
+					stack = append(stack, c)
+					visited = append(visited, c)
 				}
 			}
 		}
+		for _, v := range visited {
+			seen[v] = false
+		}
+		coneStack, coneVisited = stack, visited // keep high-water backing arrays
 	}
 	// scoutMark runs one masked propagation from start; by reversal
 	// symmetry its reach set is exactly the set of origins that can reach

@@ -3,11 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
-	"flatnet/internal/par"
 )
 
 // This file holds the query-shaped entry points the serving layer
@@ -116,29 +114,37 @@ func (m *Metrics) ReachabilityManyN(ctx context.Context, origins []astopo.ASN, k
 		}
 		return out, nil
 	}
-	blocks := (len(origins) + bgpsim.BatchLanes - 1) / bgpsim.BatchLanes
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	engines := make([]*bgpsim.BatchReach, workers)
-	err := par.ForCtx(ctx, workers, blocks, func(w int) func(i int) error {
-		br := m.batchPool.Get().(*bgpsim.BatchReach)
-		engines[w] = br
-		return func(bi int) error {
-			lo := bi * bgpsim.BatchLanes
-			hi := lo + bgpsim.BatchLanes
-			if hi > len(origins) {
-				hi = len(origins)
+	// Class collapse: distinct origins sharing an equivalence class have
+	// identical counts, so only one member per class propagates and the
+	// count is copied to the duplicates — exact, not approximate (the
+	// member-swap automorphism, see bgpsim.ClassIndex). Dedup keys on the
+	// first occurrence so the result is byte-identical in input order.
+	if ci := m.SweepClasses(); ci != nil && len(origins) > 0 {
+		firstOf := make(map[int32]int32, len(origins))
+		uniq := idx[:0:0]
+		slot := make([]int32, len(origins))
+		for i, oi := range idx {
+			c := ci.ClassOf(int(oi))
+			s, seen := firstOf[c]
+			if !seen {
+				s = int32(len(uniq))
+				firstOf[c] = s
+				uniq = append(uniq, oi)
 			}
-			return br.CountsCtx(ctx, idx[lo:hi], m.baseMask[kind], kind != Full, out[lo:hi])
+			slot[i] = s
 		}
-	})
-	for _, br := range engines {
-		if br != nil {
-			m.batchPool.Put(br)
+		if len(uniq) < len(idx) {
+			counts := make([]int, len(uniq))
+			if err := m.batchCountsIdxCtx(ctx, kind, uniq, denseRange{}, counts, workers); err != nil {
+				return nil, err
+			}
+			for i, s := range slot {
+				out[i] = counts[s]
+			}
+			return out, nil
 		}
 	}
-	if err != nil {
+	if err := m.batchCountsIdxCtx(ctx, kind, idx, denseRange{}, out, workers); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"flatnet/internal/astopo"
+	"flatnet/internal/bgpsim"
+	"flatnet/internal/topogen"
+)
+
+// The longitudinal property the incremental class carry rests on: for
+// every adjacent year pair in the 2015–2025 preset family, evolving the
+// previous year's class index across the growth delta must produce exactly
+// the index a from-scratch rebuild of the next year's world produces. The
+// timeline presets hold the tier sets fixed, which is the precondition the
+// core carry gates on.
+func TestClassIndexEvolveMatchesRebuildAcrossTimeline(t *testing.T) {
+	const scale = 0.02
+	in, err := topogen.GenerateYear(topogen.TimelineFirstYear, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := bgpsim.NewClassIndex(in.Graph, in.Tier1, in.Tier2, nil)
+	for year := topogen.TimelineFirstYear + 1; year <= topogen.TimelineLastYear; year++ {
+		d, err := topogen.EvolveStep(in, year, scale)
+		if err != nil {
+			t.Fatalf("%d: %v", year, err)
+		}
+		next, err := topogen.ApplyDelta(in, d)
+		if err != nil {
+			t.Fatalf("%d: %v", year, err)
+		}
+		touched := make([]astopo.ASN, 0, 2*(len(d.AddedLinks)+len(d.RemovedLinks))+len(d.NewASes))
+		for _, l := range d.AddedLinks {
+			touched = append(touched, l.A, l.B)
+		}
+		for _, l := range d.RemovedLinks {
+			touched = append(touched, l.A, l.B)
+		}
+		for _, na := range d.NewASes {
+			touched = append(touched, na.ASN)
+		}
+		evolved := ci.Evolve(next.Graph, next.Tier1, next.Tier2, nil, touched)
+		rebuilt := bgpsim.NewClassIndex(next.Graph, next.Tier1, next.Tier2, nil)
+		if evolved.NumASes() != rebuilt.NumASes() || evolved.NumClasses() != rebuilt.NumClasses() {
+			t.Fatalf("%d→%d: evolved %d ASes/%d classes, rebuilt %d/%d",
+				year-1, year, evolved.NumASes(), evolved.NumClasses(), rebuilt.NumASes(), rebuilt.NumClasses())
+		}
+		for i := 0; i < rebuilt.NumASes(); i++ {
+			if evolved.ClassOf(i) != rebuilt.ClassOf(i) {
+				t.Fatalf("%d→%d AS%d: evolved class %d != rebuilt %d",
+					year-1, year, next.Graph.ASNAt(i), evolved.ClassOf(i), rebuilt.ClassOf(i))
+			}
+		}
+		for c := 0; c < rebuilt.NumClasses(); c++ {
+			if evolved.Rep(c) != rebuilt.Rep(c) || evolved.Size(c) != rebuilt.Size(c) {
+				t.Fatalf("%d→%d class %d: rep/size (%d,%d) != (%d,%d)",
+					year-1, year, c, evolved.Rep(c), evolved.Size(c), rebuilt.Rep(c), rebuilt.Size(c))
+			}
+		}
+		if rebuilt.CollapseRatio() < 1 {
+			t.Fatalf("%d: collapse ratio %v < 1", year, rebuilt.CollapseRatio())
+		}
+		in, ci = next, evolved
+	}
+}

@@ -42,8 +42,10 @@ type LeakFigure struct {
 // Grid exposes the CDF evaluation points.
 func (LeakFigure) Grid() []float64 { return cdfGrid }
 
-// leakFigure runs all scenarios for one origin on one preset.
-func leakFigure(in *topogen.Internet, originName string, origin astopo.ASN, trials int, weighted bool, weights []float64) (*LeakFigure, error) {
+// leakFigure runs all scenarios for one origin on one preset. classes,
+// when non-nil, dedups sampled leakers by origin equivalence class on the
+// unweighted runs (byte-identical; weighted runs replay every leaker).
+func leakFigure(in *topogen.Internet, classes *bgpsim.ClassIndex, originName string, origin astopo.ASN, trials int, weighted bool, weights []float64) (*LeakFigure, error) {
 	fig := &LeakFigure{Origin: originName, OriginASN: origin, UserWeighted: weighted}
 	leakers := bgpsim.SampleLeakers(in.Graph, origin, trials, int64(origin))
 	// One explicit LeakSweep per scenario: each configuration's leak-free
@@ -59,6 +61,7 @@ func leakFigure(in *topogen.Internet, originName string, origin astopo.ASN, tria
 		if err != nil {
 			return nil, err
 		}
+		sweep.SetClasses(classes)
 		trialsRes, err := sweep.Trials(context.Background(), leakers, w)
 		sweep.Release()
 		if err != nil {
@@ -101,7 +104,7 @@ func Fig7(env *Env) ([]*LeakFigure, error) {
 	}
 	var out []*LeakFigure
 	for _, p := range panels {
-		fig, err := leakFigure(in, p.name, p.asn, leakTrialsPerConfig, false, nil)
+		fig, err := leakFigure(in, env.M2020.SweepClasses(), p.name, p.asn, leakTrialsPerConfig, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -112,13 +115,13 @@ func Fig7(env *Env) ([]*LeakFigure, error) {
 
 // Fig8 runs the Google panel.
 func Fig8(env *Env) (*LeakFigure, error) {
-	return leakFigure(env.In2020, "Google", env.In2020.Clouds["Google"], leakTrialsPerConfig, false, nil)
+	return leakFigure(env.In2020, env.M2020.SweepClasses(), "Google", env.In2020.Clouds["Google"], leakTrialsPerConfig, false, nil)
 }
 
 // Fig9 runs the user-population-weighted Google panel.
 func Fig9(env *Env) (*LeakFigure, error) {
 	weights := env.Pop2020.WeightsDense(env.In2020.Graph)
-	return leakFigure(env.In2020, "Google", env.In2020.Clouds["Google"], leakTrialsPerConfig, true, weights)
+	return leakFigure(env.In2020, env.M2020.SweepClasses(), "Google", env.In2020.Clouds["Google"], leakTrialsPerConfig, true, weights)
 }
 
 // Fig10Result compares Google's announce-to-all resilience across years.
@@ -130,13 +133,14 @@ type Fig10Result struct {
 
 // Fig10 runs the 2015-vs-2020 comparison.
 func Fig10(env *Env) (*Fig10Result, error) {
-	run := func(in *topogen.Internet) ([]float64, float64, error) {
+	run := func(in *topogen.Internet, classes *bgpsim.ClassIndex) ([]float64, float64, error) {
 		origin := in.Clouds["Google"]
 		leakers := bgpsim.SampleLeakers(in.Graph, origin, leakTrialsPerConfig, 77)
 		sweep, err := bgpsim.NewLeakSweep(in.Graph, bgpsim.Config{Origin: origin})
 		if err != nil {
 			return nil, 0, err
 		}
+		sweep.SetClasses(classes)
 		trials, err := sweep.Trials(context.Background(), leakers, nil)
 		sweep.Release()
 		if err != nil {
@@ -150,10 +154,10 @@ func Fig10(env *Env) (*Fig10Result, error) {
 	}
 	res := &Fig10Result{Grid: cdfGrid}
 	var err error
-	if res.CDF2015, res.Mean2015, err = run(env.In2015); err != nil {
+	if res.CDF2015, res.Mean2015, err = run(env.In2015, env.M2015.SweepClasses()); err != nil {
 		return nil, err
 	}
-	if res.CDF2020, res.Mean2020, err = run(env.In2020); err != nil {
+	if res.CDF2020, res.Mean2020, err = run(env.In2020, env.M2020.SweepClasses()); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -141,6 +141,27 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("%v", err))
 		return
 	}
+	if req.Classes {
+		// Class-collapsed shard: [Lo, Hi) names equivalence-class ids and
+		// the response carries one representative count per class. Class
+		// ids are deterministic per world (first appearance in dense-index
+		// order), so the coordinator's ids and this worker's ids agree by
+		// the same world-hash argument that covers dense index ranges.
+		nc := ws.metrics.Classes().NumClasses()
+		if req.Lo < 0 || req.Hi > nc || req.Lo >= req.Hi {
+			s.writeError(w, badRequestf("class shard range [%d, %d) outside the %d-class index", req.Lo, req.Hi, nc))
+			return
+		}
+		key := fmt.Sprintf("cclass|%d|%d|%d", kind, req.Lo, req.Hi)
+		s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+			counts, err := ws.metrics.ClassCountsRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
+			if err != nil {
+				return nil, err
+			}
+			return cluster.SweepResponse{Counts: counts}, nil
+		})
+		return
+	}
 	if len(req.Origins) > 0 {
 		origins := make([]astopo.ASN, len(req.Origins))
 		for i, o := range req.Origins {
@@ -271,6 +292,14 @@ func (s *Server) localLeak(ctx context.Context, q cluster.LeakQuery, lo, hi int)
 	return s.leakFracsRange(ctx, s.w(), q, lo, hi, 0)
 }
 
+func (s *Server) localClasses(ctx context.Context, kind string, clo, chi int) ([]int, error) {
+	k, err := core.KindFromString(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.w().metrics.ClassCountsRangeCtx(ctx, k, clo, chi, 0)
+}
+
 // ---- the public full-sweep endpoint ----
 
 type sweepEntry struct {
@@ -311,7 +340,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		n := g.NumASes()
 		var counts []int
 		if s.pool.Ready() && s.pool.World() == ws.id {
-			counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
+			// With collapse enabled the cluster shards the equivalence
+			// classes instead of the ASes: every shard propagates only
+			// distinct work, and the coordinator expands the merged
+			// per-class vector locally. Expansion is a plain copy, so the
+			// counts are byte-identical to the AS-sharded (and to the
+			// single-process) sweep.
+			if ci := ws.metrics.SweepClasses(); ci != nil {
+				var classCounts []int
+				classCounts, err = s.pool.ClassCounts(ctx, kind.String(), ci.NumClasses())
+				if err == nil {
+					counts = make([]int, n)
+					ci.Expand(classCounts, counts)
+				}
+			} else {
+				counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
+			}
 			err = s.verifyWorld(ws, err)
 		} else {
 			counts, err = ws.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)

@@ -200,6 +200,15 @@ type statsResponse struct {
 	Shed         int64 `json:"shed"`
 	Evolves      int64 `json:"evolves"`
 
+	// Class-collapse gauges: Classes is the number of origin equivalence
+	// classes of the served world (0 when FLATNET_NO_CLASS_COLLAPSE
+	// disables collapse), CollapseRatio is ASes per class (the sweep-work
+	// reduction factor; 1 when disabled), and SweepWords is the configured
+	// multi-word block width of the bit-parallel engines.
+	Classes       int     `json:"classes"`
+	CollapseRatio float64 `json:"collapse_ratio"`
+	SweepWords    int     `json:"sweep_words"`
+
 	// World is the served dataset's content address and Year the timeline
 	// year it represents; Cluster appears once workers have registered
 	// (per-worker in-flight gauges included).
@@ -231,6 +240,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		World:        ws.id,
 		Year:         ws.year,
 	}
+	resp.Classes, resp.CollapseRatio, resp.SweepWords = ws.metrics.ClassStats()
 	if len(cs.Workers) > 0 {
 		resp.Cluster = &cs
 	}
@@ -260,7 +270,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("reach|%d|%d", origin, kind)
 	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
-		n, err := ws.metrics.ReachabilityCtx(ctx, origin, kind)
+		n, err := s.reachCount(ctx, ws, origin, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -270,6 +280,30 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 			Reachable: n, Total: total, Pct: 100 * float64(n) / float64(total),
 		}, nil
 	})
+}
+
+// reachCount computes reach(origin, kind) with class-level result reuse:
+// every member of one origin equivalence class has the identical count, so
+// the count is cached once per (world, class, kind) — a cold query for an
+// AS whose classmate was already asked costs a cache lookup instead of a
+// propagation. Disabled (plain per-origin compute) when the collapse
+// escape hatch is set.
+func (s *Server) reachCount(ctx context.Context, ws *worldState, origin astopo.ASN, kind core.Kind) (int, error) {
+	var ckey string
+	if ci := ws.metrics.SweepClasses(); ci != nil {
+		if oi, ok := ws.ds.Graph.Index(origin); ok {
+			ckey = fmt.Sprintf("%sccount|%d|%d", ws.key, ci.ClassOf(oi), kind)
+			if v, ok := s.cache.Get(ckey); ok {
+				s.stats.cacheHits.Add(1)
+				return v.(int), nil
+			}
+		}
+	}
+	n, err := ws.metrics.ReachabilityCtx(ctx, origin, kind)
+	if err == nil && ckey != "" {
+		s.cache.Put(ckey, n)
+	}
+	return n, err
 }
 
 type relianceEntry struct {
@@ -418,6 +452,9 @@ func (s *Server) leakSweep(ws *worldState, origin astopo.ASN, scenName string, s
 	if err != nil {
 		return nil, err
 	}
+	// Dedup replayed leakers by origin equivalence class (unweighted trials
+	// only; clones inherit the index). Nil under the collapse escape hatch.
+	sw.SetClasses(ws.metrics.SweepClasses())
 	s.sweeps.Put(key, sw)
 	return sw, nil
 }

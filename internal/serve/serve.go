@@ -256,6 +256,7 @@ func New(cfg Config) (*Server, error) {
 	pc.LocalSweep = s.localSweep
 	pc.LocalBatch = s.localBatch
 	pc.LocalLeak = s.localLeak
+	pc.LocalClasses = s.localClasses
 	s.pool = cluster.NewPool(pc)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),

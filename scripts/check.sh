@@ -32,6 +32,12 @@ echo "==> go test -race -short (bgpsim + serve, scalar leak path)"
 # race-clean.
 FLATNET_SCALAR_LEAK=1 go test -race -short ./internal/bgpsim/ ./internal/serve/
 
+echo "==> go test -race -short (core + serve, class collapse disabled)"
+# Sweeps ride the class-collapsed path by default; this pass pins the
+# uncollapsed batch dispatch so both sides of the FLATNET_NO_CLASS_COLLAPSE
+# switch stay race-clean.
+FLATNET_NO_CLASS_COLLAPSE=1 go test -race -short ./internal/core/ ./internal/serve/
+
 echo "==> snapshot decoder fuzz (10s)"
 # Short coverage-guided pass over the v1/v2 snapshot decoders; the seed
 # corpus carries valid snapshots plus known corruption shapes, so even a
@@ -44,7 +50,7 @@ echo "==> delta decoder fuzz (5s)"
 go test -run '^$' -fuzz 'FuzzDeltaDecode' -fuzztime 5s ./internal/snapshot/
 
 echo "==> benchmark smoke (1 iteration)"
-go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad|BenchmarkEvolveDelta$|BenchmarkTimelineSeries' \
+go test -bench 'BenchmarkLeakSweep|BenchmarkLeakTrialsBatch|BenchmarkPropagateNoAlloc|BenchmarkPropagationSingleOrigin|BenchmarkReachabilityAll|BenchmarkClassIndexBuild|BenchmarkTable1TopReachability|BenchmarkEnvColdStart$|BenchmarkSnapshotLoad|BenchmarkEvolveDelta$|BenchmarkTimelineSeries' \
     -benchtime 1x -benchmem -run '^$' .
 
 echo "==> snapshot build/load smoke"

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Profiling harness: runs one benchmark under the CPU and heap profilers
+# and writes the raw pprof files plus ready-to-read top-function summaries,
+# so a perf investigation starts from `cat` instead of an interactive
+# session:
+#
+#   ./scripts/profile.sh [bench-regex] [out-dir]
+#
+# defaults: BenchmarkReachabilityAllFullScale, profiles/
+#
+#   profiles/cpu.pprof, heap.pprof   raw profiles (go tool pprof)
+#   profiles/cpu-top.txt             top 30 functions by cumulative CPU
+#   profiles/heap-top.txt            top 30 functions by allocated space
+#   profiles/bench.txt               the benchmark output itself
+#
+# FLATNET_BENCH_SCALE and the other bench env knobs apply unchanged; the
+# FullScale benchmarks pin scale 1.0 regardless. Pass a scaled-down bench
+# (e.g. BenchmarkReachabilityAll\$) for a quick look on slow machines.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-BenchmarkReachabilityAllFullScale}"
+OUT="${2:-profiles}"
+mkdir -p "$OUT"
+
+go test -run '^$' -bench "$BENCH" -benchmem \
+	-cpuprofile "$OUT/cpu.pprof" -memprofile "$OUT/heap.pprof" \
+	-o "$OUT/flatnet-bench.test" . | tee "$OUT/bench.txt"
+
+go tool pprof -top -nodecount 30 -cum "$OUT/flatnet-bench.test" "$OUT/cpu.pprof" > "$OUT/cpu-top.txt"
+go tool pprof -top -nodecount 30 -sample_index=alloc_space "$OUT/flatnet-bench.test" "$OUT/heap.pprof" > "$OUT/heap-top.txt"
+
+echo "wrote $OUT/cpu.pprof, $OUT/heap.pprof and top summaries:"
+head -12 "$OUT/cpu-top.txt"
