@@ -310,8 +310,11 @@ func TestLeakSweepClassDedupMatches(t *testing.T) {
 	}
 }
 
-// Weighted runs must bypass the dedup entirely (user weights break the
-// symmetry), and an unknown leaker must fail identically either way.
+// Weighted collapsed runs must agree with the undeduped sweep — exactly on
+// DetouredFrac (the automorphism maps the detoured set bijectively) and up
+// to float reordering on DetouredUserFrac (the O(1) classmate correction
+// adds terms in a different order than the node-order reduction) — and an
+// unknown leaker must fail identically either way.
 func TestLeakSweepClassDedupGuards(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := randomTopology(rng)
@@ -348,7 +351,8 @@ func TestLeakSweepClassDedupGuards(t *testing.T) {
 		t.Fatalf("weighted runs failed: %v / %v", berr, derr)
 	}
 	for i := range base {
-		if base[i] != ded[i] {
+		if ded[i].Leaker != base[i].Leaker || ded[i].DetouredFrac != base[i].DetouredFrac ||
+			!wsumClose(ded[i].DetouredUserFrac, base[i].DetouredUserFrac) {
 			t.Fatalf("weighted trial %d: %+v != %+v", i, ded[i], base[i])
 		}
 	}
@@ -360,5 +364,176 @@ func TestLeakSweepClassDedupGuards(t *testing.T) {
 	}
 	if berr.Error() != derr.Error() {
 		t.Fatalf("error mismatch: %q != %q", berr, derr)
+	}
+}
+
+// The probe bits behind the weighted collapse must agree between engines:
+// trialsDispatchProbes answered by the batch lane words must match a direct
+// scalar replay's flags for every (leaker, node) pair. The leaker list is
+// tiled past BatchLanes so the batch dispatch engages on the small random
+// topologies; probes of a leaker's own node are skipped (the batch mask
+// excludes them by design, and the collapse pairs them with a zero weight
+// delta, so their value never matters).
+func TestTrialsDispatchProbesBatchMatchesScalar(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		g := randomTopology(rng)
+		g.Freeze()
+		n := g.NumASes()
+		all := g.ASes()
+		origin := all[rng.Intn(len(all))]
+		oi, _ := g.Index(origin)
+
+		cfg := Config{Origin: origin}
+		if rng.Intn(2) == 0 {
+			cfg.Locking = make([]bool, n)
+			for i := range cfg.Locking {
+				if rng.Intn(6) == 0 {
+					cfg.Locking[i] = true
+				}
+			}
+		}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+
+		base := make([]astopo.ASN, 0, n-1)
+		for _, a := range all {
+			if a != origin {
+				base = append(base, a)
+			}
+		}
+		leakers := make([]astopo.ASN, 0, 2*BatchLanes)
+		for len(leakers) < BatchLanes+7 {
+			leakers = append(leakers, base...)
+		}
+
+		probeOff := make([]int32, len(leakers)+1)
+		probeNode := make([]int32, 0, len(leakers)*n)
+		for j, l := range leakers {
+			li, _ := g.Index(l)
+			for v := int32(0); v < int32(n); v++ {
+				if int(v) == li || int(v) == oi {
+					continue
+				}
+				probeNode = append(probeNode, v)
+			}
+			probeOff[j+1] = int32(len(probeNode))
+		}
+
+		sw, err := NewLeakSweep(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out := make([]LeakTrial, len(leakers))
+		bits := make([]bool, len(probeNode))
+		err = sw.trialsDispatchProbes(ctx, leakers, weights, out, 1, probeOff, probeNode, bits)
+		sw.Release()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		chk, err := NewLeakSweep(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		defer chk.Release()
+		for j, l := range leakers {
+			tr, err := chk.TrialCtx(ctx, l, weights)
+			if err != nil {
+				t.Fatalf("seed %d leaker AS%d: %v", seed, l, err)
+			}
+			if out[j] != tr {
+				t.Fatalf("seed %d leaker %d (AS%d): dispatch %+v != scalar %+v", seed, j, l, out[j], tr)
+			}
+			for p := probeOff[j]; p < probeOff[j+1]; p++ {
+				want := tr.DetouredFrac != 0 && chk.sim.flags[probeNode[p]]&ViaLeak != 0
+				if bits[p] != want {
+					t.Fatalf("seed %d leaker %d (AS%d) node %d: probe %v != scalar %v",
+						seed, j, l, probeNode[p], bits[p], want)
+				}
+			}
+		}
+	}
+}
+
+// Golden sweep for the weighted collapse across random topologies, weight
+// vectors, and symmetry-breaking config bits: DetouredFrac and the leaker
+// must match the undeduped sweep exactly, DetouredUserFrac up to the
+// correction's float reordering, and per-leaker errors (excluded leakers)
+// must surface identically.
+func TestLeakSweepClassDedupWeightedMatches(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		g := randomTopology(rng)
+		g.Freeze()
+		n := g.NumASes()
+		all := g.ASes()
+		origin := all[rng.Intn(len(all))]
+		oi, _ := g.Index(origin)
+
+		cfg := Config{Origin: origin}
+		if rng.Intn(3) == 0 {
+			cfg.Exclude = make([]bool, n)
+			for i := range cfg.Exclude {
+				if i != oi && rng.Intn(7) == 0 {
+					cfg.Exclude[i] = true
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Locking = make([]bool, n)
+			for i := range cfg.Locking {
+				if rng.Intn(6) == 0 {
+					cfg.Locking[i] = true
+				}
+			}
+		}
+
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+
+		leakers := make([]astopo.ASN, 0, n-1)
+		for _, a := range all {
+			if a != origin {
+				leakers = append(leakers, a)
+			}
+		}
+		rng.Shuffle(len(leakers), func(i, j int) { leakers[i], leakers[j] = leakers[j], leakers[i] })
+
+		run := func(withClasses bool) ([]LeakTrial, error) {
+			sw, err := NewLeakSweep(g, cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			defer sw.Release()
+			if withClasses {
+				t1, t2 := tiersFor(g, rand.New(rand.NewSource(seed)))
+				sw.SetClasses(NewClassIndex(g, t1, t2, nil))
+			}
+			return sw.TrialsN(context.Background(), leakers, weights, 1)
+		}
+		want, werr := run(false)
+		got, gerr := run(true)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("seed %d: error parity broken: baseline %v, deduped %v", seed, werr, gerr)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("seed %d: error mismatch: %q != %q", seed, gerr, werr)
+			}
+			continue
+		}
+		for i := range want {
+			if got[i].Leaker != want[i].Leaker || got[i].DetouredFrac != want[i].DetouredFrac ||
+				!wsumClose(got[i].DetouredUserFrac, want[i].DetouredUserFrac) {
+				t.Fatalf("seed %d trial %d (leaker AS%d): deduped %+v != baseline %+v",
+					seed, i, leakers[i], got[i], want[i])
+			}
+		}
 	}
 }

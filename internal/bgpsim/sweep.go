@@ -3,6 +3,7 @@ package bgpsim
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -182,9 +183,10 @@ func (sw *LeakSweep) Clone() *LeakSweep {
 // sweep's graph, enabling leaker dedup in Trials/TrialsN: two leakers in
 // one class produce identical unweighted trials (the member-swap
 // automorphism fixes the origin and every other AS, so the detoured set
-// maps bijectively), and per-trial config invariance is re-checked at
-// replay time (see TrialsN). nil, or an index over a different graph,
-// disables dedup. Returns the sweep for chaining.
+// maps bijectively), weighted trials differ only by an O(1) correction to
+// the detoured user fraction, and per-trial config invariance is
+// re-checked at replay time (see TrialsN). nil, or an index over a
+// different graph, disables dedup. Returns the sweep for chaining.
 func (sw *LeakSweep) SetClasses(ci *ClassIndex) *LeakSweep {
 	if ci != nil && ci.NumASes() != sw.base.g.NumASes() {
 		ci = nil
@@ -302,15 +304,19 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Class collapse: unweighted trials of leakers in one equivalence class
-	// are identical, so only the first classmate replays and the trial is
-	// copied to the rest. Soundness needs the member-swap automorphism to
-	// fix the whole configuration, which the class fingerprint does not see:
-	// classmates must agree on their exclusion bit, locking bit, and policy
-	// membership, so the dedup key carries those three bits alongside the
-	// class id. Weighted trials never dedup — the weight vector is arbitrary
-	// per-AS data the automorphism has no reason to preserve.
-	if ci := sw.classes; ci != nil && weights == nil && len(leakers) > 1 {
+	// Class collapse: trials of leakers in one equivalence class are related
+	// by the member-swap automorphism, so only the first classmate replays.
+	// Unweighted trials are identical and copy verbatim. Weighted trials
+	// differ only in the swapped pair's own contribution: swapping
+	// classmates a↔b maps the detoured set S_a to (S_a\{b})∪{a} when b∈S_a
+	// and fixes it otherwise, so DetouredFrac copies exactly and
+	// DetouredUserFrac takes the O(1) correction ind_b·(w[a]−w[b]) with
+	// ind_b read from the representative trial's detour bit at b. Soundness
+	// needs the automorphism to fix the whole configuration, which the class
+	// fingerprint does not see: classmates must agree on their exclusion
+	// bit, locking bit, and policy membership, so the dedup key carries
+	// those three bits alongside the class id.
+	if ci := sw.classes; ci != nil && len(leakers) > 1 {
 		cfg := sw.base.cfg
 		g := sw.base.g
 		type leakKey struct {
@@ -320,16 +326,23 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 		firstOf := make(map[leakKey]int32, len(leakers))
 		uniq := make([]astopo.ASN, 0, len(leakers))
 		slot := make([]int32, len(leakers))
+		isRep := make([]bool, len(leakers))
+		lidx := make([]int32, len(leakers))
+		repIdx := make([]int32, 0, len(leakers))
 		for i, l := range leakers {
 			li, ok := g.Index(l)
-			if !ok || (cfg.Exclude != nil && cfg.Exclude[li]) {
-				// Unknown and excluded leakers error per leaker; they stay
-				// unique so the replay reports the same error, naming the
-				// same leaker, the undeduped path would.
+			if !ok || l == cfg.Origin || (cfg.Exclude != nil && cfg.Exclude[li]) {
+				// Unknown, origin-equal, and excluded leakers error per
+				// leaker; they stay unique so the replay reports the same
+				// error, naming the same leaker, the undeduped path would.
 				slot[i] = int32(len(uniq))
+				isRep[i] = true
+				lidx[i] = -1
 				uniq = append(uniq, l)
+				repIdx = append(repIdx, -1)
 				continue
 			}
+			lidx[i] = int32(li)
 			k := leakKey{
 				class: ci.ClassOf(li),
 				lock:  cfg.Locking != nil && cfg.Locking[li],
@@ -339,18 +352,82 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 			if !seen {
 				s = int32(len(uniq))
 				firstOf[k] = s
+				isRep[i] = true
 				uniq = append(uniq, l)
+				repIdx = append(repIdx, int32(li))
 			}
 			slot[i] = s
 		}
 		if len(uniq) < len(leakers) {
 			trials := make([]LeakTrial, len(uniq))
-			if err := sw.trialsDispatch(ctx, uniq, nil, trials, workers); err != nil {
+			if weights == nil {
+				if err := sw.trialsDispatch(ctx, uniq, nil, trials, workers); err != nil {
+					return nil, err
+				}
+				for i, s := range slot {
+					out[i] = trials[s]
+					out[i].Leaker = leakers[i]
+				}
+				return out, nil
+			}
+			// Weighted collapse: each duplicate probes its own node's
+			// detour bit in the representative's trial (CSR layout, one
+			// probe per duplicate, answered in-engine by the dispatch) and
+			// applies the correction above to the copied DetouredUserFrac.
+			probeOff := make([]int32, len(uniq)+1)
+			for i := range leakers {
+				if !isRep[i] {
+					probeOff[slot[i]+1]++
+				}
+			}
+			for s := 0; s < len(uniq); s++ {
+				probeOff[s+1] += probeOff[s]
+			}
+			nProbes := int(probeOff[len(uniq)])
+			probeNode := make([]int32, nProbes)
+			probeAt := make([]int32, len(leakers))
+			cursor := make([]int32, len(uniq))
+			copy(cursor, probeOff[:len(uniq)])
+			for i := range leakers {
+				if isRep[i] {
+					probeAt[i] = -1
+					continue
+				}
+				p := cursor[slot[i]]
+				cursor[slot[i]]++
+				probeNode[p] = lidx[i]
+				probeAt[i] = p
+			}
+			bits := make([]bool, nProbes)
+			if err := sw.trialsDispatchProbes(ctx, uniq, weights, trials, workers, probeOff, probeNode, bits); err != nil {
 				return nil, err
 			}
 			for i, s := range slot {
 				out[i] = trials[s]
 				out[i].Leaker = leakers[i]
+				if !isRep[i] && bits[probeAt[i]] {
+					out[i].DetouredUserFrac += weights[repIdx[s]] - weights[lidx[i]]
+				}
+			}
+			// Runtime parity check: the first duplicate replays directly
+			// and must agree — DetouredFrac exactly, DetouredUserFrac up to
+			// the correction's float reordering. Any mismatch voids the
+			// collapse and the whole list reruns undeduped.
+			for i := range leakers {
+				if isRep[i] {
+					continue
+				}
+				direct, err := sw.TrialCtx(ctx, leakers[i], weights)
+				if err != nil {
+					return nil, fmt.Errorf("leaker AS%d: %w", leakers[i], err)
+				}
+				if direct.DetouredFrac != out[i].DetouredFrac ||
+					!wsumClose(direct.DetouredUserFrac, out[i].DetouredUserFrac) {
+					if err := sw.trialsDispatch(ctx, leakers, weights, out, workers); err != nil {
+						return nil, err
+					}
+				}
+				break
 			}
 			return out, nil
 		}
@@ -364,6 +441,20 @@ func (sw *LeakSweep) TrialsN(ctx context.Context, leakers []astopo.ASN, weights 
 // trialsDispatch replays every leaker with no dedup, writing trials to out
 // in input order — the batch/scalar engine split behind Trials/TrialsN.
 func (sw *LeakSweep) trialsDispatch(ctx context.Context, leakers []astopo.ASN, weights []float64, out []LeakTrial, workers int) error {
+	return sw.trialsDispatchProbes(ctx, leakers, weights, out, workers, nil, nil, nil)
+}
+
+// trialsDispatchProbes is trialsDispatch plus detour probes: for leaker j,
+// each probe p in probeNode[probeOff[j]:probeOff[j+1]] answers into bits[p]
+// whether j's trial detoured that node (dense index) through the leak. The
+// bits are read straight off the engine that ran the trial — the batch
+// engine's lane words or the scalar simulator's flags — before the engine
+// moves on, which is what lets the weighted class collapse in TrialsN pay
+// O(1) per duplicate instead of a full replay. probeOff == nil means no
+// probes. Both engines answer a leaker's probe of its own node as false-
+// equivalent (the batch lane mask excludes it; the scalar bit is paired
+// with a zero weight delta), so duplicate-ASN inputs stay exact.
+func (sw *LeakSweep) trialsDispatchProbes(ctx context.Context, leakers []astopo.ASN, weights []float64, out []LeakTrial, workers int, probeOff, probeNode []int32, bits []bool) error {
 	b := sw.base
 	if !b.cfg.BreakTies && !b.scalarLeak && len(leakers) >= BatchLanes {
 		nBlocks := (len(leakers) + BatchLanes - 1) / BatchLanes
@@ -380,7 +471,17 @@ func (sw *LeakSweep) trialsDispatch(ctx context.Context, leakers []astopo.ASN, w
 				if hi > len(leakers) {
 					hi = len(leakers)
 				}
-				return bl.TrialsCtx(ctx, sw, leakers[lo:hi], weights, out[lo:hi])
+				if err := bl.TrialsCtx(ctx, sw, leakers[lo:hi], weights, out[lo:hi]); err != nil {
+					return err
+				}
+				if probeOff != nil {
+					for j := lo; j < hi; j++ {
+						for p := probeOff[j]; p < probeOff[j+1]; p++ {
+							bits[p] = bl.detoured(j-lo, probeNode[p])
+						}
+					}
+				}
+				return nil
 			}
 		})
 		for _, bl := range engines {
@@ -403,6 +504,14 @@ func (sw *LeakSweep) trialsDispatch(ctx context.Context, leakers []astopo.ASN, w
 				return fmt.Errorf("leaker AS%d: %w", leakers[i], err)
 			}
 			out[i] = tr
+			if probeOff != nil {
+				// A zero DetouredFrac covers both "nothing detoured" and
+				// "nothing propagated" — in the latter case the simulator
+				// flags are stale from an earlier trial and must not be read.
+				for p := probeOff[i]; p < probeOff[i+1]; p++ {
+					bits[p] = tr.DetouredFrac != 0 && s.sim.flags[probeNode[p]]&ViaLeak != 0
+				}
+			}
 			return nil
 		}
 	})
@@ -412,6 +521,18 @@ func (sw *LeakSweep) trialsDispatch(ctx context.Context, leakers []astopo.ASN, w
 		}
 	}
 	return err
+}
+
+// wsumClose reports whether two weighted detour sums agree up to float
+// reordering: the collapse correction adds terms in a different order than
+// the direct node-order reduction, so parity checks allow ~1e-9 relative.
+func wsumClose(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return d <= 1e-9*m
 }
 
 // Trial replays one leaker and reduces the outcome straight to a LeakTrial

@@ -174,6 +174,159 @@ func newTestPool(t *testing.T, cfg PoolConfig, workers ...*fakeWorker) *Pool {
 	return p
 }
 
+// newWireWorker is fakeWorker's current-version sibling: it answers
+// PathSweep with binary wire frames and understands the coalesced
+// multi-range form, with the same predictable counts[i] = base + index.
+func newWireWorker(t *testing.T, base int) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{}
+	counts := func(lo, hi int) []int {
+		c := make([]int, hi-lo)
+		for i := range c {
+			c[i] = base + lo + i
+		}
+		return c
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST "+PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fw.served.Add(1)
+		w.Header().Set("Content-Type", WireContentType)
+		if len(req.Ranges) > 0 {
+			var body []byte
+			for _, rg := range req.Ranges {
+				frame := AppendCounts(nil, counts(rg.Lo, rg.Hi))
+				body = AppendFramePrefix(body, len(frame))
+				body = append(body, frame...)
+			}
+			w.Write(body)
+			return
+		}
+		w.Write(AppendCounts(nil, counts(req.Lo, req.Hi)))
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+	return fw
+}
+
+// TestPoolCoalescesWireShards pins the capability gate and the round-trip
+// collapse: the first shard of a fresh worker goes out singly (wire
+// capability unproven), its response latches wireOK, and from then on a
+// puller drains the queue into multi-range requests — while the merged
+// counts stay exactly the identity either way.
+func TestPoolCoalescesWireShards(t *testing.T) {
+	fw := newWireWorker(t, 0)
+	// A huge hedge delay makes round-trip counts deterministic: no
+	// duplicate dispatches to muddy the served counter.
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1, HedgeDelay: time.Hour}, fw)
+	const n = 64 * 8 // 8 one-block shards, one slot
+	counts, err := p.SweepCounts(context.Background(), "full", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, n)
+	st := p.StatsSnapshot()
+	// Shard 0 single, then the puller drains shards 1..7 into one
+	// coalesced request: exactly two round trips for eight shards.
+	if got := fw.served.Load(); got != 2 {
+		t.Fatalf("sweep took %d round trips, want 2 (1 single + 1 coalesced); stats %+v", got, st)
+	}
+	if st.MultiBatches != 1 {
+		t.Fatalf("multi batches = %d, want 1", st.MultiBatches)
+	}
+	if st.WireShards != 8 || st.RemoteShards != 8 {
+		t.Fatalf("wire/remote shards = %d/%d, want 8/8", st.WireShards, st.RemoteShards)
+	}
+	// Second sweep: capability already proven, so the whole queue drains
+	// into a single multi-range request.
+	counts, err = p.SweepCounts(context.Background(), "full", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, n)
+	st = p.StatsSnapshot()
+	if got := fw.served.Load(); got != 3 {
+		t.Fatalf("second sweep took %d extra round trips, want 1 coalesced; stats %+v", got-2, st)
+	}
+	if st.MultiBatches != 2 || st.WireShards != 16 {
+		t.Fatalf("after two sweeps: multi batches = %d, wire shards = %d; want 2, 16", st.MultiBatches, st.WireShards)
+	}
+	if st.WireSaved <= 0 {
+		t.Fatalf("wire_saved_bytes = %d, want > 0", st.WireSaved)
+	}
+}
+
+// TestPoolMultiFailureRequeuesMembers: a worker whose multi-range response
+// is garbage must not poison the merge — every member is requeued and the
+// query drains through the fallback with the exact answer.
+func TestPoolMultiFailureRequeuesMembers(t *testing.T) {
+	fw := &fakeWorker{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if fw.fail.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST "+PathSweep, func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fw.served.Add(1)
+		w.Header().Set("Content-Type", WireContentType)
+		if len(req.Ranges) > 0 {
+			// Valid first frame, then junk: the decoder must reject the
+			// response as a unit. The worker also goes dark (healthz
+			// included), so the remaining members deterministically drain
+			// through the local fallback instead of racing the prober.
+			fw.fail.Store(true)
+			frame := AppendCounts(nil, make([]int, req.Ranges[0].Hi-req.Ranges[0].Lo))
+			body := AppendFramePrefix(nil, len(frame))
+			body = append(body, frame...)
+			w.Write(append(body, "not a frame"...))
+			return
+		}
+		c := make([]int, req.Hi-req.Lo)
+		for i := range c {
+			c[i] = req.Lo + i
+		}
+		w.Write(AppendCounts(nil, c))
+	})
+	fw.srv = httptest.NewServer(mux)
+	t.Cleanup(fw.srv.Close)
+
+	var localCalls atomic.Int64
+	p := newTestPool(t, PoolConfig{ShardBlocks: 1, HedgeDelay: time.Hour, MaxAttempts: 2,
+		LocalSweep: func(_ context.Context, _ string, lo, hi int) ([]int, error) {
+			localCalls.Add(1)
+			c := make([]int, hi-lo)
+			for i := range c {
+				c[i] = lo + i
+			}
+			return c, nil
+		}}, fw)
+	const n = 64 * 6
+	counts, err := p.SweepCounts(context.Background(), "full", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdentity(t, counts, n)
+	st := p.StatsSnapshot()
+	if st.LocalShards == 0 {
+		t.Fatalf("corrupt multi responses never drained to the local fallback (stats %+v)", st)
+	}
+}
+
 func wantIdentity(t *testing.T, got []int, n int) {
 	t.Helper()
 	if len(got) != n {

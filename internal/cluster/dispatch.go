@@ -2,11 +2,27 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// encodeShardBodies marshals every shard's request once, up front. Retries
+// and hedges re-send the same bytes wrapped in a fresh reader (postShard),
+// instead of paying a json.Marshal per attempt.
+func encodeShardBodies(shards []shardRange, build func(s shardRange) any) ([][]byte, error) {
+	bodies := make([][]byte, len(shards))
+	for i, s := range shards {
+		b, err := json.Marshal(build(s))
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
 
 // shardRange is one contiguous slice [Lo, Hi) of a partitioned sweep.
 type shardRange struct{ Lo, Hi int }
@@ -55,6 +71,13 @@ func (p *Pool) admit() error {
 	return nil
 }
 
+// maxCoalesce bounds how many queued shards one multi-range request may
+// carry. The cap limits the blast radius of a single lost response and
+// keeps any one request's latency (the worker computes its ranges
+// sequentially under one serving slot) within a small multiple of a
+// single shard's.
+const maxCoalesce = 32
+
 // fanout executes n shards across the pool's healthy workers and commits
 // each shard's result exactly once.
 //
@@ -69,8 +92,18 @@ func (p *Pool) admit() error {
 // is canceled via a per-shard context. If every worker dies mid-query, a
 // monitor drains the remaining shards through the local fallback; with no
 // fallback the query fails instead of hanging.
+//
+// Coalescing: when the caller supplies remoteMulti and a worker has
+// proven wire-capable, its puller drains up to batchCap queued shards and
+// sends them as one multi-range request — the streaming merge that turns
+// a fan-out's per-shard HTTP round trips into a handful of requests whose
+// frames decode straight into disjoint slices of the merge output. Every
+// member still finishes through its own CAS (hedge singles race coalesced
+// members safely), and a failed batch requeues each member individually,
+// so coalescing changes round-trip count, never the merge semantics.
 func (p *Pool) fanout(ctx context.Context, n int,
 	remote func(ctx context.Context, w *Worker, i int) (func(), error),
+	remoteMulti func(ctx context.Context, w *Worker, idxs []int) ([]func(), error),
 	local func(ctx context.Context, i int) (func(), error)) error {
 	if n == 0 {
 		return nil
@@ -146,23 +179,27 @@ func (p *Pool) fanout(ctx context.Context, n int,
 	}
 
 	hedge := p.hedgeDelay()
-	attempt := func(w *Worker, i int) {
+	// preAttempt runs one shard's per-attempt bookkeeping — attempt
+	// accounting, the local-fallback drain past MaxAttempts, the retry
+	// counter, arming the first-attempt hedge timer — and reports whether
+	// the shard should still go to a worker.
+	preAttempt := func(i int) bool {
 		if done[i].Load() {
-			return
+			return false
 		}
 		att := int(attempts[i].Add(1))
 		if att > p.cfg.MaxAttempts {
 			if local == nil {
 				fail(fmt.Errorf("cluster: shard %d failed after %d attempts", i, p.cfg.MaxAttempts))
-				return
+				return false
 			}
 			commit, err := local(qctx, i)
 			if err != nil {
 				fail(err)
-				return
+				return false
 			}
 			finish(i, commit, &p.local)
-			return
+			return false
 		}
 		if att > 1 && !hedged[i].CompareAndSwap(true, false) {
 			p.retries.Add(1)
@@ -176,6 +213,10 @@ func (p *Pool) fanout(ctx context.Context, n int,
 				}
 			})
 		}
+		return true
+	}
+	// exec is the remote half of a single-shard attempt.
+	exec := func(w *Worker, i int) {
 		w.inflight.Add(1)
 		start := time.Now()
 		commit, err := remote(sctx[i], w, i)
@@ -195,6 +236,70 @@ func (p *Pool) fanout(ctx context.Context, n int,
 			scancel[i]()
 		}
 	}
+	attempt := func(w *Worker, i int) {
+		if preAttempt(i) {
+			exec(w, i)
+		}
+	}
+	attemptMulti := func(w *Worker, batch []int) {
+		live := batch[:0]
+		for _, i := range batch {
+			if preAttempt(i) {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		if len(live) == 1 {
+			exec(w, live[0])
+			return
+		}
+		// One request for the whole batch, under the query context rather
+		// than a per-shard one: a hedge winning one member must not abort
+		// the members still pending. The per-shard CAS keeps the race
+		// safe either way — a loser's commit simply never runs.
+		w.inflight.Add(int64(len(live)))
+		start := time.Now()
+		commits, err := remoteMulti(qctx, w, live)
+		w.inflight.Add(-int64(len(live)))
+		if err != nil {
+			if qctx.Err() != nil {
+				return
+			}
+			w.fails.Add(1)
+			w.healthy.Store(false)
+			for _, i := range live {
+				requeue(i)
+			}
+			return
+		}
+		// One latency sample for the batch: the adaptive hedge point then
+		// tracks round-trip cost at the granularity work is actually
+		// dispatched.
+		p.lat.record(time.Since(start))
+		for k, i := range live {
+			w.shards.Add(1)
+			if finish(i, commits[k], &p.remote) {
+				scancel[i]()
+			}
+		}
+	}
+
+	// batchCap is the coalescing drain limit: an even split of the shard
+	// count across every healthy slot, so the first puller to reach the
+	// queue cannot starve its peers, capped by maxCoalesce.
+	batchCap := 0
+	if remoteMulti != nil {
+		slots := 0
+		for _, w := range workers {
+			slots += w.slots
+		}
+		batchCap = (n + slots - 1) / slots
+		if batchCap > maxCoalesce {
+			batchCap = maxCoalesce
+		}
+	}
 
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -202,6 +307,7 @@ func (p *Pool) fanout(ctx context.Context, n int,
 			wg.Add(1)
 			go func(w *Worker) {
 				defer wg.Done()
+				var batch []int
 				for {
 					if !w.healthy.Load() {
 						return
@@ -212,7 +318,24 @@ func (p *Pool) fanout(ctx context.Context, n int,
 					case <-allDone:
 						return
 					case i := <-queue:
-						attempt(w, i)
+						// Coalesce only once the worker has proven it
+						// speaks the wire protocol (see Worker.wireOK);
+						// until then every shard goes out singly.
+						if batchCap < 2 || !w.wireOK.Load() {
+							attempt(w, i)
+							continue
+						}
+						batch = append(batch[:0], i)
+					drain:
+						for len(batch) < batchCap {
+							select {
+							case j := <-queue:
+								batch = append(batch, j)
+							default:
+								break drain
+							}
+						}
+						attemptMulti(w, batch)
 					}
 				}
 			}(w)
@@ -282,17 +405,17 @@ func (p *Pool) SweepCounts(ctx context.Context, kind string, n int) ([]int, erro
 	defer p.queries.Add(-1)
 	shards := shardRanges(n, p.totalSlots(), p.cfg.ShardBlocks)
 	out := make([]int, n)
+	bodies, err := encodeShardBodies(shards, func(s shardRange) any {
+		return SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi}
+	})
+	if err != nil {
+		return nil, err
+	}
 	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
 		s := shards[i]
-		var resp SweepResponse
-		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi}, &resp); err != nil {
-			return nil, err
-		}
-		if len(resp.Counts) != s.Hi-s.Lo {
-			return nil, fmt.Errorf("cluster: sweep shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
-		}
-		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+		return p.fetchCounts(ctx, w, PathSweep, bodies[i], out[s.Lo:s.Hi])
 	}
+	remoteMulti := p.countsMulti(kind, false, shards, out)
 	var local func(context.Context, int) (func(), error)
 	if p.cfg.LocalSweep != nil {
 		local = func(ctx context.Context, i int) (func(), error) {
@@ -304,10 +427,32 @@ func (p *Pool) SweepCounts(ctx context.Context, kind string, n int) ([]int, erro
 			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
 		}
 	}
-	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+	if err := p.fanout(ctx, len(shards), remote, remoteMulti, local); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// countsMulti builds the coalesced-dispatch closure shared by SweepCounts
+// and ClassCounts: marshal the drained shards' ranges into one multi-range
+// request (per batch, not per shard — batch membership is only known at
+// drain time) and hand each member's frame back as a commit into its
+// disjoint slice of the merge output.
+func (p *Pool) countsMulti(kind string, classes bool, shards []shardRange, out []int) func(ctx context.Context, w *Worker, idxs []int) ([]func(), error) {
+	return func(ctx context.Context, w *Worker, idxs []int) ([]func(), error) {
+		req := SweepRequest{Kind: kind, Classes: classes, Ranges: make([]Range, len(idxs))}
+		dsts := make([][]int, len(idxs))
+		for k, i := range idxs {
+			s := shards[i]
+			req.Ranges[k] = Range(s)
+			dsts[k] = out[s.Lo:s.Hi]
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		return p.fetchCountsMulti(ctx, w, body, dsts)
+	}
 }
 
 // ClassCounts computes the reachability count of every equivalence-class
@@ -326,17 +471,17 @@ func (p *Pool) ClassCounts(ctx context.Context, kind string, nClasses int) ([]in
 	defer p.queries.Add(-1)
 	shards := shardRanges(nClasses, p.totalSlots(), p.cfg.ShardBlocks)
 	out := make([]int, nClasses)
+	bodies, err := encodeShardBodies(shards, func(s shardRange) any {
+		return SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi, Classes: true}
+	})
+	if err != nil {
+		return nil, err
+	}
 	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
 		s := shards[i]
-		var resp SweepResponse
-		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Lo: s.Lo, Hi: s.Hi, Classes: true}, &resp); err != nil {
-			return nil, err
-		}
-		if len(resp.Counts) != s.Hi-s.Lo {
-			return nil, fmt.Errorf("cluster: class shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
-		}
-		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+		return p.fetchCounts(ctx, w, PathSweep, bodies[i], out[s.Lo:s.Hi])
 	}
+	remoteMulti := p.countsMulti(kind, true, shards, out)
 	var local func(context.Context, int) (func(), error)
 	if p.cfg.LocalClasses != nil {
 		local = func(ctx context.Context, i int) (func(), error) {
@@ -348,7 +493,7 @@ func (p *Pool) ClassCounts(ctx context.Context, kind string, nClasses int) ([]in
 			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
 		}
 	}
-	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+	if err := p.fanout(ctx, len(shards), remote, remoteMulti, local); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -365,16 +510,15 @@ func (p *Pool) BatchCounts(ctx context.Context, origins []uint32, kind string) (
 	defer p.queries.Add(-1)
 	shards := shardRanges(len(origins), p.totalSlots(), p.cfg.ShardBlocks)
 	out := make([]int, len(origins))
+	bodies, err := encodeShardBodies(shards, func(s shardRange) any {
+		return SweepRequest{Kind: kind, Origins: origins[s.Lo:s.Hi]}
+	})
+	if err != nil {
+		return nil, err
+	}
 	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
 		s := shards[i]
-		var resp SweepResponse
-		if err := p.post(ctx, w, PathSweep, SweepRequest{Kind: kind, Origins: origins[s.Lo:s.Hi]}, &resp); err != nil {
-			return nil, err
-		}
-		if len(resp.Counts) != s.Hi-s.Lo {
-			return nil, fmt.Errorf("cluster: batch shard [%d,%d): worker returned %d counts", s.Lo, s.Hi, len(resp.Counts))
-		}
-		return func() { copy(out[s.Lo:s.Hi], resp.Counts) }, nil
+		return p.fetchCounts(ctx, w, PathSweep, bodies[i], out[s.Lo:s.Hi])
 	}
 	var local func(context.Context, int) (func(), error)
 	if p.cfg.LocalBatch != nil {
@@ -387,7 +531,7 @@ func (p *Pool) BatchCounts(ctx context.Context, origins []uint32, kind string) (
 			return func() { copy(out[s.Lo:s.Hi], counts) }, nil
 		}
 	}
-	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+	if err := p.fanout(ctx, len(shards), remote, nil, local); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -409,16 +553,15 @@ func (p *Pool) LeakFracs(ctx context.Context, q LeakQuery, n int) ([]float64, er
 	defer p.queries.Add(-1)
 	shards := shardRanges(n, p.totalSlots(), p.cfg.ShardBlocks)
 	out := make([]float64, n)
+	bodies, err := encodeShardBodies(shards, func(s shardRange) any {
+		return LeakRequest{LeakQuery: q, Lo: s.Lo, Hi: s.Hi}
+	})
+	if err != nil {
+		return nil, err
+	}
 	remote := func(ctx context.Context, w *Worker, i int) (func(), error) {
 		s := shards[i]
-		var resp LeakResponse
-		if err := p.post(ctx, w, PathLeak, LeakRequest{LeakQuery: q, Lo: s.Lo, Hi: s.Hi}, &resp); err != nil {
-			return nil, err
-		}
-		if len(resp.Fracs) != s.Hi-s.Lo {
-			return nil, fmt.Errorf("cluster: leak shard [%d,%d): worker returned %d fractions", s.Lo, s.Hi, len(resp.Fracs))
-		}
-		return func() { copy(out[s.Lo:s.Hi], resp.Fracs) }, nil
+		return p.fetchFracs(ctx, w, PathLeak, bodies[i], out[s.Lo:s.Hi])
 	}
 	var local func(context.Context, int) (func(), error)
 	if p.cfg.LocalLeak != nil {
@@ -431,7 +574,7 @@ func (p *Pool) LeakFracs(ctx context.Context, q LeakQuery, n int) ([]float64, er
 			return func() { copy(out[s.Lo:s.Hi], fracs) }, nil
 		}
 	}
-	if err := p.fanout(ctx, len(shards), remote, local); err != nil {
+	if err := p.fanout(ctx, len(shards), remote, nil, local); err != nil {
 		return nil, err
 	}
 	return out, nil

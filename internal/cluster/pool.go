@@ -121,7 +121,12 @@ type Worker struct {
 	inflight atomic.Int64
 	shards   atomic.Int64 // completed shard computations
 	fails    atomic.Int64 // consecutive failures (shard or probe)
-	joined   time.Time
+	// wireOK latches once the worker answers a binary wire frame. It
+	// gates multi-range coalescing: a pre-wire worker would misread the
+	// Ranges field (see SweepRequest), so capability must be observed on
+	// a plain single-shard response before any coalesced dispatch.
+	wireOK atomic.Bool
+	joined time.Time
 }
 
 // Pool is the coordinator's worker registry plus the shard dispatcher.
@@ -143,6 +148,16 @@ type Pool struct {
 	remote  atomic.Int64 // shards merged from workers
 	local   atomic.Int64 // shards merged from the local fallback
 
+	wireShards atomic.Int64 // shards merged from binary wire frames
+	jsonShards atomic.Int64 // shards merged from the JSON fallback
+	wireBytes  atomic.Int64 // wire frame bytes received
+	wireSaved  atomic.Int64 // bytes the wire saved vs the JSON encoding
+	multi      atomic.Int64 // coalesced multi-range requests sent
+
+	// timeoutQS is the per-shard deadline query string ("?timeout=30s"),
+	// rendered once here instead of fmt.Sprintf-ing it per attempt.
+	timeoutQS string
+
 	lat latencyWindow
 }
 
@@ -150,7 +165,12 @@ type Pool struct {
 // first Register, so single-process servers never spawn it.
 func NewPool(cfg PoolConfig) *Pool {
 	cfg.fillDefaults()
-	return &Pool{cfg: cfg, workers: make(map[string]*Worker), closed: make(chan struct{})}
+	return &Pool{
+		cfg:       cfg,
+		workers:   make(map[string]*Worker),
+		closed:    make(chan struct{}),
+		timeoutQS: "?timeout=" + cfg.ShardTimeout.String(),
+	}
 }
 
 // Close stops the health prober. In-flight queries finish on their own.
@@ -310,21 +330,39 @@ func (p *Pool) probe(w *Worker) bool {
 	return true
 }
 
-// post sends one shard request to a worker and decodes the JSON response.
-func (p *Pool) post(ctx context.Context, w *Worker, path string, reqBody, respBody any) error {
-	b, err := json.Marshal(reqBody)
+// bodyPool recycles response-body buffers across shard requests. One
+// full-scale wire shard is ~12 KB (JSON fallback ~40 KB), so after the
+// first few fan-outs every read lands in an already-sized buffer and the
+// per-shard transport cost is the syscalls, not the allocator.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBody() *bytes.Buffer {
+	b := bodyPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBody(b *bytes.Buffer) { bodyPool.Put(b) }
+
+// postShard sends one pre-encoded shard request and returns the raw
+// response body in a pooled buffer, plus whether the worker answered with
+// a binary wire frame (it negotiated via our Accept header) or the JSON
+// fallback (a pre-wire worker). The caller owns the buffer and must
+// release it with putBody once decoded.
+//
+// The body is []byte, not an io.Reader: retries and hedges re-enter here
+// with the same encoded bytes wrapped in a fresh reader, instead of
+// re-marshaling the request per attempt.
+func (p *Pool) postShard(ctx context.Context, w *Worker, path string, body []byte) (*bytes.Buffer, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Addr+path+p.timeoutQS, bytes.NewReader(body))
 	if err != nil {
-		return err
-	}
-	url := fmt.Sprintf("%s%s?timeout=%s", w.Addr, path, p.cfg.ShardTimeout)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
-	if err != nil {
-		return err
+		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wireAccept)
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -332,9 +370,148 @@ func (p *Pool) post(ctx context.Context, w *Worker, path string, reqBody, respBo
 	}()
 	if resp.StatusCode != http.StatusOK {
 		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("cluster: %s%s: status %d: %s", w.Addr, path, resp.StatusCode, bytes.TrimSpace(snippet))
+		return nil, false, fmt.Errorf("cluster: %s%s: status %d: %s", w.Addr, path, resp.StatusCode, bytes.TrimSpace(snippet))
 	}
-	return json.NewDecoder(resp.Body).Decode(respBody)
+	buf := getBody()
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		putBody(buf)
+		return nil, false, err
+	}
+	return buf, isWireResponse(resp.Header), nil
+}
+
+// fetchCounts posts one encoded counts-shard request and returns a commit
+// closure that writes the response into dst — the caller's preallocated
+// slice of the merge output, no intermediate vector. Validation happens
+// here, before the dispatcher's done-CAS, so a corrupt frame surfaces as a
+// retryable error; the decode itself happens inside the commit closure
+// because the CAS runs commits exactly once per shard — of two racing
+// attempts (original + hedge duplicate) only the winner touches dst.
+func (p *Pool) fetchCounts(ctx context.Context, w *Worker, path string, body []byte, dst []int) (func(), error) {
+	buf, wire, err := p.postShard(ctx, w, path, body)
+	if err != nil {
+		return nil, err
+	}
+	if wire {
+		w.wireOK.Store(true)
+		frame := buf.Bytes()
+		if err := CheckCounts(frame, len(dst)); err != nil {
+			putBody(buf)
+			return nil, err
+		}
+		return func() {
+			// CheckCounts vetted the frame; DecodeCountsInto cannot fail now.
+			_ = DecodeCountsInto(dst, frame)
+			p.wireShards.Add(1)
+			p.wireBytes.Add(int64(len(frame)))
+			p.wireSaved.Add(int64(jsonCountsLen(dst) - len(frame)))
+			putBody(buf)
+		}, nil
+	}
+	var resp SweepResponse
+	err = json.Unmarshal(buf.Bytes(), &resp)
+	putBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Counts) != len(dst) {
+		return nil, fmt.Errorf("cluster: worker returned %d counts, want %d", len(resp.Counts), len(dst))
+	}
+	return func() {
+		copy(dst, resp.Counts)
+		p.jsonShards.Add(1)
+	}, nil
+}
+
+// fetchCountsMulti posts one coalesced multi-range request and returns
+// one commit closure per destination, in request order. Every frame is
+// validated before any commit is handed back — the whole response is
+// accepted or rejected as a unit — but each range still commits through
+// its own per-shard CAS, so a member whose hedge already won is simply a
+// closure that never runs. The pooled response buffer is returned once
+// the last commit fires; if a hedge steals a member, the buffer is left
+// to the GC instead (one buffer per coalesced request, not per shard).
+func (p *Pool) fetchCountsMulti(ctx context.Context, w *Worker, body []byte, dsts [][]int) ([]func(), error) {
+	buf, wire, err := p.postShard(ctx, w, PathSweep, body)
+	if err != nil {
+		return nil, err
+	}
+	if !wire {
+		putBody(buf)
+		return nil, fmt.Errorf("cluster: %s answered a multi-range request with JSON", w.Addr)
+	}
+	frames := make([][]byte, len(dsts))
+	rest := buf.Bytes()
+	for k := range dsts {
+		var frame []byte
+		frame, rest, err = NextFrame(rest)
+		if err != nil {
+			putBody(buf)
+			return nil, err
+		}
+		if err := CheckCounts(frame, len(dsts[k])); err != nil {
+			putBody(buf)
+			return nil, err
+		}
+		frames[k] = frame
+	}
+	if len(rest) != 0 {
+		putBody(buf)
+		return nil, fmt.Errorf("cluster: wire: %d trailing bytes after %d multi-range frames", len(rest), len(dsts))
+	}
+	p.multi.Add(1)
+	var left atomic.Int32
+	left.Store(int32(len(dsts)))
+	commits := make([]func(), len(dsts))
+	for k := range dsts {
+		k := k
+		commits[k] = func() {
+			_ = DecodeCountsInto(dsts[k], frames[k])
+			p.wireShards.Add(1)
+			p.wireBytes.Add(int64(len(frames[k])))
+			p.wireSaved.Add(int64(jsonCountsLen(dsts[k]) - len(frames[k])))
+			if left.Add(-1) == 0 {
+				putBody(buf)
+			}
+		}
+	}
+	return commits, nil
+}
+
+// fetchFracs is fetchCounts for float64 leak fractions.
+func (p *Pool) fetchFracs(ctx context.Context, w *Worker, path string, body []byte, dst []float64) (func(), error) {
+	buf, wire, err := p.postShard(ctx, w, path, body)
+	if err != nil {
+		return nil, err
+	}
+	if wire {
+		w.wireOK.Store(true)
+		frame := buf.Bytes()
+		if err := CheckFracs(frame, len(dst)); err != nil {
+			putBody(buf)
+			return nil, err
+		}
+		return func() {
+			_ = DecodeFracsInto(dst, frame)
+			p.wireShards.Add(1)
+			p.wireBytes.Add(int64(len(frame)))
+			p.wireSaved.Add(int64(jsonFracsLen(dst) - len(frame)))
+			putBody(buf)
+		}, nil
+	}
+	var resp LeakResponse
+	err = json.Unmarshal(buf.Bytes(), &resp)
+	putBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Fracs) != len(dst) {
+		return nil, fmt.Errorf("cluster: worker returned %d fracs, want %d", len(resp.Fracs), len(dst))
+	}
+	return func() {
+		copy(dst, resp.Fracs)
+		p.jsonShards.Add(1)
+	}, nil
 }
 
 // WorkerStats is one worker's row in Stats.
@@ -356,6 +533,11 @@ type Stats struct {
 	Hedges       int64         `json:"hedges"`
 	RemoteShards int64         `json:"remote_shards"`
 	LocalShards  int64         `json:"local_shards"`
+	WireShards   int64         `json:"wire_shards"`
+	JSONShards   int64         `json:"json_shards"`
+	WireBytes    int64         `json:"wire_bytes"`
+	WireSaved    int64         `json:"wire_saved_bytes"`
+	MultiBatches int64         `json:"wire_multi_batches"`
 	Workers      []WorkerStats `json:"workers"`
 }
 
@@ -377,6 +559,11 @@ func (p *Pool) StatsSnapshot() Stats {
 		Hedges:       p.hedges.Load(),
 		RemoteShards: p.remote.Load(),
 		LocalShards:  p.local.Load(),
+		WireShards:   p.wireShards.Load(),
+		JSONShards:   p.jsonShards.Load(),
+		WireBytes:    p.wireBytes.Load(),
+		WireSaved:    p.wireSaved.Load(),
+		MultiBatches: p.multi.Load(),
 		Workers:      make([]WorkerStats, len(ws)),
 	}
 	for i, w := range ws {

@@ -7,7 +7,9 @@
 // fetches the v2 snapshot over HTTP when it has none.
 //
 // The package is deliberately independent of the serving layer: it speaks
-// a small JSON wire protocol (this file) and takes the coordinator's local
+// a small HTTP protocol — JSON request envelopes (this file) with bulk
+// responses negotiated up to a compact binary framing (wirecodec.go) and
+// JSON as the compatibility fallback — and takes the coordinator's local
 // compute as plain closures, so internal/serve can mount the worker
 // endpoints while the Pool stays testable against fake workers. Shard
 // results are deterministic and per-origin independent, which is what makes
@@ -89,6 +91,21 @@ type SweepRequest struct {
 	Hi      int      `json:"hi"`
 	Origins []uint32 `json:"origins,omitempty"`
 	Classes bool     `json:"classes,omitempty"`
+	// Ranges coalesces several shards into one request: dense index
+	// ranges, or — with Classes — class-id ranges. The response is the
+	// wire-only multi form: one length-prefixed binary counts frame per
+	// range, in request order (see NextFrame). A coordinator sends this
+	// form only to workers that have already answered it a binary wire
+	// frame: a pre-wire worker would drop the unknown field and misread
+	// the request as the empty range [0, 0), so capability is proven
+	// before coalescing, never assumed.
+	Ranges []Range `json:"ranges,omitempty"`
+}
+
+// Range is one [Lo, Hi) member of a coalesced multi-range sweep request.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // SweepResponse carries one count per requested origin, in request order.

@@ -98,6 +98,20 @@ type Metrics struct {
 	// see EvolveCounts) origin equivalence-class index.
 	classMu  sync.Mutex
 	classIdx *bgpsim.ClassIndex
+
+	// classedPool recycles the per-call scratch of class-collapsed range
+	// sweeps (slot table sized to the class count, plus rep/count lists).
+	// Cluster workers run one such sweep per shard request, and without
+	// pooling the slot table alone dominated the worker's steady-state
+	// allocation (hundreds of KB per shard at scale 1.0).
+	classedPool sync.Pool // *classedScratch
+}
+
+// classedScratch is the reusable state of one class-collapsed range sweep.
+type classedScratch struct {
+	slot   []int32 // class id → index into reps, -1 when absent
+	reps   []int32 // representative dense index per in-range class
+	counts []int   // per-representative counts
 }
 
 // New returns a Metrics over ds. The graph is frozen.
@@ -339,25 +353,43 @@ func (m *Metrics) ReachabilityAll(kind Kind) ([]int, error) {
 // of the cut points, so a coordinator can merge worker partials without any
 // reconciliation. 64-aligned cut points keep every propagation word full.
 func (m *Metrics) ReachabilityRangeCtx(ctx context.Context, kind Kind, lo, hi, workers int) ([]int, error) {
+	if lo < 0 || hi > m.ds.Graph.NumASes() || lo > hi {
+		return nil, fmt.Errorf("core: range [%d, %d) outside the %d-AS graph", lo, hi, m.ds.Graph.NumASes())
+	}
+	out := make([]int, hi-lo)
+	if err := m.ReachabilityRangeIntoCtx(ctx, kind, lo, hi, workers, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReachabilityRangeIntoCtx is ReachabilityRangeCtx writing into out (len
+// hi-lo), for callers that recycle result buffers — cluster shard handlers
+// encode the counts to the wire and discard them, so a pooled out keeps the
+// whole shard round-trip allocation-free at steady state.
+func (m *Metrics) ReachabilityRangeIntoCtx(ctx context.Context, kind Kind, lo, hi, workers int, out []int) error {
 	n := m.ds.Graph.NumASes()
 	if lo < 0 || hi > n || lo > hi {
-		return nil, fmt.Errorf("core: range [%d, %d) outside the %d-AS graph", lo, hi, n)
+		return fmt.Errorf("core: range [%d, %d) outside the %d-AS graph", lo, hi, n)
+	}
+	if len(out) != hi-lo {
+		return fmt.Errorf("core: out has %d entries for range [%d, %d)", len(out), lo, hi)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if m.scalarSweep {
-		return m.reachabilityRangeScalar(ctx, kind, lo, hi, workers)
+		res, err := m.reachabilityRangeScalar(ctx, kind, lo, hi, workers)
+		if err != nil {
+			return err
+		}
+		copy(out, res)
+		return nil
 	}
 	if !m.noCollapse {
-		return m.reachabilityRangeClassed(ctx, kind, lo, hi, workers)
+		return m.reachabilityRangeClassed(ctx, kind, lo, hi, workers, out)
 	}
-	out := make([]int, hi-lo)
-	err := m.batchCountsCtx(ctx, kind, denseRange{lo, hi}, out, workers)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return m.batchCountsCtx(ctx, kind, denseRange{lo, hi}, out, workers)
 }
 
 // denseRange selects batch origins: a contiguous dense-index range when
@@ -442,21 +474,27 @@ func (m *Metrics) batchCountsIdxCtx(ctx context.Context, kind Kind, idx []int32,
 // blocks keep their locality — and the per-class counts are scattered back
 // to every member. Byte-identical to the uncollapsed sweep (golden-tested)
 // because class members have exactly equal counts for every kind.
-func (m *Metrics) reachabilityRangeClassed(ctx context.Context, kind Kind, lo, hi, workers int) ([]int, error) {
+func (m *Metrics) reachabilityRangeClassed(ctx context.Context, kind Kind, lo, hi, workers int, out []int) error {
 	ci := m.Classes()
 	n := hi - lo
-	out := make([]int, n)
 	if n == 0 {
-		return out, nil
+		return nil
+	}
+	sc, _ := m.classedPool.Get().(*classedScratch)
+	if sc == nil {
+		sc = &classedScratch{}
 	}
 	// slot[c] = index into the unique-reps list, or -1. For a full-graph
 	// sweep first-in-range membership is exactly the index's own
 	// representative assignment, so classes and reps align with ci.Reps().
-	slot := make([]int32, ci.NumClasses())
+	if cap(sc.slot) < ci.NumClasses() {
+		sc.slot = make([]int32, ci.NumClasses())
+	}
+	slot := sc.slot[:ci.NumClasses()]
 	for i := range slot {
 		slot[i] = -1
 	}
-	reps := make([]int32, 0, min(n, ci.NumClasses()))
+	reps := sc.reps[:0]
 	for i := lo; i < hi; i++ {
 		c := ci.ClassOf(i)
 		if slot[c] < 0 {
@@ -464,14 +502,19 @@ func (m *Metrics) reachabilityRangeClassed(ctx context.Context, kind Kind, lo, h
 			reps = append(reps, int32(i))
 		}
 	}
-	counts := make([]int, len(reps))
-	if err := m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, counts, workers); err != nil {
-		return nil, err
+	if cap(sc.counts) < len(reps) {
+		sc.counts = make([]int, len(reps))
 	}
-	for i := lo; i < hi; i++ {
-		out[i-lo] = counts[slot[ci.ClassOf(i)]]
+	counts := sc.counts[:len(reps)]
+	err := m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, counts, workers)
+	if err == nil {
+		for i := lo; i < hi; i++ {
+			out[i-lo] = counts[slot[ci.ClassOf(i)]]
+		}
 	}
-	return out, nil
+	sc.slot, sc.reps, sc.counts = slot, reps, counts
+	m.classedPool.Put(sc)
+	return err
 }
 
 // ClassCountsRangeCtx computes reach(rep(c), kind) for the equivalence
@@ -487,14 +530,27 @@ func (m *Metrics) ClassCountsRangeCtx(ctx context.Context, kind Kind, clo, chi, 
 		return nil, fmt.Errorf("core: class range [%d, %d) outside the %d-class index", clo, chi, ci.NumClasses())
 	}
 	out := make([]int, chi-clo)
-	reps := ci.Reps()[clo:chi]
-	if m.scalarSweep {
-		return out, m.scalarCountsIdxCtx(ctx, kind, reps, out, workers)
-	}
-	if err := m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, out, workers); err != nil {
+	if err := m.ClassCountsRangeIntoCtx(ctx, kind, clo, chi, workers, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ClassCountsRangeIntoCtx is ClassCountsRangeCtx writing into out (len
+// chi-clo) — the buffer-recycling variant cluster shard handlers use.
+func (m *Metrics) ClassCountsRangeIntoCtx(ctx context.Context, kind Kind, clo, chi, workers int, out []int) error {
+	ci := m.Classes()
+	if clo < 0 || chi > ci.NumClasses() || clo > chi {
+		return fmt.Errorf("core: class range [%d, %d) outside the %d-class index", clo, chi, ci.NumClasses())
+	}
+	if len(out) != chi-clo {
+		return fmt.Errorf("core: out has %d entries for class range [%d, %d)", len(out), clo, chi)
+	}
+	reps := ci.Reps()[clo:chi]
+	if m.scalarSweep {
+		return m.scalarCountsIdxCtx(ctx, kind, reps, out, workers)
+	}
+	return m.batchCountsIdxCtx(ctx, kind, reps, denseRange{}, out, workers)
 }
 
 // scalarCountsIdxCtx is the per-origin scalar fallback over an explicit

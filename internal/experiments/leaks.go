@@ -43,8 +43,9 @@ type LeakFigure struct {
 func (LeakFigure) Grid() []float64 { return cdfGrid }
 
 // leakFigure runs all scenarios for one origin on one preset. classes,
-// when non-nil, dedups sampled leakers by origin equivalence class on the
-// unweighted runs (byte-identical; weighted runs replay every leaker).
+// when non-nil, dedups sampled leakers by origin equivalence class —
+// byte-identical on unweighted runs; weighted runs copy the classmate's
+// trial with an O(1) user-fraction correction (see bgpsim.TrialsN).
 func leakFigure(in *topogen.Internet, classes *bgpsim.ClassIndex, originName string, origin astopo.ASN, trials int, weighted bool, weights []float64) (*LeakFigure, error) {
 	fig := &LeakFigure{Origin: originName, OriginASN: origin, UserWeighted: weighted}
 	leakers := bgpsim.SampleLeakers(in.Graph, origin, trials, int64(origin))

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
 
 	"flatnet/internal/astopo"
 	"flatnet/internal/bgpsim"
@@ -125,6 +126,107 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cluster.JoinResponse{Workers: s.pool.NumWorkers()})
 }
 
+// wireScratch recycles encode buffers for binary frames. The cached body
+// must be exactly sized (it lives in the LRU), but the encoder wants
+// varint headroom; encoding into pooled scratch and copying out gives the
+// cache compact bodies and the encoder an allocation-free scratch at its
+// high-water size.
+var wireScratch = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+func encodeCountsFrame(counts []int) []byte {
+	sp := wireScratch.Get().(*[]byte)
+	frame := cluster.AppendCounts((*sp)[:0], counts)
+	out := append(make([]byte, 0, len(frame)), frame...)
+	*sp = frame[:0] // keep the (possibly grown) buffer
+	wireScratch.Put(sp)
+	return out
+}
+
+func encodeFracsFrame(fracs []float64) []byte {
+	sp := wireScratch.Get().(*[]byte)
+	frame := cluster.AppendFracs((*sp)[:0], fracs)
+	out := append(make([]byte, 0, len(frame)), frame...)
+	*sp = frame[:0]
+	wireScratch.Put(sp)
+	return out
+}
+
+// countsScratch recycles shard-sized count vectors: a shard's counts exist
+// only between compute and encode, so a coordinator fanning sweeps through
+// this worker reuses one high-water buffer instead of allocating ~32 KB per
+// shard request.
+var countsScratch sync.Pool // *[]int
+
+func getCountsBuf(n int) *[]int {
+	p, _ := countsScratch.Get().(*[]int)
+	if p == nil {
+		s := make([]int, n)
+		return &s
+	}
+	if cap(*p) < n {
+		*p = make([]int, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putCountsBuf(p *[]int) { countsScratch.Put(p) }
+
+// serveCachedCounts serves one counts vector under content negotiation:
+// callers that accept the binary wire type get a framed vector, cached
+// under its own "|w"-suffixed key so the LRU holds both encodings
+// independently; everyone else gets the JSON SweepResponse — the
+// compatibility fallback that keeps mixed-version clusters merging.
+// compute returns a buffer from getCountsBuf (or any heap slice); it is
+// recycled here once the response body is encoded.
+func (s *Server) serveCachedCounts(w http.ResponseWriter, r *http.Request, ws *worldState, key string, compute func(ctx context.Context) (*[]int, error)) {
+	if cluster.WireAccepted(r.Header) {
+		s.stats.wireResponses.Add(1)
+		s.serveCachedBody(w, r, ws, key+"|w", cluster.WireContentType, func(ctx context.Context) ([]byte, error) {
+			counts, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			frame := encodeCountsFrame(*counts)
+			putCountsBuf(counts)
+			return frame, nil
+		})
+		return
+	}
+	s.serveCachedBody(w, r, ws, key, contentTypeJSON, func(ctx context.Context) ([]byte, error) {
+		counts, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(cluster.SweepResponse{Counts: *counts})
+		putCountsBuf(counts)
+		return body, err
+	})
+}
+
+// serveCachedFracs is serveCachedCounts for leak fractions.
+func (s *Server) serveCachedFracs(w http.ResponseWriter, r *http.Request, ws *worldState, key string, compute func(ctx context.Context) ([]float64, error)) {
+	if cluster.WireAccepted(r.Header) {
+		s.stats.wireResponses.Add(1)
+		s.serveCachedBody(w, r, ws, key+"|w", cluster.WireContentType, func(ctx context.Context) ([]byte, error) {
+			fracs, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return encodeFracsFrame(fracs), nil
+		})
+		return
+	}
+	s.serveCachedBody(w, r, ws, key, contentTypeJSON, func(ctx context.Context) ([]byte, error) {
+		fracs, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cluster.LeakResponse{Fracs: fracs})
+	})
+}
+
 // handleClusterSweep computes one reachability shard: a dense index range
 // (all-AS sweeps) or an explicit origin list (batch queries). Responses
 // ride the same result cache as every endpoint, so a coordinator retrying
@@ -141,6 +243,10 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("%v", err))
 		return
 	}
+	if len(req.Ranges) > 0 {
+		s.handleClusterSweepMulti(w, r, ws, kind, &req)
+		return
+	}
 	if req.Classes {
 		// Class-collapsed shard: [Lo, Hi) names equivalence-class ids and
 		// the response carries one representative count per class. Class
@@ -153,12 +259,13 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		key := fmt.Sprintf("cclass|%d|%d|%d", kind, req.Lo, req.Hi)
-		s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
-			counts, err := ws.metrics.ClassCountsRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
-			if err != nil {
+		s.serveCachedCounts(w, r, ws, key, func(ctx context.Context) (*[]int, error) {
+			counts := getCountsBuf(req.Hi - req.Lo)
+			if err := ws.metrics.ClassCountsRangeIntoCtx(ctx, kind, req.Lo, req.Hi, 1, *counts); err != nil {
+				putCountsBuf(counts)
 				return nil, err
 			}
-			return cluster.SweepResponse{Counts: counts}, nil
+			return counts, nil
 		})
 		return
 	}
@@ -168,12 +275,12 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 			origins[i] = astopo.ASN(o)
 		}
 		key := fmt.Sprintf("cbatch|%d|%s", kind, originsKey(req.Origins))
-		s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
+		s.serveCachedCounts(w, r, ws, key, func(ctx context.Context) (*[]int, error) {
 			counts, err := ws.metrics.ReachabilityManyN(ctx, origins, kind, 1)
 			if err != nil {
 				return nil, err
 			}
-			return cluster.SweepResponse{Counts: counts}, nil
+			return &counts, nil
 		})
 		return
 	}
@@ -183,13 +290,102 @@ func (s *Server) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("csweep|%d|%d|%d", kind, req.Lo, req.Hi)
-	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
-		counts, err := ws.metrics.ReachabilityRangeCtx(ctx, kind, req.Lo, req.Hi, 1)
-		if err != nil {
+	s.serveCachedCounts(w, r, ws, key, func(ctx context.Context) (*[]int, error) {
+		counts := getCountsBuf(req.Hi - req.Lo)
+		if err := ws.metrics.ReachabilityRangeIntoCtx(ctx, kind, req.Lo, req.Hi, 1, *counts); err != nil {
+			putCountsBuf(counts)
 			return nil, err
 		}
-		return cluster.SweepResponse{Counts: counts}, nil
+		return counts, nil
 	})
+}
+
+// handleClusterSweepMulti answers a coalesced multi-range shard request —
+// several dense-index (or, with Classes, class-id) ranges in one round
+// trip, the worker half of the coordinator's streaming merge. The
+// response is wire-only: one length-prefixed binary counts frame per
+// range, in request order. Each frame is looked up or computed under the
+// exact cache key the single-range form uses, so coalesced and
+// singly-dispatched coordinators share compute and a retried range is a
+// lookup, not a propagation. Coordinators send the multi form only to
+// workers that have already answered them a wire frame, so a non-wire
+// Accept here is a protocol error, not a fallback case.
+func (s *Server) handleClusterSweepMulti(w http.ResponseWriter, r *http.Request, ws *worldState, kind core.Kind, req *cluster.SweepRequest) {
+	if !cluster.WireAccepted(r.Header) {
+		s.writeError(w, badRequestf("multi-range sweep requests are wire-only; set Accept: %s", cluster.WireContentType))
+		return
+	}
+	if len(req.Origins) > 0 {
+		s.writeError(w, badRequestf("multi-range sweep requests take ranges, not origin lists"))
+		return
+	}
+	if len(req.Ranges) > 4096 {
+		s.writeError(w, badRequestf("%d ranges in one request; the limit is 4096", len(req.Ranges)))
+		return
+	}
+	n := ws.ds.Graph.NumASes()
+	if req.Classes {
+		n = ws.metrics.Classes().NumClasses()
+	}
+	for _, rg := range req.Ranges {
+		if rg.Lo < 0 || rg.Hi > n || rg.Lo >= rg.Hi {
+			s.writeError(w, badRequestf("shard range [%d, %d) outside [0, %d)", rg.Lo, rg.Hi, n))
+			return
+		}
+	}
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	frames := make([][]byte, len(req.Ranges))
+	total := 0
+	for k, rg := range req.Ranges {
+		rg := rg
+		var key string
+		if req.Classes {
+			key = fmt.Sprintf("cclass|%d|%d|%d|w", kind, rg.Lo, rg.Hi)
+		} else {
+			key = fmt.Sprintf("csweep|%d|%d|%d|w", kind, rg.Lo, rg.Hi)
+		}
+		frame, err := s.cachedBody(ctx, ws, key, func(ctx context.Context) ([]byte, error) {
+			counts := getCountsBuf(rg.Hi - rg.Lo)
+			var err error
+			if req.Classes {
+				err = ws.metrics.ClassCountsRangeIntoCtx(ctx, kind, rg.Lo, rg.Hi, 1, *counts)
+			} else {
+				err = ws.metrics.ReachabilityRangeIntoCtx(ctx, kind, rg.Lo, rg.Hi, 1, *counts)
+			}
+			if err != nil {
+				putCountsBuf(counts)
+				return nil, err
+			}
+			frame := encodeCountsFrame(*counts)
+			putCountsBuf(counts)
+			return frame, nil
+		})
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		frames[k] = frame
+		total += 4 + len(frame)
+	}
+	s.stats.wireResponses.Add(1)
+	w.Header().Set("Content-Type", cluster.WireContentType)
+	w.Header().Set("Content-Length", fmt.Sprint(total))
+	w.WriteHeader(http.StatusOK)
+	prefix := make([]byte, 0, 4)
+	for _, frame := range frames {
+		if _, err := w.Write(cluster.AppendFramePrefix(prefix[:0], len(frame))); err != nil {
+			return
+		}
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
 }
 
 // originsKey renders an origin list compactly for cache keys; the sha256
@@ -217,12 +413,8 @@ func (s *Server) handleClusterLeak(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("cleak|%d|%s|%v|%d|%d|%d|%d",
 		req.Origin, req.Scenario, req.Hijack, req.Trials, req.Seed, req.Lo, req.Hi)
-	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
-		fracs, err := s.leakFracsRange(ctx, ws, req.LeakQuery, req.Lo, req.Hi, 1)
-		if err != nil {
-			return nil, err
-		}
-		return cluster.LeakResponse{Fracs: fracs}, nil
+	s.serveCachedFracs(w, r, ws, key, func(ctx context.Context) ([]float64, error) {
+		return s.leakFracsRange(ctx, ws, req.LeakQuery, req.Lo, req.Hi, 1)
 	})
 }
 
@@ -316,17 +508,68 @@ type sweepResponse struct {
 	Top   []sweepEntry `json:"top"`
 }
 
+// sweepAllCounts computes the full per-AS reachability vector in dense
+// graph-index order: partitioned across the cluster when workers are
+// joined (class-collapsed when the world has a class index), in-process
+// otherwise. Both routes produce byte-identical counts — disjoint exact-
+// integer ranges computed by the same engine.
+func (s *Server) sweepAllCounts(ctx context.Context, ws *worldState, kind core.Kind) ([]int, error) {
+	n := ws.ds.Graph.NumASes()
+	if s.pool.Ready() && s.pool.World() == ws.id {
+		var counts []int
+		var err error
+		// With collapse enabled the cluster shards the equivalence
+		// classes instead of the ASes: every shard propagates only
+		// distinct work, and the coordinator expands the merged
+		// per-class vector locally. Expansion is a plain copy, so the
+		// counts are byte-identical to the AS-sharded (and to the
+		// single-process) sweep.
+		if ci := ws.metrics.SweepClasses(); ci != nil {
+			var classCounts []int
+			classCounts, err = s.pool.ClassCounts(ctx, kind.String(), ci.NumClasses())
+			if err == nil {
+				counts = make([]int, n)
+				ci.Expand(classCounts, counts)
+			}
+		} else {
+			counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
+		}
+		if err = s.verifyWorld(ws, err); err != nil {
+			return nil, err
+		}
+		return counts, nil
+	}
+	return ws.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
+}
+
 // handleSweep answers GET /v1/sweep: reachability of every AS in the
 // topology, returning the top-N ranked as Table 1 of the paper ranks
 // providers (count desc, ASN asc). With workers joined, the sweep is
 // partitioned across the cluster; the merged counts are identical to the
 // single-process sweep (disjoint exact-integer ranges), so the response
 // body is byte-for-byte the same either way.
+//
+// Clients that accept the binary wire type opt into the full per-AS
+// vector instead of the ranked top-N: a counts frame in dense graph-index
+// order, the bulk form downstream tooling asks for when it wants every AS
+// without ~70k JSON objects.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ws := s.w()
 	kind, err := parseKind(r)
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if cluster.WireAccepted(r.Header) {
+		s.stats.wireResponses.Add(1)
+		key := fmt.Sprintf("sweep|%d|w", kind)
+		s.serveCachedBody(w, r, ws, key, cluster.WireContentType, func(ctx context.Context) ([]byte, error) {
+			counts, err := s.sweepAllCounts(ctx, ws, kind)
+			if err != nil {
+				return nil, err
+			}
+			return encodeCountsFrame(counts), nil
+		})
 		return
 	}
 	top, err := parseIntParam(r, "top", 20, s.cfg.MaxTop)
@@ -338,28 +581,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, ws, key, func(ctx context.Context) (any, error) {
 		g := ws.ds.Graph
 		n := g.NumASes()
-		var counts []int
-		if s.pool.Ready() && s.pool.World() == ws.id {
-			// With collapse enabled the cluster shards the equivalence
-			// classes instead of the ASes: every shard propagates only
-			// distinct work, and the coordinator expands the merged
-			// per-class vector locally. Expansion is a plain copy, so the
-			// counts are byte-identical to the AS-sharded (and to the
-			// single-process) sweep.
-			if ci := ws.metrics.SweepClasses(); ci != nil {
-				var classCounts []int
-				classCounts, err = s.pool.ClassCounts(ctx, kind.String(), ci.NumClasses())
-				if err == nil {
-					counts = make([]int, n)
-					ci.Expand(classCounts, counts)
-				}
-			} else {
-				counts, err = s.pool.SweepCounts(ctx, kind.String(), n)
-			}
-			err = s.verifyWorld(ws, err)
-		} else {
-			counts, err = ws.metrics.ReachabilityRangeCtx(ctx, kind, 0, n, 0)
-		}
+		counts, err := s.sweepAllCounts(ctx, ws, kind)
 		if err != nil {
 			return nil, err
 		}

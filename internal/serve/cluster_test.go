@@ -267,6 +267,128 @@ func TestClusterLeakAndBatchMatchSingleProcess(t *testing.T) {
 	}
 }
 
+// TestClusterMixedWireVersions runs one sweep through a cluster of one
+// modern worker (negotiates the binary wire via Accept) and one legacy
+// worker — a real worker behind a proxy that strips the Accept header, so
+// it never sees the wire offer and always answers JSON, exactly how a
+// pre-wire flatnetd behaves. The merged response must be byte-identical
+// to single process, with shards merged from BOTH encodings.
+func TestClusterMixedWireVersions(t *testing.T) {
+	coord, coordURL := startServer(t, func(c *Config) {
+		c.Cluster = cluster.PoolConfig{ShardBlocks: 1}
+	})
+	w1, w1URL := startServer(t, nil)
+	joinWorker(t, coordURL, w1, w1URL)
+
+	legacy, err := New(Config{Dataset: mustDataset(t), Names: genIn.NameOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh := legacy.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		lh.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+	coord.Pool().Register(proxy.URL, 1)
+
+	single, err := New(Config{Dataset: mustDataset(t), Names: genIn.NameOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const query = "/v1/sweep?kind=hierarchy-free&top=20"
+	want := get(t, single.Handler(), query)
+	if want.Code != http.StatusOK {
+		t.Fatalf("single-process sweep: status %d, body %s", want.Code, want.Body)
+	}
+	status, got := httpGet(t, coordURL+query)
+	if status != http.StatusOK {
+		t.Fatalf("mixed-version sweep: status %d, body %s", status, got)
+	}
+	if !bytes.Equal(got, want.Body.Bytes()) {
+		t.Fatal("mixed JSON/binary cluster sweep diverged from single process")
+	}
+	st := coord.Pool().StatsSnapshot()
+	if st.WireShards == 0 {
+		t.Fatalf("no shard arrived as a binary frame; negotiation with the modern worker failed (stats %+v)", st)
+	}
+	if st.JSONShards == 0 {
+		t.Fatalf("no shard arrived as JSON; the legacy worker was never exercised (stats %+v)", st)
+	}
+	if st.WireBytes <= 0 || st.WireSaved <= 0 {
+		t.Fatalf("wire byte gauges not populated: bytes=%d saved=%d", st.WireBytes, st.WireSaved)
+	}
+}
+
+// TestClusterCoalescedSweepMatchesSingleProcess: with a single worker the
+// coordinator learns wire capability on the first shard response and
+// coalesces the rest of the sweep into multi-range requests against the
+// real worker handler — and the merged answer must stay byte-identical to
+// the single process, with the multi gauge confirming the path ran.
+func TestClusterCoalescedSweepMatchesSingleProcess(t *testing.T) {
+	coord, coordURL := startServer(t, func(c *Config) {
+		c.Cluster = cluster.PoolConfig{ShardBlocks: 1}
+	})
+	w1, w1URL := startServer(t, nil)
+	joinWorker(t, coordURL, w1, w1URL)
+
+	single, err := New(Config{Dataset: mustDataset(t), Names: genIn.NameOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const query = "/v1/sweep?kind=hierarchy-free&top=25"
+	want := get(t, single.Handler(), query)
+	if want.Code != http.StatusOK {
+		t.Fatalf("single-process sweep: status %d, body %s", want.Code, want.Body)
+	}
+	status, got := httpGet(t, coordURL+query)
+	if status != http.StatusOK {
+		t.Fatalf("cluster sweep: status %d, body %s", status, got)
+	}
+	if !bytes.Equal(got, want.Body.Bytes()) {
+		t.Fatal("coalesced cluster sweep diverged from single process")
+	}
+	st := coord.Pool().StatsSnapshot()
+	if st.MultiBatches == 0 {
+		t.Fatalf("sweep sent no coalesced multi-range requests (stats %+v)", st)
+	}
+	if st.WireShards == 0 || st.JSONShards != 0 {
+		t.Fatalf("wire/json shards = %d/%d; every shard should ride the wire", st.WireShards, st.JSONShards)
+	}
+}
+
+// TestSweepBinaryOptIn: a client that accepts the wire content type gets
+// the full per-AS counts vector from GET /v1/sweep as a binary frame, in
+// dense graph-index order, matching the engine's counts exactly.
+func TestSweepBinaryOptIn(t *testing.T) {
+	s := testServer(t, nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/sweep?kind=hierarchy-free", nil)
+	req.Header.Set("Accept", cluster.WireContentType)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("binary sweep: status %d, body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != cluster.WireContentType {
+		t.Fatalf("binary sweep Content-Type = %q, want %q", ct, cluster.WireContentType)
+	}
+	ws := s.w()
+	n := ws.ds.Graph.NumASes()
+	got := make([]int, n)
+	if err := cluster.DecodeCountsInto(got, rec.Body.Bytes()); err != nil {
+		t.Fatalf("response is not a valid counts frame: %v", err)
+	}
+	want, err := ws.metrics.ReachabilityRangeCtx(context.Background(), core.HierarchyFree, 0, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("binary sweep counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
 // TestJoinRejectsWorldMismatch: a worker serving a different world must
 // be refused with 409, never silently mixed into the pool.
 func TestJoinRejectsWorldMismatch(t *testing.T) {

@@ -217,6 +217,9 @@ type Server struct {
 		deadlines    atomic.Int64
 		inflight     atomic.Int64
 		evolves      atomic.Int64
+		// wireResponses counts responses served as binary wire frames
+		// (negotiated via Accept) rather than JSON.
+		wireResponses atomic.Int64
 	}
 
 	// slowdown, when non-nil, runs at the start of every leader
@@ -318,10 +321,45 @@ func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// serveCached is the shared request path of every cacheable endpoint:
+// serveCached is the shared request path of every cacheable JSON endpoint:
 // result-cache lookup, then singleflight-coalesced computation under the
 // worker pool and the request deadline, then cache fill.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ws *worldState, key string, compute func(ctx context.Context) (any, error)) {
+	s.serveCachedBody(w, r, ws, key, contentTypeJSON, func(ctx context.Context) ([]byte, error) {
+		v, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	})
+}
+
+// serveCachedBody is serveCached one level down: the compute closure
+// produces the exact response body bytes (any encoding), and contentType
+// names them. Binary-negotiated endpoints cache their encoded frames here
+// under a key distinct from the JSON variant's, so the LRU holds both
+// encodings independently.
+func (s *Server) serveCachedBody(w http.ResponseWriter, r *http.Request, ws *worldState, key, contentType string, compute func(ctx context.Context) ([]byte, error)) {
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	body, err := s.cachedBody(ctx, ws, key, compute)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeBodyAs(w, http.StatusOK, contentType, body)
+}
+
+// cachedBody is the cache-or-compute core of serveCachedBody, separate so
+// handlers that assemble one response from several cached bodies (the
+// multi-range shard endpoint) can reuse it: world-prefixed LRU lookup,
+// single-flight coalescing, and the serving-slot semaphore around compute.
+func (s *Server) cachedBody(ctx context.Context, ws *worldState, key string, compute func(ctx context.Context) ([]byte, error)) ([]byte, error) {
 	// Every key is world-prefixed: a cache (or a coalesced flight) keyed
 	// by query alone would be wrong the moment two worlds exist — shard
 	// requests from different coordinators, a daemon swapped onto a new
@@ -330,17 +368,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ws *worldSt
 	key = ws.key + key
 	if b, ok := s.cache.Get(key); ok {
 		s.stats.cacheHits.Add(1)
-		writeBody(w, http.StatusOK, b.([]byte))
-		return
+		return b.([]byte), nil
 	}
 	s.stats.cacheMisses.Add(1)
-	timeout, err := s.timeoutFor(r)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 	body, coalesced, err := s.flights.Do(ctx, key, func() ([]byte, error) {
 		select {
 		case s.sem <- struct{}{}:
@@ -354,11 +384,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ws *worldSt
 			s.slowdown()
 		}
 		s.stats.computations.Add(1)
-		v, err := compute(ctx)
-		if err != nil {
-			return nil, err
-		}
-		b, err := json.Marshal(v)
+		b, err := compute(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -368,9 +394,5 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ws *worldSt
 	if coalesced {
 		s.stats.coalesced.Add(1)
 	}
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	writeBody(w, http.StatusOK, body)
+	return body, err
 }

@@ -18,7 +18,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${FLATNET_BENCH_COUNT:-6}"
-REGEX="${FLATNET_BENCH_REGEX:-BenchmarkReachabilityAll|BenchmarkClassIndexBuild|BenchmarkTable1TopReachability|BenchmarkFig3ReachVsCone|BenchmarkSensitivity|BenchmarkHierarchyFreeReachability|BenchmarkFig7LeakCDFs|BenchmarkLeakTrialsBatch|BenchmarkEnvColdStart\$|BenchmarkEnvColdStartSerial|BenchmarkSnapshotLoad|BenchmarkClusterSweep|BenchmarkEvolveDelta|BenchmarkTimelineSeries}"
+REGEX="${FLATNET_BENCH_REGEX:-BenchmarkReachabilityAll|BenchmarkClassIndexBuild|BenchmarkTable1TopReachability|BenchmarkFig3ReachVsCone|BenchmarkSensitivity|BenchmarkHierarchyFreeReachability|BenchmarkFig7LeakCDFs|BenchmarkLeakTrialsBatch|BenchmarkEnvColdStart\$|BenchmarkEnvColdStartSerial|BenchmarkSnapshotLoad|BenchmarkClusterSweep|BenchmarkWireCounts|BenchmarkEvolveDelta|BenchmarkTimelineSeries}"
 OUT="${1:-bench-$(git rev-parse --short HEAD 2>/dev/null || echo local).txt}"
 
 go test -run '^$' -bench "$REGEX" -benchmem -count "$COUNT" . | tee "$OUT"

@@ -50,6 +50,10 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
             if (NR == FNR) { bln[name]++; blv[name "," bln[name]] = $(i-1) }
             else           { nln[name]++; nlv[name "," nln[name]] = $(i-1) }
         }
+        if ($i == "B/op") {
+            if (NR == FNR) { bbn[name]++; bbv[name "," bbn[name]] = $(i-1) }
+            else           { nbn[name]++; nbv[name "," nbn[name]] = $(i-1) }
+        }
     }
 }
 END {
@@ -91,6 +95,20 @@ END {
         printf "%-55s baseline %14.0f allocs/op  new %14.0f allocs/op %+7.1f%%\n", name, bm, nm, delta
         if (delta > tol && nm - bm > 4) {
             printf "FAIL: %s allocs/op regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
+            fail = 1
+        }
+    }
+    # B/op gets the same two-part gate as allocs/op: a percent threshold
+    # plus an absolute floor (1 KiB) so benchmarks that allocate almost
+    # nothing cannot fail on a few bytes of jitter.
+    for (name in nbn) {
+        if (!(name in bbn)) continue
+        bm = median(bbv, name, bbn[name])
+        nm = median(nbv, name, nbn[name])
+        delta = bm > 0 ? 100 * (nm - bm) / bm : (nm > 0 ? 100 : 0)
+        printf "%-55s baseline %14.0f B/op       new %14.0f B/op      %+7.1f%%\n", name, bm, nm, delta
+        if (delta > tol && nm - bm > 1024) {
+            printf "FAIL: %s B/op regressed %.1f%% (tolerance %d%%)\n", name, delta, tol
             fail = 1
         }
     }

@@ -1,0 +1,47 @@
+package flatnet_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"flatnet/internal/cluster"
+)
+
+// BenchmarkWireCounts prices the binary wire codec by itself: encoding and
+// decoding one maximum-size sweep shard (64 blocks × 64 lanes = 4096
+// counts, the ShardBlocks cap) with values shaped like real reachability
+// counts — large magnitudes, small neighbor deltas, which is the case the
+// zig-zag delta varint layout is built for. Encode reuses one buffer and
+// decode writes into one preallocated slice, so steady state on both sides
+// is zero allocations; B/op here is the wire's contribution to the cluster
+// hot path.
+func BenchmarkWireCounts(b *testing.B) {
+	const n = 4096
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range counts {
+		counts[i] = 40000 + rng.Intn(30000)
+	}
+	frame := cluster.AppendCounts(nil, counts)
+
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, cap(frame))
+		b.SetBytes(int64(len(frame)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = cluster.AppendCounts(buf[:0], counts)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		dst := make([]int, n)
+		b.SetBytes(int64(len(frame)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cluster.DecodeCountsInto(dst, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
